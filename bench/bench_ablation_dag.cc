@@ -1,0 +1,63 @@
+// Ablation A3 (DESIGN.md): the compression hierarchy the paper's
+// introduction describes — minimal DAGs (Buneman et al. [1], ~10% of
+// edges) vs SLT grammars (TreeRePair/GrammarRePair, ~3%). Reports
+// representation sizes per corpus.
+//
+// Flags: --scale, --seed.
+
+#include <cstdio>
+
+#include "src/bench_util/reporting.h"
+#include "src/core/grammar_repair.h"
+#include "src/dag/dag_builder.h"
+#include "src/datasets/generators.h"
+#include "src/grammar/stats.h"
+#include "src/repair/tree_repair.h"
+#include "src/xml/binary_encoding.h"
+
+namespace slg {
+namespace {
+
+int Run(int argc, char** argv) {
+  double scale = FlagDouble(argc, argv, "--scale", 0.3);
+  uint64_t seed =
+      static_cast<uint64_t>(FlagInt(argc, argv, "--seed", 20160516));
+
+  std::printf(
+      "Ablation: DAG sharing vs RePair grammars (non-null edges; "
+      "scale %.3g)\n\n",
+      scale);
+  TablePrinter table({"dataset", "#edges", "DAG(%)", "TreeRePair(%)",
+                      "GrammarRePair(%)", "distinct-subtrees"});
+
+  for (const CorpusInfo& info : AllCorpora()) {
+    XmlTree xml = GenerateCorpus(info.id, scale, seed);
+    LabelTable labels;
+    Tree bin = EncodeBinary(xml, &labels);
+    int64_t edges = xml.EdgeCount();
+
+    Grammar dag = BuildDag(bin, labels);
+    int64_t dag_size = ComputeStats(dag).non_null_edge_count;
+    int64_t distinct = DistinctSubtreeCount(bin);
+
+    TreeRepairResult tr = TreeRePair(Tree(bin), labels, {});
+    int64_t tr_size = ComputeStats(tr.grammar).non_null_edge_count;
+
+    GrammarRepairResult gr = GrammarRePair(std::move(dag), {});
+    int64_t gr_size = ComputeStats(gr.grammar).non_null_edge_count;
+
+    auto pct = [&](int64_t s) {
+      return TablePrinter::Pct(static_cast<double>(s) /
+                               static_cast<double>(edges));
+    };
+    table.AddRow({info.name, TablePrinter::Num(edges), pct(dag_size),
+                  pct(tr_size), pct(gr_size), TablePrinter::Num(distinct)});
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace slg
+
+int main(int argc, char** argv) { return slg::Run(argc, argv); }

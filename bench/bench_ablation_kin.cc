@@ -1,0 +1,71 @@
+// Ablation A2 (DESIGN.md): the maximum digram rank kin (paper §II,
+// "predefined constant limiting the maximum numbers of parameters").
+// Sweeps kin for TreeRePair and GrammarRePair on the heterogeneous
+// XMark-like corpus: small kin misses multi-parameter patterns, large
+// kin pays rule-rank overhead for little gain (TreeRePair defaults to
+// 4).
+//
+// Flags: --scale, --corpus (0..5, default XMark).
+
+#include <cstdio>
+
+#include "src/bench_util/reporting.h"
+#include "src/common/timer.h"
+#include "src/core/grammar_repair.h"
+#include "src/datasets/generators.h"
+#include "src/grammar/stats.h"
+#include "src/repair/tree_repair.h"
+#include "src/xml/binary_encoding.h"
+
+namespace slg {
+namespace {
+
+int Run(int argc, char** argv) {
+  double scale = FlagDouble(argc, argv, "--scale", 0.2);
+  int corpus_idx = static_cast<int>(FlagInt(argc, argv, "--corpus", 1));
+  const CorpusInfo& info =
+      AllCorpora()[static_cast<size_t>(corpus_idx % 6)];
+
+  XmlTree xml = GenerateCorpus(info.id, scale);
+  LabelTable labels;
+  Tree bin = EncodeBinary(xml, &labels);
+  int64_t edges = xml.EdgeCount();
+
+  std::printf("Ablation: kin sweep on %s (#edges %lld, scale %.3g)\n\n",
+              info.name, static_cast<long long>(edges), scale);
+  TablePrinter table({"kin", "TreeRePair-edges", "TR-ratio(%)", "TR-time(s)",
+                      "GrammarRePair-edges", "GRP-ratio(%)", "GRP-time(s)"});
+
+  for (int kin : {2, 3, 4, 6, 8}) {
+    RepairOptions ropts;
+    ropts.max_rank = kin;
+    Timer t1;
+    TreeRepairResult tr = TreeRePair(Tree(bin), labels, ropts);
+    double tr_s = t1.ElapsedSeconds();
+    int64_t tr_size = ComputeStats(tr.grammar).non_null_edge_count;
+
+    GrammarRepairOptions gopts;
+    gopts.repair = ropts;
+    t1.Reset();
+    GrammarRepairResult gr =
+        GrammarRePair(Grammar::ForTree(Tree(bin), labels), gopts);
+    double gr_s = t1.ElapsedSeconds();
+    int64_t gr_size = ComputeStats(gr.grammar).non_null_edge_count;
+
+    table.AddRow(
+        {TablePrinter::Num(kin), TablePrinter::Num(tr_size),
+         TablePrinter::Pct(static_cast<double>(tr_size) /
+                           static_cast<double>(edges)),
+         TablePrinter::Fixed(tr_s, 3), TablePrinter::Num(gr_size),
+         TablePrinter::Pct(static_cast<double>(gr_size) /
+                           static_cast<double>(edges)),
+         TablePrinter::Fixed(gr_s, 3)});
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace slg
+
+int main(int argc, char** argv) { return slg::Run(argc, argv); }

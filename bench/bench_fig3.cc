@@ -1,0 +1,101 @@
+// Figure 3 reproduction: effect of the fragment-export optimization.
+//
+// The paper's grammar family G_n (S -> a A_n A_n b, A_i -> A_{i-1}
+// A_{i-1}, A_0 -> ba; the string "a (ba)^{2^{n+1}} b"), tree-encoded as
+// a unary chain. GrammarRePair is run with the optimization (Algs. 6-8)
+// and without it (Alg. 5); per n we report the recompressed grammar
+// size, the blow-up of intermediate grammars, and the runtime — the
+// paper's result: optimized blow-up stays < 2 and runtime stays linear
+// in the grammar, while the non-optimized blow-up grows with the
+// (exponential) tree size.
+//
+// Flags: --max_level=<k> (default 12, i.e. n = 4096), --min_level=<k>.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/bench_util/reporting.h"
+#include "src/common/timer.h"
+#include "src/core/grammar_repair.h"
+#include "src/grammar/stats.h"
+#include "src/grammar/text_format.h"
+#include "src/grammar/validate.h"
+#include "src/grammar/value.h"
+
+namespace slg {
+namespace {
+
+// G_n with n = 2^level pairs, as a unary-chain tree grammar.
+Grammar MakeGn(int level) {
+  std::vector<std::string> rules;
+  rules.push_back("S -> a(A" + std::to_string(level) + "(A" +
+                  std::to_string(level) + "(b(e))))");
+  for (int i = level; i >= 1; --i) {
+    rules.push_back("A" + std::to_string(i) + " -> A" + std::to_string(i - 1) +
+                    "(A" + std::to_string(i - 1) + "($1))");
+  }
+  rules.push_back("A0 -> b(a($1))");
+  auto g = GrammarFromRules(rules);
+  SLG_CHECK(g.ok());
+  return g.take();
+}
+
+struct RunResult {
+  int64_t final_size;
+  double blowup;
+  double millis;
+};
+
+RunResult RunOne(int level, bool optimize) {
+  Grammar g = MakeGn(level);
+  GrammarRepairOptions opts;
+  opts.optimize = optimize;
+  opts.track_sizes = true;
+  Timer timer;
+  GrammarRepairResult r = GrammarRePair(std::move(g), opts);
+  double ms = timer.ElapsedMillis();
+  SLG_CHECK(Validate(r.grammar).ok());
+  int64_t final_size = ComputeStats(r.grammar).edge_count;
+  return RunResult{final_size,
+                   static_cast<double>(r.max_intermediate_size) /
+                       static_cast<double>(final_size),
+                   ms};
+}
+
+int Run(int argc, char** argv) {
+  int min_level = static_cast<int>(FlagInt(argc, argv, "--min_level", 6));
+  int max_level = static_cast<int>(FlagInt(argc, argv, "--max_level", 12));
+
+  std::printf(
+      "Figure 3: fragment-export optimization on the G_n family\n"
+      "(n = 2^level sibling pairs; derived tree is exponential in the\n"
+      "grammar)\n\n");
+  TablePrinter table({"n", "val(G_n) nodes", "edges(opt)", "blowup(opt)",
+                      "time-ms(opt)", "edges(simple)", "blowup(simple)",
+                      "time-ms(simple)"});
+  for (int level = min_level; level <= max_level; ++level) {
+    Grammar probe = MakeGn(level);
+    int64_t derived = ValueNodeCount(probe);
+    RunResult opt = RunOne(level, true);
+    RunResult simple = RunOne(level, false);
+    table.AddRow({TablePrinter::Num(int64_t{1} << level),
+                  TablePrinter::Num(derived),
+                  TablePrinter::Num(opt.final_size),
+                  TablePrinter::Fixed(opt.blowup, 2),
+                  TablePrinter::Fixed(opt.millis, 2),
+                  TablePrinter::Num(simple.final_size),
+                  TablePrinter::Fixed(simple.blowup, 2),
+                  TablePrinter::Fixed(simple.millis, 2)});
+  }
+  table.Print();
+  std::printf(
+      "\nPaper: optimized blow-up 1.2-1.7 and near-linear runtime;\n"
+      "non-optimized blow-up grows with the original tree (>110).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace slg
+
+int main(int argc, char** argv) { return slg::Run(argc, argv); }

@@ -1,0 +1,16 @@
+// Figure 4 reproduction: update sequences on the moderately
+// compressing corpora (XMark, Medline, Treebank). Top plot = naive
+// update overhead; bottom plot = overhead under GrammarRePair
+// recompression every 100 updates. Paper: naive up to ~1.4x, with
+// GrammarRePair < 1.008x.
+//
+// Flags: --scale, --updates, --period, --seed.
+
+#include "bench/update_bench_common.h"
+
+int main(int argc, char** argv) {
+  slg::RunUpdateOverheadBench(
+      {slg::Corpus::kXMark, slg::Corpus::kMedline, slg::Corpus::kTreebank},
+      "Figure 4 (moderate compression: XM, MD, TB)", argc, argv);
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Figure 5 reproduction: update sequences on the extreme
+// (exponentially compressing) corpora (EXI-Weblog, EXI-Telecomp,
+// NCBI). Paper: naive update overhead blows up to ~400x (broken
+// exponential lists); with GrammarRePair the overhead stays around
+// 1-5x of recompress-from-scratch — still minuscule in absolute terms.
+//
+// Flags: --scale, --updates, --period, --seed.
+
+#include "bench/update_bench_common.h"
+
+int main(int argc, char** argv) {
+  slg::RunUpdateOverheadBench(
+      {slg::Corpus::kExiWeblog, slg::Corpus::kExiTelecomp,
+       slg::Corpus::kNcbi},
+      "Figure 5 (extreme compression: EW, ET, NC)", argc, argv);
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Micro-benchmarks (google-benchmark) for the core primitives: binary
+// encoding, grammar evaluation, digram-index construction, path
+// isolation, and single update operations. These are the building
+// blocks whose costs the macro benches (fig4-6) aggregate.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/retrieve_occs.h"
+#include "src/datasets/generators.h"
+#include "src/grammar/usage.h"
+#include "src/grammar/value.h"
+#include "src/repair/tree_repair.h"
+#include "src/update/path_isolation.h"
+#include "src/update/update_ops.h"
+#include "src/xml/binary_encoding.h"
+
+namespace slg {
+namespace {
+
+XmlTree SharedDoc() { return GenerateCorpus(Corpus::kMedline, 0.05); }
+
+void BM_EncodeBinary(benchmark::State& state) {
+  XmlTree xml = SharedDoc();
+  for (auto _ : state) {
+    LabelTable labels;
+    Tree t = EncodeBinary(xml, &labels);
+    benchmark::DoNotOptimize(t.LiveCount());
+  }
+  state.SetItemsProcessed(state.iterations() * xml.NodeCount());
+}
+BENCHMARK(BM_EncodeBinary);
+
+void BM_TreeRePairCompress(benchmark::State& state) {
+  XmlTree xml = SharedDoc();
+  LabelTable labels;
+  Tree bin = EncodeBinary(xml, &labels);
+  for (auto _ : state) {
+    TreeRepairResult r = TreeRePair(Tree(bin), labels, {});
+    benchmark::DoNotOptimize(r.grammar.RuleCount());
+  }
+  state.SetItemsProcessed(state.iterations() * bin.LiveCount());
+}
+BENCHMARK(BM_TreeRePairCompress);
+
+struct CompressedFixture {
+  Grammar grammar;
+  int64_t nodes;
+  static CompressedFixture& Get() {
+    static CompressedFixture* f = [] {
+      XmlTree xml = SharedDoc();
+      LabelTable labels;
+      Tree bin = EncodeBinary(xml, &labels);
+      auto* fx = new CompressedFixture{
+          TreeRePair(std::move(bin), labels, {}).grammar, 0};
+      fx->nodes = ValueNodeCount(fx->grammar);
+      return fx;
+    }();
+    return *f;
+  }
+};
+
+void BM_Decompress(benchmark::State& state) {
+  CompressedFixture& f = CompressedFixture::Get();
+  for (auto _ : state) {
+    auto t = Value(f.grammar);
+    benchmark::DoNotOptimize(t.value().LiveCount());
+  }
+  state.SetItemsProcessed(state.iterations() * f.nodes);
+}
+BENCHMARK(BM_Decompress);
+
+void BM_DigramIndexBuild(benchmark::State& state) {
+  CompressedFixture& f = CompressedFixture::Get();
+  auto usage = ComputeUsage(f.grammar);
+  for (auto _ : state) {
+    GrammarDigramIndex index;
+    index.Build(f.grammar, usage);
+    benchmark::DoNotOptimize(index.TotalOccurrences());
+  }
+}
+BENCHMARK(BM_DigramIndexBuild);
+
+void BM_PathIsolation(benchmark::State& state) {
+  CompressedFixture& f = CompressedFixture::Get();
+  int64_t pos = 1;
+  for (auto _ : state) {
+    Grammar g = f.grammar.Clone();
+    auto u = IsolateNode(&g, 1 + (pos * 7919) % f.nodes);
+    benchmark::DoNotOptimize(u.ok());
+    ++pos;
+  }
+}
+BENCHMARK(BM_PathIsolation);
+
+void BM_SingleRename(benchmark::State& state) {
+  CompressedFixture& f = CompressedFixture::Get();
+  int64_t pos = 1;
+  for (auto _ : state) {
+    Grammar g = f.grammar.Clone();
+    Status st = RenameNode(&g, 1 + (pos * 104729) % (f.nodes / 2), "zz");
+    benchmark::DoNotOptimize(st.ok());
+    ++pos;
+  }
+}
+BENCHMARK(BM_SingleRename);
+
+}  // namespace
+}  // namespace slg
+
+BENCHMARK_MAIN();

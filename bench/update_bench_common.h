@@ -1,0 +1,107 @@
+// Shared driver for the Figure 4 / Figure 5 reproduction: update
+// sequences (90% inserts / 10% deletes) replayed on a compressed
+// grammar, measuring
+//   top plot:    |grammar after naive updates| / |recompress-from-scratch|
+//   bottom plot: |grammar after GrammarRePair every R updates| /
+//                |recompress-from-scratch|
+// with checkpoints every R = 100 updates (paper §V-C).
+
+#ifndef SLG_BENCH_UPDATE_BENCH_COMMON_H_
+#define SLG_BENCH_UPDATE_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <vector>
+
+#include "src/bench_util/reporting.h"
+#include "src/core/grammar_repair.h"
+#include "src/datasets/generators.h"
+#include "src/grammar/stats.h"
+#include "src/repair/tree_repair.h"
+#include "src/update/udc.h"
+#include "src/update/update_ops.h"
+#include "src/workload/update_workload.h"
+#include "src/xml/binary_encoding.h"
+
+namespace slg {
+
+inline void ApplyOp(Grammar* g, const UpdateOp& op) {
+  Status st = op.kind == UpdateOp::Kind::kInsert
+                  ? InsertTreeBefore(g, op.preorder, op.fragment)
+                  : DeleteSubtree(g, op.preorder);
+  SLG_CHECK_MSG(st.ok(), st.ToString().c_str());
+}
+
+inline void RunUpdateOverheadBench(const std::vector<Corpus>& corpora,
+                                   const char* figure_name, int argc,
+                                   char** argv) {
+  double scale = FlagDouble(argc, argv, "--scale", 0.2);
+  int updates = static_cast<int>(FlagInt(argc, argv, "--updates", 1000));
+  int period = static_cast<int>(FlagInt(argc, argv, "--period", 100));
+  uint64_t seed = static_cast<uint64_t>(FlagInt(argc, argv, "--seed", 7));
+
+  std::printf(
+      "%s: grammar size under update sequences (90%% insert / 10%% "
+      "delete),\nscale %.3g, %d updates, recompression every %d\n"
+      "overheads are vs recompress-from-scratch (udc) at the same "
+      "checkpoint\n\n",
+      figure_name, scale, updates, period);
+
+  for (Corpus c : corpora) {
+    const CorpusInfo& info = InfoFor(c);
+    XmlTree xml = GenerateCorpus(c, scale);
+    LabelTable labels;
+    Tree final_tree = EncodeBinary(xml, &labels);
+
+    WorkloadOptions wopts;
+    wopts.num_ops = updates;
+    wopts.seed = seed;
+    UpdateWorkload w = MakeUpdateWorkload(final_tree, labels, wopts);
+
+    GrammarRepairOptions recompress;
+    recompress.repair.require_positive_savings = true;
+    Grammar seed_grammar =
+        GrammarRePair(Grammar::ForTree(Tree(w.seed), labels), recompress)
+            .grammar;
+    Grammar naive = seed_grammar.Clone();
+    Grammar incremental = seed_grammar.Clone();
+
+    std::printf("== %s (#edges %d, seed grammar %lld edges)\n", info.name,
+                xml.EdgeCount(),
+                static_cast<long long>(ComputeStats(seed_grammar).edge_count));
+    TablePrinter table({"updates", "naive", "naive/udc", "grp", "grp/udc",
+                        "udc"});
+
+    int done = 0;
+    for (const UpdateOp& op : w.ops) {
+      ApplyOp(&naive, op);
+      ApplyOp(&incremental, op);
+      ++done;
+      if (done % period != 0 && done != static_cast<int>(w.ops.size())) {
+        continue;
+      }
+      GrammarRepairResult r = GrammarRePair(std::move(incremental), recompress);
+      incremental = std::move(r.grammar);
+      auto udc = UpdateDecompressCompress(incremental);
+      SLG_CHECK(udc.ok());
+      int64_t udc_size = ComputeStats(udc.value().grammar).edge_count;
+      int64_t naive_size = ComputeStats(naive).edge_count;
+      int64_t grp_size = ComputeStats(incremental).edge_count;
+      table.AddRow(
+          {TablePrinter::Num(done), TablePrinter::Num(naive_size),
+           TablePrinter::Fixed(static_cast<double>(naive_size) /
+                                   static_cast<double>(udc_size),
+                               4),
+           TablePrinter::Num(grp_size),
+           TablePrinter::Fixed(static_cast<double>(grp_size) /
+                                   static_cast<double>(udc_size),
+                               4),
+           TablePrinter::Num(udc_size)});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+}
+
+}  // namespace slg
+
+#endif  // SLG_BENCH_UPDATE_BENCH_COMMON_H_

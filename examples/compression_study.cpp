@@ -1,0 +1,85 @@
+// Compression study: compares the three representations the paper's
+// introduction walks through — minimal DAG (Buneman et al.),
+// TreeRePair, GrammarRePair — on a document of your choice (a corpus
+// name or an XML file path).
+//
+//   ./build/examples/example_compression_study medline
+//   ./build/examples/example_compression_study path/to/doc.xml
+
+#include <cstdio>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/core/grammar_repair.h"
+#include "src/dag/dag_builder.h"
+#include "src/datasets/generators.h"
+#include "src/grammar/stats.h"
+#include "src/repair/tree_repair.h"
+#include "src/xml/binary_encoding.h"
+#include "src/xml/xml_parser.h"
+
+namespace {
+
+slg::StatusOr<slg::XmlTree> LoadDocument(const std::string& arg) {
+  for (const slg::CorpusInfo& info : slg::AllCorpora()) {
+    std::string name = info.name;
+    for (char& c : name) c = static_cast<char>(std::tolower(c));
+    if (arg == name || arg == std::string(info.name)) {
+      return slg::GenerateCorpus(info.id, 0.3);
+    }
+  }
+  std::ifstream in(arg);
+  if (!in) {
+    return slg::Status::NotFound("no such corpus or file: " + arg);
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return slg::ParseXml(ss.str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string arg = argc > 1 ? argv[1] : "medline";
+  auto xml = LoadDocument(arg);
+  if (!xml.ok()) {
+    std::fprintf(stderr, "%s\n", xml.status().ToString().c_str());
+    std::fprintf(stderr,
+                 "usage: example_compression_study <corpus|file.xml>\n"
+                 "corpora: exi-weblog xmark exi-telecomp treebank medline "
+                 "ncbi\n");
+    return 1;
+  }
+
+  slg::LabelTable labels;
+  slg::Tree bin = slg::EncodeBinary(xml.value(), &labels);
+  int64_t edges = xml.value().EdgeCount();
+  std::printf("document: %lld XML edges, depth %d, %d distinct tags\n\n",
+              static_cast<long long>(edges), xml.value().Depth(),
+              xml.value().DistinctTagCount());
+
+  auto report = [&](const char* name, int64_t size) {
+    std::printf("%-22s %10lld edges   %6.2f%% of the document\n", name,
+                static_cast<long long>(size),
+                100.0 * static_cast<double>(size) /
+                    static_cast<double>(edges));
+  };
+
+  slg::Grammar dag = slg::BuildDag(bin, labels);
+  report("minimal DAG", slg::ComputeStats(dag).non_null_edge_count);
+
+  slg::TreeRepairResult tr = slg::TreeRePair(slg::Tree(bin), labels, {});
+  report("TreeRePair", slg::ComputeStats(tr.grammar).non_null_edge_count);
+
+  slg::GrammarRepairResult gr = slg::GrammarRePair(
+      slg::Grammar::ForTree(std::move(bin), labels), {});
+  report("GrammarRePair", slg::ComputeStats(gr.grammar).non_null_edge_count);
+
+  std::printf(
+      "\nDAGs share repeated subtrees; RePair grammars also share repeated\n"
+      "connected patterns, which is why they land far below the DAG\n"
+      "(paper [1,2,3]).\n");
+  return 0;
+}

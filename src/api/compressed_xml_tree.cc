@@ -1,0 +1,129 @@
+#include "src/api/compressed_xml_tree.h"
+
+#include <utility>
+
+#include "src/grammar/binary_format.h"
+#include "src/grammar/stats.h"
+#include "src/grammar/validate.h"
+#include "src/grammar/value.h"
+#include "src/update/update_ops.h"
+#include "src/xml/binary_encoding.h"
+#include "src/xml/xml_parser.h"
+#include "src/xml/xml_writer.h"
+
+namespace slg {
+
+StatusOr<CompressedXmlTree> CompressedXmlTree::FromXml(
+    std::string_view xml, const CompressedXmlTreeOptions& options) {
+  StatusOr<XmlTree> parsed = ParseXml(xml);
+  if (!parsed.ok()) return parsed.status();
+  LabelTable labels;
+  Tree bin = EncodeBinary(parsed.value(), &labels);
+  Grammar g = Grammar::ForTree(std::move(bin), std::move(labels));
+  GrammarRepairResult r = GrammarRePair(std::move(g), options.repair);
+  return CompressedXmlTree(std::move(r.grammar), options);
+}
+
+StatusOr<CompressedXmlTree> CompressedXmlTree::FromGrammar(
+    Grammar g, const CompressedXmlTreeOptions& options) {
+  SLG_RETURN_IF_ERROR(Validate(g));
+  return CompressedXmlTree(std::move(g), options);
+}
+
+int64_t CompressedXmlTree::ElementCount() const {
+  return ValueElementCount(grammar_);
+}
+
+int64_t CompressedXmlTree::BinaryNodeCount() const {
+  return ValueNodeCount(grammar_);
+}
+
+int64_t CompressedXmlTree::CompressedSize() const {
+  return ComputeStats(grammar_).edge_count;
+}
+
+StatusOr<std::string> CompressedXmlTree::LabelAt(int64_t preorder) {
+  return ReadLabel(&grammar_, preorder);
+}
+
+StatusOr<int64_t> CompressedXmlTree::FindElement(std::string_view tag,
+                                                 int64_t k) const {
+  StatusOr<Tree> tree = Value(grammar_);
+  if (!tree.ok()) return tree.status();
+  const Tree& t = tree.value();
+  LabelId want = grammar_.labels().Find(tag);
+  if (want == kNoLabel) return Status::NotFound("tag never occurs");
+  int64_t pre = 0;
+  int64_t found = 0;
+  int64_t result = -1;
+  t.VisitPreorder(t.root(), [&](NodeId v) {
+    ++pre;
+    if (result < 0 && t.label(v) == want && ++found == k) result = pre;
+  });
+  if (result < 0) {
+    return Status::NotFound("fewer than k occurrences of tag");
+  }
+  return result;
+}
+
+Status CompressedXmlTree::Rename(int64_t preorder, std::string_view new_tag) {
+  SLG_RETURN_IF_ERROR(RenameNode(&grammar_, preorder, new_tag));
+  ++updates_since_recompress_;
+  MaybeAutoRecompress();
+  return Status::Ok();
+}
+
+Status CompressedXmlTree::InsertXmlBefore(int64_t preorder,
+                                          std::string_view xml_fragment) {
+  StatusOr<XmlTree> parsed = ParseXml(xml_fragment);
+  if (!parsed.ok()) return parsed.status();
+  LabelTable& labels = grammar_.labels();
+  Tree frag = EncodeBinary(parsed.value(), &labels);
+  SLG_RETURN_IF_ERROR(InsertTreeBefore(&grammar_, preorder, frag));
+  ++updates_since_recompress_;
+  MaybeAutoRecompress();
+  return Status::Ok();
+}
+
+Status CompressedXmlTree::Delete(int64_t preorder) {
+  SLG_RETURN_IF_ERROR(DeleteSubtree(&grammar_, preorder));
+  ++updates_since_recompress_;
+  MaybeAutoRecompress();
+  return Status::Ok();
+}
+
+void CompressedXmlTree::Recompress() {
+  GrammarRepairResult r = GrammarRePair(std::move(grammar_), options_.repair);
+  grammar_ = std::move(r.grammar);
+  updates_since_recompress_ = 0;
+}
+
+void CompressedXmlTree::MaybeAutoRecompress() {
+  if (options_.auto_recompress_every > 0 &&
+      updates_since_recompress_ >= options_.auto_recompress_every) {
+    Recompress();
+  }
+}
+
+std::string CompressedXmlTree::Serialize() const {
+  return SerializeGrammar(grammar_);
+}
+
+StatusOr<CompressedXmlTree> CompressedXmlTree::Deserialize(
+    std::string_view bytes, const CompressedXmlTreeOptions& options) {
+  StatusOr<Grammar> g = DeserializeGrammar(bytes);
+  if (!g.ok()) return g.status();
+  return CompressedXmlTree(g.take(), options);
+}
+
+StatusOr<std::string> CompressedXmlTree::ToXml(bool pretty) const {
+  StatusOr<Tree> tree = Value(grammar_);
+  if (!tree.ok()) return tree.status();
+  StatusOr<XmlTree> xml = DecodeBinary(tree.value(), grammar_.labels());
+  if (!xml.ok()) return xml.status();
+  XmlWriteOptions opts;
+  opts.pretty = pretty;
+  return WriteXml(xml.value(), opts);
+}
+
+}  // namespace slg

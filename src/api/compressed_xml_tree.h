@@ -1,0 +1,107 @@
+// CompressedXmlTree — the library's user-facing facade.
+//
+// A mutable, always-compressed in-memory XML document: parse or adopt
+// a document, keep it as an SLCF grammar, apply updates (rename /
+// insert / delete) that never decompress, and recompress incrementally
+// with GrammarRePair — the workflow the paper proposes for dynamic
+// DOM-like trees.
+//
+// Nodes are addressed by the 1-based preorder position in the *binary*
+// first-child/next-sibling encoding (⊥ slots included); use
+// FindElement to resolve the n-th element with a given tag.
+//
+// Example (see examples/quickstart.cpp):
+//   auto doc = CompressedXmlTree::FromXml("<log>...</log>").take();
+//   doc.InsertXmlBefore(5, "<entry><ip/></entry>");
+//   doc.Recompress();
+//   std::string xml = doc.ToXml().take();
+
+#ifndef SLG_API_COMPRESSED_XML_TREE_H_
+#define SLG_API_COMPRESSED_XML_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/core/grammar_repair.h"
+#include "src/grammar/grammar.h"
+
+namespace slg {
+
+struct CompressedXmlTreeOptions {
+  CompressedXmlTreeOptions() {
+    // Documents get recompressed repeatedly; skip the replace-then-
+    // prune churn (see RepairOptions::require_positive_savings).
+    repair.repair.require_positive_savings = true;
+  }
+
+  GrammarRepairOptions repair;
+  // If > 0, Rename/Insert/Delete trigger Recompress() automatically
+  // after this many updates.
+  int auto_recompress_every = 0;
+};
+
+class CompressedXmlTree {
+ public:
+  // Parses and compresses an XML document (element structure only).
+  static StatusOr<CompressedXmlTree> FromXml(
+      std::string_view xml, const CompressedXmlTreeOptions& options = {});
+
+  // Adopts an existing grammar (must be a valid binary XML encoding).
+  static StatusOr<CompressedXmlTree> FromGrammar(
+      Grammar g, const CompressedXmlTreeOptions& options = {});
+
+  // --- queries -----------------------------------------------------------
+
+  // Number of element nodes / binary nodes of the represented document.
+  int64_t ElementCount() const;
+  int64_t BinaryNodeCount() const;
+
+  // Grammar size in edges (the compression measure of the benches).
+  int64_t CompressedSize() const;
+
+  // Label at a binary preorder position (isolates the path).
+  StatusOr<std::string> LabelAt(int64_t preorder);
+
+  // Binary preorder position of the k-th (1-based) element with the
+  // given tag, or NotFound. O(document) — decompresses transiently.
+  StatusOr<int64_t> FindElement(std::string_view tag, int64_t k = 1) const;
+
+  // --- updates -----------------------------------------------------------
+
+  Status Rename(int64_t preorder, std::string_view new_tag);
+  Status InsertXmlBefore(int64_t preorder, std::string_view xml_fragment);
+  Status Delete(int64_t preorder);
+
+  // Runs GrammarRePair over the current grammar.
+  void Recompress();
+
+  int UpdatesSinceRecompress() const { return updates_since_recompress_; }
+
+  // --- export ------------------------------------------------------------
+
+  StatusOr<std::string> ToXml(bool pretty = false) const;
+
+  // Compact binary image of the compressed document; Deserialize
+  // restores it without recompressing.
+  std::string Serialize() const;
+  static StatusOr<CompressedXmlTree> Deserialize(
+      std::string_view bytes, const CompressedXmlTreeOptions& options = {});
+
+  const Grammar& grammar() const { return grammar_; }
+
+ private:
+  CompressedXmlTree(Grammar g, const CompressedXmlTreeOptions& options)
+      : grammar_(std::move(g)), options_(options) {}
+
+  void MaybeAutoRecompress();
+
+  Grammar grammar_;
+  CompressedXmlTreeOptions options_;
+  int updates_since_recompress_ = 0;
+};
+
+}  // namespace slg
+
+#endif  // SLG_API_COMPRESSED_XML_TREE_H_

@@ -1,0 +1,84 @@
+#include "src/bench_util/reporting.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace slg {
+
+namespace {
+
+const char* FindFlag(int argc, char** argv, const std::string& name) {
+  std::string prefix = name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+    if (name == argv[i]) return "";
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+double FlagDouble(int argc, char** argv, const std::string& name, double def) {
+  const char* v = FindFlag(argc, argv, name);
+  return (v == nullptr || *v == '\0') ? def : std::atof(v);
+}
+
+int64_t FlagInt(int argc, char** argv, const std::string& name, int64_t def) {
+  const char* v = FindFlag(argc, argv, name);
+  return (v == nullptr || *v == '\0') ? def : std::atoll(v);
+}
+
+bool FlagBool(int argc, char** argv, const std::string& name) {
+  return FindFlag(argc, argv, name) != nullptr;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print() const {
+  std::vector<size_t> width(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) width[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size() && i < width.size(); ++i) {
+      width[i] = std::max(width[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < width.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      std::printf("%-*s%s", static_cast<int>(width[i]), cell.c_str(),
+                  i + 1 < width.size() ? "  " : "\n");
+    }
+  };
+  print_row(headers_);
+  size_t total = 0;
+  for (size_t w : width) total += w + 2;
+  for (size_t i = 0; i + 2 < total; ++i) std::printf("-");
+  std::printf("\n");
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TablePrinter::Num(int64_t v) { return std::to_string(v); }
+
+std::string TablePrinter::Fixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string TablePrinter::Pct(double fraction) {
+  double pct = fraction * 100.0;
+  if (pct > 0 && pct < 0.01) return "<0.01";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f", pct);
+  return buf;
+}
+
+}  // namespace slg

@@ -1,0 +1,39 @@
+// Small shared harness for the reproduction benches: flag parsing and
+// aligned table output. Every bench binary prints the rows/series of
+// one table or figure of the paper (see DESIGN.md §4).
+
+#ifndef SLG_BENCH_UTIL_REPORTING_H_
+#define SLG_BENCH_UTIL_REPORTING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace slg {
+
+// --scale=0.05 style flags; returns `def` when absent/malformed.
+double FlagDouble(int argc, char** argv, const std::string& name, double def);
+int64_t FlagInt(int argc, char** argv, const std::string& name, int64_t def);
+bool FlagBool(int argc, char** argv, const std::string& name);
+
+// Aligned table printing.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  void Print() const;
+
+  static std::string Num(int64_t v);
+  static std::string Fixed(double v, int digits);
+  // Percent with adaptive precision ("<0.01" style for tiny values).
+  static std::string Pct(double fraction);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace slg
+
+#endif  // SLG_BENCH_UTIL_REPORTING_H_

@@ -1,0 +1,40 @@
+// Lightweight assertion macros used across the library.
+//
+// SLG_CHECK is always on (release included): the algorithms in this
+// library maintain intricate grammar invariants, and a loud early abort
+// is far cheaper to debug than a silently corrupted grammar.
+// SLG_DCHECK compiles out in NDEBUG builds and is used on hot paths.
+
+#ifndef SLG_COMMON_CHECK_H_
+#define SLG_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define SLG_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "SLG_CHECK failed: %s at %s:%d\n", #cond,        \
+                   __FILE__, __LINE__);                                     \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define SLG_CHECK_MSG(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "SLG_CHECK failed: %s (%s) at %s:%d\n", #cond,   \
+                   msg, __FILE__, __LINE__);                                \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#ifdef NDEBUG
+#define SLG_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define SLG_DCHECK(cond) SLG_CHECK(cond)
+#endif
+
+#endif  // SLG_COMMON_CHECK_H_

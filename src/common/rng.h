@@ -1,0 +1,49 @@
+// Deterministic pseudo-random number generator used by the dataset and
+// workload generators. SplitMix64: tiny, fast, good distribution, and
+// stable across platforms (unlike std::mt19937 + distributions, whose
+// outputs may differ between standard library implementations).
+
+#ifndef SLG_COMMON_RNG_H_
+#define SLG_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "src/common/check.h"
+
+namespace slg {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9e3779b97f4a7c15ULL) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) {
+    SLG_DCHECK(bound > 0);
+    return Next() % bound;
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    SLG_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Bernoulli trial with probability p (0..1).
+  bool Chance(double p) {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0) < p;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace slg
+
+#endif  // SLG_COMMON_RNG_H_

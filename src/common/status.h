@@ -1,0 +1,100 @@
+// Minimal Status / StatusOr error-propagation types (rocksdb-style).
+//
+// The library does not use exceptions; fallible operations (parsing,
+// validation, user-facing updates) return Status or StatusOr<T>.
+
+#ifndef SLG_COMMON_STATUS_H_
+#define SLG_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace slg {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+};
+
+// Result of a fallible operation: a code plus a human-readable message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable rendering, e.g. "InvalidArgument: bad tag".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Either a value or an error Status. Access to value() requires ok().
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    SLG_CHECK(!status_.ok());
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    SLG_CHECK(ok());
+    return *value_;
+  }
+  const T& value() const {
+    SLG_CHECK(ok());
+    return *value_;
+  }
+  T&& take() {
+    SLG_CHECK(ok());
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+#define SLG_RETURN_IF_ERROR(expr)        \
+  do {                                   \
+    ::slg::Status _st = (expr);          \
+    if (!_st.ok()) return _st;           \
+  } while (0)
+
+}  // namespace slg
+
+#endif  // SLG_COMMON_STATUS_H_

@@ -1,0 +1,28 @@
+// Wall-clock stopwatch for the benchmark harness.
+
+#ifndef SLG_COMMON_TIMER_H_
+#define SLG_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace slg {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace slg
+
+#endif  // SLG_COMMON_TIMER_H_

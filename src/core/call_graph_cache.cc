@@ -1,0 +1,131 @@
+#include "src/core/call_graph_cache.h"
+
+#include <algorithm>
+
+#include "src/grammar/usage.h"
+
+namespace slg {
+
+void CallGraphCache::Extract(const Grammar& g, LabelId rule) {
+  const Tree& t = g.rhs(rule);
+  const LabelTable& labels = g.labels();
+  Skeleton sk;
+  sk.root_label = t.label(t.root());
+  sk.param_parent.assign(static_cast<size_t>(labels.Rank(rule)),
+                         {kNoLabel, 0});
+  std::unordered_map<LabelId, int> callee_counts;
+  t.VisitPreorder(t.root(), [&](NodeId v) {
+    LabelId l = t.label(v);
+    if (g.IsNonterminal(l)) ++callee_counts[l];
+    int pidx = labels.ParamIndex(l);
+    if (pidx > 0) {
+      NodeId p = t.parent(v);
+      sk.param_parent[static_cast<size_t>(pidx - 1)] = {t.label(p),
+                                                        t.ChildIndex(v)};
+    }
+  });
+  sk.callees.assign(callee_counts.begin(), callee_counts.end());
+  std::sort(sk.callees.begin(), sk.callees.end());
+  skeletons_[rule] = std::move(sk);
+}
+
+void CallGraphCache::Build(const Grammar& g) {
+  skeletons_.clear();
+  for (LabelId r : g.Nonterminals()) Extract(g, r);
+}
+
+void CallGraphCache::Update(const Grammar& g,
+                            const std::vector<LabelId>& changed_or_added,
+                            const std::vector<LabelId>& removed) {
+  for (LabelId r : removed) skeletons_.erase(r);
+  for (LabelId r : changed_or_added) {
+    if (g.HasRule(r)) Extract(g, r);
+  }
+}
+
+void CallGraphCache::NoteRootLabel(LabelId rule, LabelId root_label) {
+  skeletons_.at(rule).root_label = root_label;
+}
+
+std::vector<LabelId> CallGraphCache::AntiSl(const Grammar& g) const {
+  std::vector<LabelId> rules = g.Nonterminals();
+  std::unordered_map<LabelId, int> pending;
+  std::unordered_map<LabelId, std::vector<LabelId>> callers;
+  for (LabelId r : rules) {
+    const Skeleton& sk = skeletons_.at(r);
+    pending[r] = static_cast<int>(sk.callees.size());
+    for (const auto& [q, n] : sk.callees) {
+      (void)n;
+      callers[q].push_back(r);
+    }
+  }
+  std::vector<LabelId> order;
+  order.reserve(rules.size());
+  for (LabelId r : rules) {
+    if (pending[r] == 0) order.push_back(r);
+  }
+  for (size_t i = 0; i < order.size(); ++i) {
+    for (LabelId caller : callers[order[i]]) {
+      if (--pending[caller] == 0) order.push_back(caller);
+    }
+  }
+  SLG_CHECK_MSG(order.size() == rules.size(), "recursive grammar");
+  return order;
+}
+
+std::unordered_map<LabelId, uint64_t> CallGraphCache::Usage(
+    const Grammar& g) const {
+  std::unordered_map<LabelId, uint64_t> usage;
+  std::vector<LabelId> order = AntiSl(g);
+  for (LabelId r : order) usage[r] = 0;
+  usage[g.start()] = 1;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    uint64_t u = usage[*it];
+    if (u == 0) continue;
+    for (const auto& [q, n] : skeletons_.at(*it).callees) {
+      uint64_t total = (u > kUsageCap / static_cast<uint64_t>(n))
+                           ? kUsageCap
+                           : u * static_cast<uint64_t>(n);
+      usage[q] = UsageSatAdd(usage[q], total);
+    }
+  }
+  return usage;
+}
+
+std::unordered_map<LabelId, std::vector<LabelId>> CallGraphCache::Callers()
+    const {
+  std::unordered_map<LabelId, std::vector<LabelId>> callers;
+  for (const auto& [rule, sk] : skeletons_) {
+    for (const auto& [q, n] : sk.callees) {
+      (void)n;
+      callers[q].push_back(rule);
+    }
+  }
+  return callers;
+}
+
+std::unordered_map<LabelId, RuleInterface> CallGraphCache::Interfaces(
+    const Grammar& g) const {
+  std::unordered_map<LabelId, RuleInterface> out;
+  for (LabelId r : AntiSl(g)) {
+    const Skeleton& sk = skeletons_.at(r);
+    RuleInterface iface;
+    iface.root_label = g.IsNonterminal(sk.root_label)
+                           ? out[sk.root_label].root_label
+                           : sk.root_label;
+    iface.param_parent.resize(sk.param_parent.size());
+    for (size_t i = 0; i < sk.param_parent.size(); ++i) {
+      auto [pl, idx] = sk.param_parent[i];
+      if (g.IsNonterminal(pl)) {
+        iface.param_parent[i] =
+            out[pl].param_parent[static_cast<size_t>(idx - 1)];
+      } else {
+        iface.param_parent[i] = {pl, idx};
+      }
+    }
+    out[r] = std::move(iface);
+  }
+  return out;
+}
+
+}  // namespace slg

@@ -1,0 +1,72 @@
+// Per-rule call-graph and interface skeleton cache for the
+// GrammarRePair driver.
+//
+// Every piece of per-round bookkeeping the driver needs — usage
+// (§IV-A), anti-SL order, the caller map, and the rule interfaces of
+// the incremental counting mode — is derivable from two per-rule
+// facts: which nonterminals a rule calls (with multiplicity), and the
+// "skeleton" of its root / parameter-parent positions. Recomputing
+// those facts only for the rules a round actually changed turns the
+// whole refresh into O(#rules + #call edges + |changed rules|) instead
+// of O(|G|) full scans per round.
+
+#ifndef SLG_CORE_CALL_GRAPH_CACHE_H_
+#define SLG_CORE_CALL_GRAPH_CACHE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/core/tree_links.h"
+#include "src/grammar/grammar.h"
+
+namespace slg {
+
+class CallGraphCache {
+ public:
+  // Builds the cache for every rule of g.
+  void Build(const Grammar& g);
+
+  // Re-extracts the per-rule facts for the given rules; forgets the
+  // removed ones.
+  void Update(const Grammar& g, const std::vector<LabelId>& changed_or_added,
+              const std::vector<LabelId>& removed);
+
+  // Patches a rule's cached root label without re-scanning it (used by
+  // the pure-local replacement fast path, which can only change the
+  // root label of the rule it operates on, never its callee multiset).
+  void NoteRootLabel(LabelId rule, LabelId root_label);
+
+  // usage_G per rule (saturating), from the cached call multiset.
+  std::unordered_map<LabelId, uint64_t> Usage(const Grammar& g) const;
+
+  // Callees-first topological order (the anti-SL order).
+  std::vector<LabelId> AntiSl(const Grammar& g) const;
+
+  // callee -> distinct callers.
+  std::unordered_map<LabelId, std::vector<LabelId>> Callers() const;
+
+  // Transitively resolved rule interfaces (see tree_links.h), from the
+  // cached skeletons.
+  std::unordered_map<LabelId, RuleInterface> Interfaces(
+      const Grammar& g) const;
+
+ private:
+  struct Skeleton {
+    // Distinct callees with call-site counts.
+    std::vector<std::pair<LabelId, int>> callees;
+    // Root: label (may be a nonterminal).
+    LabelId root_label = kNoLabel;
+    // Per parameter: (parent label, child index of the parameter).
+    std::vector<std::pair<LabelId, int>> param_parent;
+  };
+
+  void Extract(const Grammar& g, LabelId rule);
+
+  std::unordered_map<LabelId, Skeleton> skeletons_;
+};
+
+}  // namespace slg
+
+#endif  // SLG_CORE_CALL_GRAPH_CACHE_H_

@@ -1,0 +1,122 @@
+#include "src/core/fragment_export.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace slg {
+
+namespace {
+
+struct Fragment {
+  NodeId root = kNilNode;
+  int node_count = 0;
+};
+
+}  // namespace
+
+std::vector<LabelId> ExportFragmentsToNewRules(
+    Grammar* g, Tree* t, const std::unordered_set<NodeId>& marked) {
+  LabelTable& labels = g->labels();
+
+  // 1. Partition eligible nodes (non-marked, non-parameter) into
+  //    maximal connected components; a node joins its parent's
+  //    component iff the parent is eligible.
+  auto eligible = [&](NodeId v) {
+    return marked.count(v) == 0 && !labels.IsParam(t->label(v));
+  };
+  std::unordered_map<NodeId, int> comp_of;
+  std::vector<Fragment> fragments;
+  t->VisitPreorder(t->root(), [&](NodeId v) {
+    if (!eligible(v)) return;
+    NodeId p = t->parent(v);
+    if (p != kNilNode && eligible(p)) {
+      int c = comp_of.at(p);
+      comp_of[v] = c;
+      ++fragments[static_cast<size_t>(c)].node_count;
+    } else {
+      comp_of[v] = static_cast<int>(fragments.size());
+      fragments.push_back(Fragment{v, 1});
+    }
+  });
+
+  // 2. Export each fragment with >= 2 nodes. Fragments are disjoint;
+  //    hole subtrees are moved (not copied), so other fragments nested
+  //    below marked holes keep their NodeIds.
+  std::vector<LabelId> created;
+  for (const Fragment& f : fragments) {
+    if (f.node_count < 2) continue;
+
+    // Collect holes: children of fragment nodes outside the fragment,
+    // in preorder of the fragment subtree.
+    std::vector<NodeId> holes;
+    t->VisitPreorder(f.root, [&](NodeId v) {
+      // VisitPreorder walks the whole subtree including holes' insides;
+      // we only record the topmost outside nodes whose parent is in
+      // the fragment.
+      NodeId p = t->parent(v);
+      if (v != f.root && p != kNilNode) {
+        auto pit = comp_of.find(p);
+        bool parent_in = pit != comp_of.end() && fragments[static_cast<size_t>(
+                                                     pit->second)]
+                                                         .root == f.root;
+        auto vit = comp_of.find(v);
+        bool self_in = vit != comp_of.end() && fragments[static_cast<size_t>(
+                                                   vit->second)]
+                                                       .root == f.root;
+        if (parent_in && !self_in) holes.push_back(v);
+      }
+    });
+
+    // 3. Build the export rule body: copy the fragment subtree, cutting
+    //    each hole into a parameter (preorder numbering).
+    int rank = static_cast<int>(holes.size());
+    LabelId u = labels.Fresh("F", rank);
+    std::unordered_map<NodeId, int> hole_index;
+    for (int i = 0; i < rank; ++i) {
+      hole_index[holes[static_cast<size_t>(i)]] = i + 1;
+    }
+    Tree body;
+    struct Work {
+      NodeId src;
+      NodeId dst_parent;
+    };
+    std::vector<Work> stack = {{f.root, kNilNode}};
+    while (!stack.empty()) {
+      Work w = stack.back();
+      stack.pop_back();
+      auto hit = hole_index.find(w.src);
+      NodeId d;
+      if (hit != hole_index.end()) {
+        d = body.NewNode(labels.Param(hit->second));
+      } else {
+        d = body.NewNode(t->label(w.src));
+      }
+      if (w.dst_parent == kNilNode) {
+        body.SetRoot(d);
+      } else {
+        body.AppendChild(w.dst_parent, d);
+      }
+      if (hit != hole_index.end()) continue;  // don't descend into holes
+      std::vector<NodeId> kids;
+      for (NodeId c = t->first_child(w.src); c != kNilNode;
+           c = t->next_sibling(c)) {
+        kids.push_back(c);
+      }
+      for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+        stack.push_back({*it, d});
+      }
+    }
+    g->AddRule(u, std::move(body));
+    created.push_back(u);
+
+    // 4. Rewrite t: replace the fragment subtree by U(holes...).
+    for (NodeId h : holes) t->Detach(h);
+    NodeId call = t->NewNode(u);
+    for (NodeId h : holes) t->AppendChild(call, h);
+    t->ReplaceWith(f.root, call);
+    t->FreeSubtree(f.root);
+  }
+  return created;
+}
+
+}  // namespace slg

@@ -1,0 +1,33 @@
+// Fragment export (paper Algorithm 8) — the "lemma generation"
+// optimization.
+//
+// After a version's digram occurrences have been replaced, every
+// maximal connected fragment of non-marked, non-parameter nodes that
+// contains at least two nodes is exported into a fresh rule
+// R_U -> t_U; the fragment in the version tree is replaced by a call
+// R_U(t_1,..,t_k) whose arguments are the subtrees hanging below the
+// fragment (marked-node subtrees and parameters), numbered in preorder.
+// Since the version will be inlined at several call sites, the export
+// bounds the duplication to the small stub around the marked nodes.
+
+#ifndef SLG_CORE_FRAGMENT_EXPORT_H_
+#define SLG_CORE_FRAGMENT_EXPORT_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "src/grammar/grammar.h"
+#include "src/tree/tree.h"
+
+namespace slg {
+
+// Exports fragments of `t` into fresh rules of `g`. `marked` holds the
+// isolated nodes that must stay in `t`. Returns the labels of the
+// rules created. Marks are conceptually cleared afterwards (the caller
+// simply discards its marked set).
+std::vector<LabelId> ExportFragmentsToNewRules(
+    Grammar* g, Tree* t, const std::unordered_set<NodeId>& marked);
+
+}  // namespace slg
+
+#endif  // SLG_CORE_FRAGMENT_EXPORT_H_

@@ -1,0 +1,65 @@
+// GrammarRePair (paper Algorithm 1): RePair compression executed
+// directly on an SLCF tree grammar, without decompression — the
+// paper's primary contribution.
+//
+// The loop repeatedly (a) selects a most frequent appropriate digram α
+// of the derived tree T = val(G), counted in one pass over G with
+// usage-weighted generators (RETRIEVEOCCS); (b) replaces every
+// occurrence of α by a fresh nonterminal X, partially decompressing G
+// with either the simple (Alg. 5) or the optimized, fragment-exporting
+// (Algs. 6-8) replacement; (c) refreshes the occurrence index; and
+// finally (d) prunes unproductive rules (§IV-D).
+//
+// X rules are held in a pending list during the run — exactly the
+// paper's "F := F ∪ {X}": the working grammar treats X as a terminal —
+// and are added as ordinary rules before pruning.
+
+#ifndef SLG_CORE_GRAMMAR_REPAIR_H_
+#define SLG_CORE_GRAMMAR_REPAIR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/grammar/grammar.h"
+#include "src/repair/repair_options.h"
+
+namespace slg {
+
+// How digram occurrence counts are refreshed after a replacement round.
+enum class CountingMode {
+  // Rebuild the full index every round (reference semantics, O(|G|)
+  // per round).
+  kRecount,
+  // Rescan only rules whose tree or whose callees' interfaces changed;
+  // adjust weights where only usage changed (§IV-C).
+  kIncremental,
+};
+
+struct GrammarRepairOptions {
+  RepairOptions repair;
+  // Fragment export / rule versions (Algs. 6-8) vs full inlining
+  // (Alg. 5). Fig. 3 is the ablation between the two.
+  bool optimize = true;
+  CountingMode counting = CountingMode::kIncremental;
+  // Record the grammar size after every round (enables the Fig. 2
+  // blow-up measurement; costs one stats pass per round).
+  bool track_sizes = false;
+};
+
+struct GrammarRepairResult {
+  Grammar grammar;
+  int rounds = 0;
+  int64_t replacements = 0;
+  // Only populated when track_sizes is set: grammar edge count after
+  // each round (including pending X rules), plus the input size.
+  std::vector<int64_t> size_trace;
+  int64_t max_intermediate_size = 0;
+};
+
+// Recompresses `g` (consumed). val(result) == val(g).
+GrammarRepairResult GrammarRePair(Grammar g,
+                                  const GrammarRepairOptions& options = {});
+
+}  // namespace slg
+
+#endif  // SLG_CORE_GRAMMAR_REPAIR_H_

@@ -1,0 +1,382 @@
+#include "src/core/replacement.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "src/core/fragment_export.h"
+#include "src/core/tree_links.h"
+#include "src/grammar/inliner.h"
+#include "src/grammar/orders.h"
+
+namespace slg {
+
+int64_t ReplaceLocalOccurrences(Tree* t, const Digram& alpha, LabelId x,
+                                const Grammar& g) {
+  (void)g;
+  // Top-down greedy preorder scan. The cursor walk is restarted from
+  // the new X node after each replacement (its merged children can
+  // participate in further matches below it, but X itself cannot:
+  // x != alpha.parent_label).
+  int64_t replaced = 0;
+  if (t->empty()) return 0;
+  NodeId cur = t->root();
+  NodeId stop_parent = kNilNode;  // parent of root region
+  for (;;) {
+    bool matched = false;
+    if (t->label(cur) == alpha.parent_label) {
+      NodeId w = t->Child(cur, alpha.child_index);
+      if (w != kNilNode && t->label(w) == alpha.child_label) {
+        NodeId x_node = ReplaceDigramNodes(t, cur, alpha.child_index, x);
+        ++replaced;
+        cur = x_node;
+        matched = true;
+      }
+    }
+    (void)matched;
+    // Advance preorder.
+    if (t->first_child(cur) != kNilNode) {
+      cur = t->first_child(cur);
+      continue;
+    }
+    while (cur != kNilNode && t->next_sibling(cur) == kNilNode) {
+      cur = t->parent(cur);
+      if (cur == stop_parent) return replaced;
+    }
+    if (cur == kNilNode) return replaced;
+    cur = t->next_sibling(cur);
+  }
+}
+
+namespace {
+
+// Flag sets: sorted unique ints; 0 encodes 'r', i > 0 encodes 'y_i'.
+using FlagSet = std::vector<int>;
+
+void AddFlag(FlagSet* f, int flag) {
+  auto it = std::lower_bound(f->begin(), f->end(), flag);
+  if (it == f->end() || *it != flag) f->insert(it, flag);
+}
+
+struct VersionKey {
+  LabelId rule;
+  FlagSet flags;
+  bool operator==(const VersionKey& o) const {
+    return rule == o.rule && flags == o.flags;
+  }
+};
+
+struct VersionKeyHash {
+  size_t operator()(const VersionKey& k) const {
+    uint64_t h = static_cast<uint32_t>(k.rule);
+    for (int f : k.flags) {
+      h = h * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(f + 1);
+    }
+    return static_cast<size_t>(h ^ (h >> 31));
+  }
+};
+
+class Engine {
+ public:
+  Engine(Grammar* g, const Digram& alpha, LabelId x, bool optimize)
+      : g_(g), alpha_(alpha), x_(x), optimize_(optimize) {}
+
+  ReplacementResult Run(const std::vector<RuleNode>& generators) {
+    refs0_ = ComputeRefCounts(*g_);
+    CollectBaseFlags(generators);
+    if (optimize_) {
+      DiscoverVersions();
+      // Deterministic processing order: sort version keys. (Export
+      // rule naming and thus the whole output grammar stays stable
+      // across runs and platforms.)
+      std::vector<VersionKey> keys;
+      keys.reserve(version_uses_.size());
+      for (const auto& [key, uses] : version_uses_) {
+        (void)uses;
+        keys.push_back(key);
+      }
+      std::sort(keys.begin(), keys.end(),
+                [](const VersionKey& a, const VersionKey& b) {
+                  return a.rule != b.rule ? a.rule < b.rule
+                                          : a.flags < b.flags;
+                });
+      for (const VersionKey& key : keys) ProcessVersion(key);
+      ProcessBasesOptimized();
+    } else {
+      PropagateSimpleFlags();
+      ProcessSimple();
+    }
+    RemoveDeadRules();
+    return std::move(result_);
+  }
+
+ private:
+  // ---- flag collection -------------------------------------------------
+
+  void CollectBaseFlags(const std::vector<RuleNode>& generators) {
+    for (const RuleNode& gen : generators) {
+      const Tree& t = g_->rhs(gen.rule);
+      if (base_rules_set_.insert(gen.rule).second) {
+        base_rules_.push_back(gen.rule);  // generators arrive sorted
+      }
+      if (g_->IsNonterminal(t.label(gen.node))) {
+        AddFlag(&base_flags_[gen.rule][gen.node], 0);  // r
+      }
+      NodeId p = t.parent(gen.node);
+      if (g_->IsNonterminal(t.label(p))) {
+        AddFlag(&base_flags_[gen.rule][p], t.ChildIndex(gen.node));
+      }
+    }
+  }
+
+  // Call-site flags of `rule` under incoming version flags F, computed
+  // on the given tree (the rule's pre-round right-hand side).
+  std::unordered_map<NodeId, FlagSet> CallsiteFlags(LabelId rule,
+                                                    const Tree& t,
+                                                    const FlagSet& f) {
+    std::unordered_map<NodeId, FlagSet> cs = base_flags_[rule];
+    for (int flag : f) {
+      if (flag == 0) {
+        NodeId root = t.root();
+        if (g_->IsNonterminal(t.label(root))) AddFlag(&cs[root], 0);
+      } else {
+        NodeId pv = FindParamNodeInTree(t, flag);
+        NodeId q = t.parent(pv);
+        if (g_->IsNonterminal(t.label(q))) {
+          AddFlag(&cs[q], t.ChildIndex(pv));
+        }
+      }
+    }
+    return cs;
+  }
+
+  NodeId FindParamNodeInTree(const Tree& t, int index) {
+    NodeId found = kNilNode;
+    const LabelTable& labels = g_->labels();
+    t.VisitPreorder(t.root(), [&](NodeId v) {
+      if (found == kNilNode && labels.ParamIndex(t.label(v)) == index) {
+        found = v;
+      }
+    });
+    SLG_CHECK(found != kNilNode);
+    return found;
+  }
+
+  // ---- optimized mode (Algorithms 6-8) ----------------------------------
+
+  // Sorted (node, flags) view of a call-site flag map, for
+  // deterministic iteration.
+  static std::vector<std::pair<NodeId, FlagSet>> Sorted(
+      const std::unordered_map<NodeId, FlagSet>& m) {
+    std::vector<std::pair<NodeId, FlagSet>> v(m.begin(), m.end());
+    std::sort(v.begin(), v.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return v;
+  }
+
+  void DiscoverVersions() {
+    std::vector<VersionKey> work;
+    auto register_uses = [&](LabelId rule, const Tree& t, const FlagSet& f) {
+      for (const auto& [node, flags] : Sorted(CallsiteFlags(rule, t, f))) {
+        VersionKey key{t.label(node), flags};
+        if (++version_uses_[key] == 1) work.push_back(key);
+      }
+    };
+    for (LabelId rule : base_rules_) register_uses(rule, g_->rhs(rule), {});
+    for (size_t i = 0; i < work.size(); ++i) {
+      VersionKey key = work[i];
+      register_uses(key.rule, g_->rhs(key.rule), key.flags);
+    }
+  }
+
+  const Tree& ProcessVersion(const VersionKey& key) {
+    auto it = versions_.find(key);
+    if (it != versions_.end()) return it->second;
+
+    const Tree& original = g_->rhs(key.rule);
+    Tree t;
+    std::unordered_map<NodeId, NodeId> map;
+    t.SetRoot(t.CopySubtreeFrom(original, original.root(), &map));
+
+    // Inline every flagged call site with its processed sub-version.
+    for (const auto& [node, flags] :
+         Sorted(CallsiteFlags(key.rule, original, key.flags))) {
+      const Tree& body = ProcessVersion(VersionKey{original.label(node), flags});
+      InlineCall(*g_, &t, map.at(node), body);
+    }
+
+    result_.replacements += ReplaceLocalOccurrences(&t, alpha_, x_, *g_);
+
+    // Fragment export (Alg. 8): worthwhile only if the rule is
+    // referenced more than once (the version content will otherwise
+    // exist in a single place).
+    if (refs0_[key.rule] > 1) {
+      std::unordered_set<NodeId> marked;
+      for (int flag : key.flags) {
+        if (flag == 0) {
+          marked.insert(t.root());
+        } else {
+          marked.insert(t.parent(FindParamNodeInTree(t, flag)));
+        }
+      }
+      if (!marked.empty()) {
+        std::vector<LabelId> made = ExportFragmentsToNewRules(g_, &t, marked);
+        for (LabelId u : made) result_.added_rules.push_back(u);
+      }
+    }
+
+    return versions_.emplace(key, std::move(t)).first->second;
+  }
+
+  void ProcessBasesOptimized() {
+    // A rule that has versions adopts one version's processed body as
+    // its own right-hand side (the paper rewrites the rule and its
+    // versions jointly; any version body is a semantically equivalent
+    // rewrite of t_R, the marks only steer the export split). The
+    // most-used version maximizes sharing of the exported rules.
+    std::unordered_map<LabelId, VersionKey> best;
+    for (const auto& [key, uses] : version_uses_) {
+      auto it = best.find(key.rule);
+      if (it == best.end()) {
+        best.emplace(key.rule, key);
+        continue;
+      }
+      int cur = version_uses_[it->second];
+      if (uses > cur || (uses == cur && key.flags < it->second.flags)) {
+        it->second = key;
+      }
+    }
+    std::unordered_set<LabelId> done;
+    for (const auto& [rule, key] : best) {
+      const Tree& body = versions_.at(key);
+      Tree copy;
+      copy.SetRoot(copy.CopySubtreeFrom(body, body.root()));
+      g_->rhs(rule) = std::move(copy);
+      result_.changed_rules.push_back(rule);
+      done.insert(rule);
+    }
+    for (LabelId rule : base_rules_) {
+      if (done.count(rule) > 0) continue;
+      Tree& t = g_->rhs(rule);
+      for (const auto& [node, flags] : Sorted(base_flags_[rule])) {
+        const Tree& body = ProcessVersion(VersionKey{t.label(node), flags});
+        InlineCall(*g_, &t, node, body);
+      }
+      result_.replacements += ReplaceLocalOccurrences(&t, alpha_, x_, *g_);
+      result_.changed_rules.push_back(rule);
+    }
+  }
+
+  // ---- simple mode (Algorithm 5) -----------------------------------------
+
+  void PropagateSimpleFlags() {
+    // Rule-level incoming flags; monotone fixpoint over the (acyclic)
+    // call graph. A rule's flagged call sites are its base flags plus
+    // the flags induced by the union of all flags it is called with.
+    simple_cs_flags_ = base_flags_;
+    std::unordered_map<LabelId, FlagSet> incoming;
+    std::vector<LabelId> work;
+    auto push_incoming = [&](LabelId callee, const FlagSet& flags) {
+      if (!g_->IsNonterminal(callee)) return;
+      FlagSet& cur = incoming[callee];
+      size_t before = cur.size();
+      for (int fl : flags) AddFlag(&cur, fl);
+      if (cur.size() != before) work.push_back(callee);
+    };
+    for (const auto& [rule, cs] : base_flags_) {
+      for (const auto& [node, flags] : cs) {
+        push_incoming(g_->rhs(rule).label(node), flags);
+      }
+    }
+    for (size_t i = 0; i < work.size(); ++i) {
+      LabelId rule = work[i];
+      const Tree& t = g_->rhs(rule);
+      for (const auto& [node, flags] :
+           CallsiteFlags(rule, t, incoming[rule])) {
+        FlagSet& cur = simple_cs_flags_[rule][node];
+        FlagSet merged = cur;
+        for (int fl : flags) AddFlag(&merged, fl);
+        if (merged != cur) {
+          cur = merged;
+        }
+        // Propagate this call site's full flag set downstream; the
+        // callee's incoming-set growth check bounds the fixpoint.
+        push_incoming(t.label(node), cur);
+      }
+    }
+  }
+
+  void ProcessSimple() {
+    // Anti-SL: callees are fully processed before their bodies are
+    // inlined into callers (Algorithm 5's bottom-up loop).
+    for (LabelId rule : AntiSlOrder(*g_)) {
+      auto it = simple_cs_flags_.find(rule);
+      bool has_generators = base_rules_set_.count(rule) > 0;
+      if (it == simple_cs_flags_.end() && !has_generators) continue;
+      Tree& t = g_->rhs(rule);
+      if (it != simple_cs_flags_.end()) {
+        for (const auto& [node, flags] : Sorted(it->second)) {
+          (void)flags;
+          InlineCall(*g_, &t, node, g_->rhs(t.label(node)));
+        }
+      }
+      result_.replacements += ReplaceLocalOccurrences(&t, alpha_, x_, *g_);
+      result_.changed_rules.push_back(rule);
+    }
+  }
+
+  // ---- cleanup -----------------------------------------------------------
+
+  void RemoveDeadRules() {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      auto refs = ComputeRefCounts(*g_);
+      for (LabelId r : g_->Nonterminals()) {
+        if (r == g_->start() || refs[r] != 0) continue;
+        g_->RemoveRule(r);
+        result_.removed_rules.push_back(r);
+        changed = true;
+      }
+    }
+    // changed_rules may contain rules that were subsequently removed;
+    // filter them out.
+    auto& cr = result_.changed_rules;
+    cr.erase(std::remove_if(cr.begin(), cr.end(),
+                            [&](LabelId r) { return !g_->HasRule(r); }),
+             cr.end());
+    auto& ar = result_.added_rules;
+    ar.erase(std::remove_if(ar.begin(), ar.end(),
+                            [&](LabelId r) { return !g_->HasRule(r); }),
+             ar.end());
+  }
+
+  Grammar* g_;
+  Digram alpha_;
+  LabelId x_;
+  bool optimize_;
+
+  std::vector<LabelId> base_rules_;
+  std::unordered_set<LabelId> base_rules_set_;
+  std::unordered_map<LabelId, int> refs0_;
+  std::unordered_map<LabelId, std::unordered_map<NodeId, FlagSet>> base_flags_;
+  std::unordered_map<VersionKey, int, VersionKeyHash> version_uses_;
+  std::unordered_map<VersionKey, Tree, VersionKeyHash> versions_;
+  std::unordered_map<LabelId, std::unordered_map<NodeId, FlagSet>>
+      simple_cs_flags_;
+
+  ReplacementResult result_;
+};
+
+}  // namespace
+
+ReplacementResult ReplaceAllOccurrences(Grammar* g, const Digram& alpha,
+                                        LabelId x,
+                                        const std::vector<RuleNode>& generators,
+                                        bool optimize) {
+  return Engine(g, alpha, x, optimize).Run(generators);
+}
+
+}  // namespace slg

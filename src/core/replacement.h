@@ -1,0 +1,63 @@
+// Digram replacement over an SLCF grammar (paper §IV-B, §IV-E):
+// Algorithms 5 (simple, DependencyDAG) and 6-8 (optimized,
+// ReplacementDAG with rule versions, marking and fragment export).
+//
+// Both modes share one engine. Per round:
+//  * per-call-site flags are derived from the generator set: an 'r'
+//    flag on a nonterminal generator call site (its derived root is
+//    the digram's b), and a 'y_i' flag on a nonterminal parent of a
+//    generator (the parent of its i-th parameter is the digram's a);
+//  * a version (R, F) of rule R under flag set F is R's right-hand
+//    side with all flagged call sites inlined (recursively, with the
+//    appropriate sub-versions), its local digram occurrences replaced
+//    by X, and — in optimized mode — non-marked fragments exported to
+//    fresh shared rules. The base version (R, ∅) updates the grammar
+//    rule in place; flagged versions are inlined at their call sites
+//    and never referenced by name.
+//  * local replacement is a top-down greedy preorder scan, matching
+//    the counting discipline of RETRIEVEOCCS.
+//
+// In simple mode no version copies are made: flagged call sites inline
+// the (already processed) grammar bodies directly — precisely
+// Algorithm 5's full inlining, with its blow-up (Fig. 3 measures it).
+
+#ifndef SLG_CORE_REPLACEMENT_H_
+#define SLG_CORE_REPLACEMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/grammar/grammar.h"
+#include "src/repair/digram.h"
+
+namespace slg {
+
+struct ReplacementResult {
+  // Rules whose right-hand side changed and that still exist.
+  std::vector<LabelId> changed_rules;
+  // Rules deleted because every reference got inlined.
+  std::vector<LabelId> removed_rules;
+  // Fresh export rules (optimized mode).
+  std::vector<LabelId> added_rules;
+  // Local (unweighted) replacements performed across all trees.
+  int64_t replacements = 0;
+};
+
+// Replaces all occurrences of `alpha` in val(G) by the fresh label `x`
+// (whose rule the caller adds afterwards; `x` must already be interned
+// with rank(alpha)). `generators` is the stored occurrence set from
+// the digram index. `optimize` selects Algorithm 6-8 over Algorithm 5.
+ReplacementResult ReplaceAllOccurrences(Grammar* g, const Digram& alpha,
+                                        LabelId x,
+                                        const std::vector<RuleNode>& generators,
+                                        bool optimize);
+
+// Top-down greedy in-place replacement of every (a,i,b) pair of
+// terminal nodes in `t` by `x`. Exposed for tests. Returns the number
+// of replacements.
+int64_t ReplaceLocalOccurrences(Tree* t, const Digram& alpha, LabelId x,
+                                const Grammar& g);
+
+}  // namespace slg
+
+#endif  // SLG_CORE_REPLACEMENT_H_

@@ -1,0 +1,122 @@
+// RETRIEVEOCCS (paper Algorithm 4) and the weighted digram occurrence
+// index over an SLCF grammar.
+//
+// Occurrences are stored by their *generator* node (C, n) — the
+// implementation counterpart of occ_G(α) — with weight usage_G(C) (the
+// number of tree occurrences the generator stands for). The index
+// supports full builds, partial rescans of a set of rules (the
+// incremental counting mode), weight adjustment when usage changes
+// without structural change, and lazy-heap most-frequent selection.
+//
+// The paper's overlap discipline for equal-label digrams (Alg. 4 lines
+// 9-11) is implemented verbatim:
+//  * an occurrence whose generator is a nonterminal and whose labels
+//    are equal (a crossing at a rule root) is never stored;
+//  * a terminal generator is stored only if its tree parent is not
+//    itself a stored generator of the same digram.
+
+#ifndef SLG_CORE_RETRIEVE_OCCS_H_
+#define SLG_CORE_RETRIEVE_OCCS_H_
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/core/tree_links.h"
+#include "src/grammar/grammar.h"
+#include "src/grammar/usage.h"
+#include "src/repair/digram.h"
+#include "src/repair/repair_options.h"
+
+namespace slg {
+
+class GrammarDigramIndex {
+ public:
+  GrammarDigramIndex() = default;
+
+  // Full build: scans every rule in anti-SL order. The order may be
+  // supplied by the caller (e.g. from CallGraphCache) to avoid a full
+  // grammar scan; it must be a valid anti-SL order of g's rules.
+  void Build(const Grammar& g,
+             const std::unordered_map<LabelId, uint64_t>& usage);
+  void Build(const Grammar& g,
+             const std::unordered_map<LabelId, uint64_t>& usage,
+             const std::vector<LabelId>& anti_sl_order);
+
+  // Drops every stored occurrence generated in `rule`.
+  void DropRule(LabelId rule);
+
+  // Rescans the given rules (processed in anti-SL order relative to
+  // each other, as given by anti_sl_order over all rules). Their
+  // previous entries must have been dropped.
+  void RescanRules(const Grammar& g,
+                   const std::unordered_map<LabelId, uint64_t>& usage,
+                   const std::vector<LabelId>& rules,
+                   const std::vector<LabelId>& anti_sl_order);
+
+  // Adjusts weights of `rule`'s stored occurrences after usage changed
+  // from its scan-time value to new_usage (no structural change).
+  void AdjustWeight(LabelId rule, uint64_t new_usage);
+
+  // --- per-occurrence delta updates (paper §IV-C) -----------------------
+  // Used by the driver for "pure local" replacement rounds (every
+  // occurrence of the round lives in one rule with terminal endpoints),
+  // where rescanning the whole rule would dominate: only the
+  // neighbourhood of each replaced occurrence is touched.
+
+  // Considers the single generator (Alg. 4 body for one node): computes
+  // its digram via TREEPARENT/TREECHILD and stores it unless the
+  // equal-label overlap rules reject it.
+  void AddGenerator(const Grammar& g, RuleNode gen, uint64_t usage);
+
+  // Removes the occurrence with this generator, if stored (any digram).
+  void RemoveGenerator(const Digram& d, RuleNode gen);
+
+  // Extracts and clears the generator list of d, sorted
+  // deterministically by (rule, node).
+  std::vector<RuleNode> Take(const Digram& d);
+
+  // Most frequent appropriate digram under `options`, or nullopt.
+  std::optional<Digram> MostFrequent(const LabelTable& labels,
+                                     const RepairOptions& options);
+
+  uint64_t WeightedCount(const Digram& d) const;
+  int64_t TotalOccurrences() const { return total_; }
+
+ private:
+  struct DigramEntry {
+    std::unordered_set<RuleNode, RuleNodeHash> generators;
+    uint64_t weighted_count = 0;
+  };
+
+  // Per-rule bookkeeping for drops/weight adjustments. `occs` may hold
+  // stale entries (removed generators); `live` counts the current ones.
+  struct RuleEntry {
+    std::vector<std::pair<Digram, NodeId>> occs;
+    uint64_t scan_usage = 0;
+    int64_t live = 0;
+  };
+
+  void ScanRule(const Grammar& g, LabelId rule, uint64_t usage);
+  void PushHeap(const Digram& d, uint64_t count);
+  void Compact(RuleEntry* re, LabelId rule);
+  bool HasPositiveSavings(const Digram& d, int rank) const;
+
+  std::unordered_map<Digram, DigramEntry, DigramHash> table_;
+  std::unordered_map<LabelId, RuleEntry> by_rule_;
+
+  struct HeapItem {
+    uint64_t count;
+    Digram d;
+    bool operator<(const HeapItem& o) const { return count < o.count; }
+  };
+  std::priority_queue<HeapItem> heap_;
+  int64_t total_ = 0;
+};
+
+}  // namespace slg
+
+#endif  // SLG_CORE_RETRIEVE_OCCS_H_

@@ -1,0 +1,160 @@
+#include "src/dag/dag_builder.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "src/tree/tree_hash.h"
+
+namespace slg {
+
+namespace {
+
+// Disambiguates hash collisions: canonical id per distinct subtree via
+// (label, child ids) signature interning.
+struct SigHash {
+  size_t operator()(const std::vector<int64_t>& sig) const {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (int64_t v : sig) {
+      h ^= static_cast<uint64_t>(v);
+      h *= 0x100000001b3ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace
+
+int64_t DistinctSubtreeCount(const Tree& t) {
+  if (t.empty()) return 0;
+  // Reverse preorder = children before parents.
+  std::vector<NodeId> order = t.Preorder();
+  size_t arena = 0;
+  for (NodeId v : order) arena = std::max(arena, static_cast<size_t>(v) + 1);
+  std::vector<int64_t> cls(arena, -1);
+  std::unordered_map<std::vector<int64_t>, int64_t, SigHash> interned;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    NodeId v = *it;
+    std::vector<int64_t> sig;
+    sig.push_back(t.label(v));
+    for (NodeId c = t.first_child(v); c != kNilNode; c = t.next_sibling(c)) {
+      sig.push_back(cls[static_cast<size_t>(c)]);
+    }
+    auto [iter, inserted] =
+        interned.emplace(sig, static_cast<int64_t>(interned.size()));
+    cls[static_cast<size_t>(v)] = iter->second;
+  }
+  return static_cast<int64_t>(interned.size());
+}
+
+Grammar BuildDag(const Tree& t, const LabelTable& labels,
+                 const DagOptions& options) {
+  Grammar out;
+  out.labels() = labels;
+  LabelId start = out.labels().Fresh("S", 0);
+
+  if (t.empty()) {
+    Tree empty_rhs;
+    empty_rhs.SetRoot(empty_rhs.NewNode(kNullLabel));
+    out.AddRule(start, std::move(empty_rhs));
+    out.set_start(start);
+    return out;
+  }
+
+  // 1. Classify subtrees (children-first), recording class sizes and
+  //    occurrence counts.
+  std::vector<NodeId> order = t.Preorder();
+  size_t arena = 0;
+  for (NodeId v : order) arena = std::max(arena, static_cast<size_t>(v) + 1);
+  std::vector<int64_t> cls(arena, -1);
+  std::unordered_map<std::vector<int64_t>, int64_t, SigHash> interned;
+  std::vector<int> class_size;        // node count of the subtree
+  std::vector<int> class_occurrences; // number of occurrences
+  std::vector<NodeId> class_rep;      // representative subtree root in t
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    NodeId v = *it;
+    std::vector<int64_t> sig;
+    sig.push_back(t.label(v));
+    int size = 1;
+    for (NodeId c = t.first_child(v); c != kNilNode; c = t.next_sibling(c)) {
+      sig.push_back(cls[static_cast<size_t>(c)]);
+      size += class_size[static_cast<size_t>(cls[static_cast<size_t>(c)])];
+    }
+    auto [iter, inserted] =
+        interned.emplace(sig, static_cast<int64_t>(interned.size()));
+    if (inserted) {
+      class_size.push_back(size);
+      class_occurrences.push_back(0);
+      class_rep.push_back(v);
+    }
+    ++class_occurrences[static_cast<size_t>(iter->second)];
+    cls[static_cast<size_t>(v)] = iter->second;
+  }
+
+  // 2. Decide which classes become rules: shared (>1 occurrence) and
+  //    large enough. The root's class never becomes a rule.
+  int64_t root_cls = cls[static_cast<size_t>(t.root())];
+  std::vector<LabelId> rule_label(class_size.size(), kNoLabel);
+  for (size_t c = 0; c < class_size.size(); ++c) {
+    if (static_cast<int64_t>(c) == root_cls) continue;
+    if (class_occurrences[c] > 1 && class_size[c] >= options.min_subtree_size) {
+      rule_label[c] = out.labels().Fresh("D", 0);
+    }
+  }
+
+  // 3. Emit rules. A rule body copies its representative subtree but
+  //    cuts at shared children (emitting calls). Children-first class
+  //    order is unnecessary: bodies reference labels, not rules.
+  auto emit_body = [&](NodeId rep, bool is_root_body) {
+    Tree body;
+    struct Work {
+      NodeId src;
+      NodeId dst_parent;
+    };
+    std::vector<Work> stack = {{rep, kNilNode}};
+    bool first = true;
+    while (!stack.empty()) {
+      Work w = stack.back();
+      stack.pop_back();
+      int64_t c = cls[static_cast<size_t>(w.src)];
+      LabelId lab;
+      bool descend = true;
+      if (!first && rule_label[static_cast<size_t>(c)] != kNoLabel) {
+        lab = rule_label[static_cast<size_t>(c)];
+        descend = false;
+      } else {
+        lab = t.label(w.src);
+      }
+      NodeId d = body.NewNode(lab);
+      if (w.dst_parent == kNilNode) {
+        body.SetRoot(d);
+      } else {
+        body.AppendChild(w.dst_parent, d);
+      }
+      first = false;
+      if (descend) {
+        std::vector<NodeId> kids;
+        for (NodeId k = t.first_child(w.src); k != kNilNode;
+             k = t.next_sibling(k)) {
+          kids.push_back(k);
+        }
+        for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+          stack.push_back({*it, d});
+        }
+      }
+    }
+    (void)is_root_body;
+    return body;
+  };
+
+  out.AddRule(start, emit_body(t.root(), true));
+  out.set_start(start);
+  for (size_t c = 0; c < rule_label.size(); ++c) {
+    if (rule_label[c] != kNoLabel) {
+      out.AddRule(rule_label[c], emit_body(class_rep[c], false));
+    }
+  }
+  return out;
+}
+
+}  // namespace slg

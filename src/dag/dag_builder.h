@@ -1,0 +1,37 @@
+// Minimal-DAG compression (Buneman, Grohe, Koch [1]).
+//
+// Represents every distinct subtree of the input once. Expressed here
+// as a rank-0 SLCF grammar: each shared subtree with more than one
+// occurrence becomes a rule D_i -> t, and occurrences are replaced by
+// calls to D_i. This is both a baseline compressor for the benches and
+// the "DAG input" front end for GrammarRePair (the paper runs
+// GrammarRePair on grammar inputs; a minimal DAG is the cheapest
+// nontrivial grammar to start from).
+
+#ifndef SLG_DAG_DAG_BUILDER_H_
+#define SLG_DAG_DAG_BUILDER_H_
+
+#include "src/grammar/grammar.h"
+#include "src/tree/label_table.h"
+#include "src/tree/tree.h"
+
+namespace slg {
+
+struct DagOptions {
+  // Subtrees with fewer nodes than this are never shared (sharing a
+  // leaf costs more than it saves).
+  int min_subtree_size = 2;
+};
+
+// Builds the minimal-DAG grammar of `t`. `labels` is copied into the
+// grammar. val(result) == t.
+Grammar BuildDag(const Tree& t, const LabelTable& labels,
+                 const DagOptions& options = {});
+
+// Number of distinct subtrees of t (the node count of the classic
+// minimal DAG, sharing every duplicate including leaves).
+int64_t DistinctSubtreeCount(const Tree& t);
+
+}  // namespace slg
+
+#endif  // SLG_DAG_DAG_BUILDER_H_

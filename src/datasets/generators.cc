@@ -1,0 +1,389 @@
+#include "src/datasets/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace slg {
+
+namespace {
+
+int Scaled(double scale, int base) {
+  return std::max(1, static_cast<int>(std::lround(base * scale)));
+}
+
+// EXI-Weblog: a flat list of identical access-log records, depth 2.
+XmlTree GenWeblog(double scale, uint64_t) {
+  XmlTree t;
+  XmlNodeId root = t.AddNode("log", kXmlNil);
+  const int n = Scaled(scale, 6000);
+  for (int i = 0; i < n; ++i) {
+    XmlNodeId e = t.AddNode("entry", root);
+    t.AddNode("host", e);
+    t.AddNode("ident", e);
+    t.AddNode("authuser", e);
+    t.AddNode("date", e);
+    t.AddNode("request", e);
+    t.AddNode("status", e);
+    t.AddNode("bytes", e);
+  }
+  return t;
+}
+
+// NCBI: an even larger, flatter list of tiny identical SNP records.
+XmlTree GenNcbi(double scale, uint64_t) {
+  XmlTree t;
+  XmlNodeId root = t.AddNode("ExchangeSet", kXmlNil);
+  const int n = Scaled(scale, 20000);
+  for (int i = 0; i < n; ++i) {
+    XmlNodeId rs = t.AddNode("Rs", root);
+    XmlNodeId seq = t.AddNode("Sequence", rs);
+    t.AddNode("Observed", seq);
+  }
+  return t;
+}
+
+// EXI-Telecomp: identical records with a fixed 6-deep nesting.
+XmlTree GenTelecomp(double scale, uint64_t) {
+  XmlTree t;
+  XmlNodeId root = t.AddNode("telemetry", kXmlNil);
+  const int n = Scaled(scale, 4000);
+  for (int i = 0; i < n; ++i) {
+    XmlNodeId rec = t.AddNode("record", root);
+    XmlNodeId hdr = t.AddNode("header", rec);
+    XmlNodeId src = t.AddNode("source", hdr);
+    t.AddNode("device", src);
+    t.AddNode("port", src);
+    XmlNodeId body = t.AddNode("body", rec);
+    XmlNodeId msg = t.AddNode("measurement", body);
+    XmlNodeId val = t.AddNode("value", msg);
+    XmlNodeId unit = t.AddNode("unit", val);
+    t.AddNode("symbol", unit);
+    t.AddNode("scale", val);
+    t.AddNode("time", msg);
+  }
+  return t;
+}
+
+// XMark: heterogeneous auction-site document with randomized fan-outs
+// and a recursive parlist/listitem description structure (depth ~11).
+class XMarkGen {
+ public:
+  XMarkGen(double scale, uint64_t seed) : rng_(seed), scale_(scale) {}
+
+  XmlTree Run() {
+    XmlNodeId site = t_.AddNode("site", kXmlNil);
+    Regions(site);
+    Categories(site);
+    People(site);
+    OpenAuctions(site);
+    ClosedAuctions(site);
+    return std::move(t_);
+  }
+
+ private:
+  void Description(XmlNodeId parent, int depth) {
+    XmlNodeId d = t_.AddNode("description", parent);
+    XmlNodeId par = t_.AddNode("parlist", d);
+    int items = static_cast<int>(rng_.Range(1, 3));
+    for (int i = 0; i < items; ++i) {
+      XmlNodeId li = t_.AddNode("listitem", par);
+      if (depth > 0 && rng_.Chance(0.3)) {
+        XmlNodeId inner = t_.AddNode("parlist", li);
+        int k = static_cast<int>(rng_.Range(1, 2));
+        for (int j = 0; j < k; ++j) {
+          XmlNodeId li2 = t_.AddNode("listitem", inner);
+          t_.AddNode("text", li2);
+        }
+      } else {
+        t_.AddNode("text", li);
+        if (rng_.Chance(0.4)) t_.AddNode("keyword", li);
+      }
+    }
+  }
+
+  void Item(XmlNodeId parent) {
+    XmlNodeId item = t_.AddNode("item", parent);
+    t_.AddNode("location", item);
+    t_.AddNode("quantity", item);
+    t_.AddNode("name", item);
+    XmlNodeId pay = t_.AddNode("payment", item);
+    if (rng_.Chance(0.5)) t_.AddNode("creditcard", pay);
+    if (rng_.Chance(0.5)) t_.AddNode("money_order", pay);
+    Description(item, 2);
+    XmlNodeId ship = t_.AddNode("shipping", item);
+    if (rng_.Chance(0.6)) t_.AddNode("willship", ship);
+    if (rng_.Chance(0.3)) {
+      XmlNodeId mb = t_.AddNode("mailbox", item);
+      int mails = static_cast<int>(rng_.Range(1, 3));
+      for (int i = 0; i < mails; ++i) {
+        XmlNodeId mail = t_.AddNode("mail", mb);
+        t_.AddNode("from", mail);
+        t_.AddNode("to", mail);
+        t_.AddNode("date", mail);
+      }
+    }
+  }
+
+  void Regions(XmlNodeId site) {
+    XmlNodeId regions = t_.AddNode("regions", site);
+    const char* names[] = {"africa", "asia", "australia",
+                           "europe", "namerica", "samerica"};
+    for (const char* r : names) {
+      XmlNodeId region = t_.AddNode(r, regions);
+      int items = Scaled(scale_, 300);
+      for (int i = 0; i < items; ++i) Item(region);
+    }
+  }
+
+  void Categories(XmlNodeId site) {
+    XmlNodeId cats = t_.AddNode("categories", site);
+    int n = Scaled(scale_, 200);
+    for (int i = 0; i < n; ++i) {
+      XmlNodeId c = t_.AddNode("category", cats);
+      t_.AddNode("name", c);
+      Description(c, 1);
+    }
+  }
+
+  void People(XmlNodeId site) {
+    XmlNodeId people = t_.AddNode("people", site);
+    int n = Scaled(scale_, 900);
+    for (int i = 0; i < n; ++i) {
+      XmlNodeId p = t_.AddNode("person", people);
+      t_.AddNode("name", p);
+      t_.AddNode("emailaddress", p);
+      if (rng_.Chance(0.5)) t_.AddNode("phone", p);
+      if (rng_.Chance(0.4)) {
+        XmlNodeId a = t_.AddNode("address", p);
+        t_.AddNode("street", a);
+        t_.AddNode("city", a);
+        t_.AddNode("country", a);
+        t_.AddNode("zipcode", a);
+      }
+      if (rng_.Chance(0.3)) t_.AddNode("homepage", p);
+      if (rng_.Chance(0.25)) {
+        XmlNodeId w = t_.AddNode("watches", p);
+        int k = static_cast<int>(rng_.Range(1, 3));
+        for (int j = 0; j < k; ++j) t_.AddNode("watch", w);
+      }
+    }
+  }
+
+  void OpenAuctions(XmlNodeId site) {
+    XmlNodeId oa = t_.AddNode("open_auctions", site);
+    int n = Scaled(scale_, 450);
+    for (int i = 0; i < n; ++i) {
+      XmlNodeId a = t_.AddNode("open_auction", oa);
+      t_.AddNode("initial", a);
+      XmlNodeId bids = t_.AddNode("bidder", a);
+      int k = static_cast<int>(rng_.Range(1, 5));
+      for (int j = 0; j < k; ++j) {
+        XmlNodeId bid = t_.AddNode("bid", bids);
+        t_.AddNode("date", bid);
+        t_.AddNode("personref", bid);
+        t_.AddNode("increase", bid);
+      }
+      t_.AddNode("current", a);
+      t_.AddNode("itemref", a);
+      t_.AddNode("seller", a);
+      t_.AddNode("quantity", a);
+      if (rng_.Chance(0.4)) t_.AddNode("privacy", a);
+      t_.AddNode("interval", a);
+    }
+  }
+
+  void ClosedAuctions(XmlNodeId site) {
+    XmlNodeId ca = t_.AddNode("closed_auctions", site);
+    int n = Scaled(scale_, 240);
+    for (int i = 0; i < n; ++i) {
+      XmlNodeId a = t_.AddNode("closed_auction", ca);
+      t_.AddNode("seller", a);
+      t_.AddNode("buyer", a);
+      t_.AddNode("itemref", a);
+      t_.AddNode("price", a);
+      t_.AddNode("date", a);
+      t_.AddNode("quantity", a);
+      if (rng_.Chance(0.5)) Description(a, 1);
+    }
+  }
+
+  XmlTree t_;
+  Rng rng_;
+  double scale_;
+};
+
+// Treebank: deep, irregular parse trees over a POS-tag alphabet.
+class TreebankGen {
+ public:
+  TreebankGen(double scale, uint64_t seed) : rng_(seed), scale_(scale) {}
+
+  XmlTree Run() {
+    XmlNodeId root = t_.AddNode("FILE", kXmlNil);
+    int sentences = Scaled(scale_, 8000);
+    for (int i = 0; i < sentences; ++i) {
+      XmlNodeId em = t_.AddNode("EMPTY", root);
+      Sentence(em, 0);
+    }
+    return std::move(t_);
+  }
+
+ private:
+  void Sentence(XmlNodeId parent, int depth) {
+    XmlNodeId s = t_.AddNode("S", parent);
+    Constituent(s, depth + 1);
+    Constituent(s, depth + 1);
+    if (rng_.Chance(0.4)) Constituent(s, depth + 1);
+  }
+
+  void Constituent(XmlNodeId parent, int depth) {
+    // Real Treebank productions are extremely skewed: a handful of
+    // templates (NP -> DT NN, PP -> IN NP, ...) dominate, with a long
+    // irregular tail. The skew is what gives the corpus its ~20%
+    // RePair ratio despite the depth and label diversity.
+    static const char* kPhrases[] = {"NP", "VP", "PP", "ADJP", "ADVP",
+                                     "SBAR", "WHNP", "PRN"};
+    static const char* kTags[] = {"NN",  "NNP", "NNS", "VB",  "VBD", "VBZ",
+                                  "DT",  "IN",  "JJ",  "RB",  "PRP", "CC",
+                                  "CD",  "TO",  "MD",  "POS", "WDT", "EX"};
+    if (depth > 28) {
+      t_.AddNode(kTags[rng_.Below(6)], parent);
+      return;
+    }
+    uint64_t r = rng_.Below(100);
+    if (r < 28) {  // NP -> DT NN
+      XmlNodeId np = t_.AddNode("NP", parent);
+      t_.AddNode("DT", np);
+      t_.AddNode("NN", np);
+    } else if (r < 38) {  // NP -> PRP
+      XmlNodeId np = t_.AddNode("NP", parent);
+      t_.AddNode("PRP", np);
+    } else if (r < 46) {  // NP -> DT JJ NN
+      XmlNodeId np = t_.AddNode("NP", parent);
+      t_.AddNode("DT", np);
+      t_.AddNode("JJ", np);
+      t_.AddNode("NN", np);
+    } else if (r < 58) {  // PP -> IN NP(DT NN)
+      XmlNodeId pp = t_.AddNode("PP", parent);
+      t_.AddNode("IN", pp);
+      XmlNodeId np = t_.AddNode("NP", pp);
+      t_.AddNode("DT", np);
+      t_.AddNode("NN", np);
+    } else if (r < 72) {  // VP -> VBD <constituent>
+      XmlNodeId vp = t_.AddNode("VP", parent);
+      t_.AddNode("VBD", vp);
+      Constituent(vp, depth + 1);
+    } else if (r < 79) {  // SBAR -> IN S  (the deep tail)
+      XmlNodeId sb = t_.AddNode("SBAR", parent);
+      t_.AddNode("IN", sb);
+      Sentence(sb, depth + 1);
+    } else if (r < 86) {  // bare tag
+      t_.AddNode(kTags[rng_.Below(18)], parent);
+    } else {  // irregular tail: random phrase with random children
+      XmlNodeId c = t_.AddNode(kPhrases[rng_.Below(8)], parent);
+      int kids = static_cast<int>(rng_.Range(1, 3));
+      for (int i = 0; i < kids; ++i) {
+        Constituent(c, depth + 1);
+      }
+    }
+  }
+
+  XmlTree t_;
+  Rng rng_;
+  double scale_;
+};
+
+// Medline: bibliographic records, regular backbone with optional parts.
+XmlTree GenMedline(double scale, uint64_t seed) {
+  Rng rng(seed);
+  XmlTree t;
+  XmlNodeId root = t.AddNode("MedlineCitationSet", kXmlNil);
+  const int n = Scaled(scale, 2500);
+  for (int i = 0; i < n; ++i) {
+    XmlNodeId cit = t.AddNode("MedlineCitation", root);
+    t.AddNode("PMID", cit);
+    t.AddNode("DateCreated", cit);
+    XmlNodeId art = t.AddNode("Article", cit);
+    XmlNodeId jr = t.AddNode("Journal", art);
+    t.AddNode("ISSN", jr);
+    XmlNodeId ji = t.AddNode("JournalIssue", jr);
+    t.AddNode("Volume", ji);
+    if (rng.Chance(0.8)) t.AddNode("Issue", ji);
+    XmlNodeId pd = t.AddNode("PubDate", ji);
+    t.AddNode("Year", pd);
+    if (rng.Chance(0.9)) t.AddNode("Month", pd);
+    t.AddNode("ArticleTitle", art);
+    if (rng.Chance(0.75)) {
+      XmlNodeId pg = t.AddNode("Pagination", art);
+      t.AddNode("MedlinePgn", pg);
+    }
+    if (rng.Chance(0.55)) t.AddNode("Abstract", art);
+    XmlNodeId al = t.AddNode("AuthorList", art);
+    int authors = static_cast<int>(rng.Range(1, 8));
+    for (int a = 0; a < authors; ++a) {
+      XmlNodeId au = t.AddNode("Author", al);
+      t.AddNode("LastName", au);
+      t.AddNode("ForeName", au);
+      if (rng.Chance(0.7)) t.AddNode("Initials", au);
+    }
+    t.AddNode("Language", art);
+    XmlNodeId ptl = t.AddNode("PublicationTypeList", art);
+    int pts = static_cast<int>(rng.Range(1, 3));
+    for (int p = 0; p < pts; ++p) t.AddNode("PublicationType", ptl);
+    if (rng.Chance(0.85)) {
+      XmlNodeId mh = t.AddNode("MeshHeadingList", cit);
+      int terms = static_cast<int>(rng.Range(2, 12));
+      for (int m = 0; m < terms; ++m) {
+        XmlNodeId h = t.AddNode("MeshHeading", mh);
+        t.AddNode("DescriptorName", h);
+        if (rng.Chance(0.3)) t.AddNode("QualifierName", h);
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+const std::vector<CorpusInfo>& AllCorpora() {
+  static const std::vector<CorpusInfo>* kCorpora = new std::vector<CorpusInfo>{
+      {Corpus::kExiWeblog, "EXI-Weblog", 93434, 2, 0.04},
+      {Corpus::kXMark, "XMark", 167864, 11, 13.17},
+      {Corpus::kExiTelecomp, "EXI-Telecomp", 177633, 6, 0.06},
+      {Corpus::kTreebank, "Treebank", 2437665, 35, 20.67},
+      {Corpus::kMedline, "Medline", 2866079, 6, 4.12},
+      {Corpus::kNcbi, "NCBI", 3642224, 3, 0.005},
+  };
+  return *kCorpora;
+}
+
+const CorpusInfo& InfoFor(Corpus c) {
+  for (const CorpusInfo& info : AllCorpora()) {
+    if (info.id == c) return info;
+  }
+  SLG_CHECK_MSG(false, "unknown corpus");
+  return AllCorpora()[0];
+}
+
+XmlTree GenerateCorpus(Corpus c, double scale, uint64_t seed) {
+  switch (c) {
+    case Corpus::kExiWeblog:
+      return GenWeblog(scale, seed);
+    case Corpus::kXMark:
+      return XMarkGen(scale, seed).Run();
+    case Corpus::kExiTelecomp:
+      return GenTelecomp(scale, seed);
+    case Corpus::kTreebank:
+      return TreebankGen(scale, seed).Run();
+    case Corpus::kMedline:
+      return GenMedline(scale, seed);
+    case Corpus::kNcbi:
+      return GenNcbi(scale, seed);
+  }
+  SLG_CHECK_MSG(false, "unknown corpus");
+  return XmlTree();
+}
+
+}  // namespace slg

@@ -1,0 +1,59 @@
+// Synthetic corpus generators reproducing the structural profiles of
+// the paper's six datasets (Table III).
+//
+// The original corpora (XMLCompBench structure-only documents, Medline,
+// NCBI) are not redistributable here, so each generator is a seeded
+// synthetic stand-in reproducing the properties RePair-family
+// compressors are sensitive to: depth, label-alphabet size, record
+// regularity and list repetitiveness. See DESIGN.md §2 for the
+// substitution rationale. `scale` multiplies the default (laptop-sized)
+// record counts; generators are deterministic for a fixed (scale, seed).
+//
+// Paper profiles:
+//   EXI-Weblog    93,434 edges, dp 2,  ratio 0.04%  (flat identical logs)
+//   XMark        167,864 edges, dp 11, ratio 13.17% (heterogeneous auctions)
+//   EXI-Telecomp 177,633 edges, dp 6,  ratio 0.06%  (nested identical records)
+//   Treebank   2,437,665 edges, dp 35, ratio 20.67% (deep irregular parses)
+//   Medline    2,866,079 edges, dp 6,  ratio  4.12% (records, optional fields)
+//   NCBI       3,642,224 edges, dp 3,  ratio <0.01% (huge flat identical list)
+
+#ifndef SLG_DATASETS_GENERATORS_H_
+#define SLG_DATASETS_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/xml/xml_tree.h"
+
+namespace slg {
+
+enum class Corpus {
+  kExiWeblog,
+  kXMark,
+  kExiTelecomp,
+  kTreebank,
+  kMedline,
+  kNcbi,
+};
+
+struct CorpusInfo {
+  Corpus id;
+  const char* name;        // short name used in bench output
+  int64_t paper_edges;     // Table III
+  int paper_depth;         // Table III "dp"
+  double paper_ratio_pct;  // Table III c-edges/#edges in percent
+};
+
+// The six corpora in Table III order.
+const std::vector<CorpusInfo>& AllCorpora();
+
+const CorpusInfo& InfoFor(Corpus c);
+
+// Generates the synthetic stand-in. scale = 1.0 produces the default
+// laptop-sized document (tens of thousands of edges).
+XmlTree GenerateCorpus(Corpus c, double scale = 1.0, uint64_t seed = 20160516);
+
+}  // namespace slg
+
+#endif  // SLG_DATASETS_GENERATORS_H_

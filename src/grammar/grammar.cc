@@ -1,0 +1,51 @@
+#include "src/grammar/grammar.h"
+
+#include <utility>
+
+namespace slg {
+
+Grammar Grammar::Clone() const {
+  Grammar g;
+  g.labels_ = labels_;
+  g.rules_ = rules_;
+  g.rule_index_ = rule_index_;
+  g.start_ = start_;
+  g.live_rules_ = live_rules_;
+  return g;
+}
+
+void Grammar::AddRule(LabelId lhs, Tree rhs) {
+  SLG_CHECK_MSG(!HasRule(lhs), "duplicate rule");
+  SLG_CHECK(!rhs.empty());
+  rule_index_.emplace(lhs, rules_.size());
+  rules_.push_back(StoredRule{lhs, std::move(rhs), false});
+  ++live_rules_;
+}
+
+void Grammar::RemoveRule(LabelId lhs) {
+  size_t idx = IndexOf(lhs);
+  rules_[idx].dead = true;
+  rules_[idx].rhs = Tree();
+  rule_index_.erase(lhs);
+  --live_rules_;
+}
+
+std::vector<LabelId> Grammar::Nonterminals() const {
+  std::vector<LabelId> out;
+  out.reserve(static_cast<size_t>(live_rules_));
+  for (const StoredRule& r : rules_) {
+    if (!r.dead) out.push_back(r.lhs);
+  }
+  return out;
+}
+
+Grammar Grammar::ForTree(Tree t, LabelTable labels) {
+  Grammar g;
+  g.labels_ = std::move(labels);
+  LabelId s = g.labels_.Fresh("S", 0);
+  g.AddRule(s, std::move(t));
+  g.set_start(s);
+  return g;
+}
+
+}  // namespace slg

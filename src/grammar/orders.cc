@@ -1,0 +1,96 @@
+#include "src/grammar/orders.h"
+
+#include <algorithm>
+
+namespace slg {
+
+namespace {
+
+// Per-rule list of distinct callees.
+std::unordered_map<LabelId, std::vector<LabelId>> Callees(const Grammar& g) {
+  std::unordered_map<LabelId, std::vector<LabelId>> out;
+  g.ForEachRule([&](LabelId lhs, const Tree& rhs) {
+    std::vector<LabelId>& callees = out[lhs];
+    rhs.VisitPreorder(rhs.root(), [&](NodeId v) {
+      LabelId l = rhs.label(v);
+      if (g.IsNonterminal(l)) callees.push_back(l);
+    });
+    std::sort(callees.begin(), callees.end());
+    callees.erase(std::unique(callees.begin(), callees.end()), callees.end());
+  });
+  return out;
+}
+
+// Kahn-style topological sort over the "calls" relation. Returns true
+// on success (acyclic); `order` receives callees-first order.
+bool TopoSort(const Grammar& g, std::vector<LabelId>* order) {
+  auto callees = Callees(g);
+  std::vector<LabelId> rules = g.Nonterminals();
+  // out_deg[R] = number of callees of R not yet emitted.
+  std::unordered_map<LabelId, int> pending;
+  std::unordered_map<LabelId, std::vector<LabelId>> callers;
+  for (LabelId r : rules) {
+    pending[r] = static_cast<int>(callees[r].size());
+    for (LabelId q : callees[r]) callers[q].push_back(r);
+  }
+  // Ready queue kept in deterministic (creation) order.
+  std::vector<LabelId> ready;
+  for (LabelId r : rules) {
+    if (pending[r] == 0) ready.push_back(r);
+  }
+  order->clear();
+  order->reserve(rules.size());
+  for (size_t i = 0; i < ready.size(); ++i) {
+    LabelId q = ready[i];
+    order->push_back(q);
+    for (LabelId r : callers[q]) {
+      if (--pending[r] == 0) ready.push_back(r);
+    }
+  }
+  return order->size() == rules.size();
+}
+
+}  // namespace
+
+std::unordered_map<LabelId, std::vector<RuleNode>> ComputeRefs(
+    const Grammar& g) {
+  std::unordered_map<LabelId, std::vector<RuleNode>> refs;
+  g.ForEachRule([&](LabelId lhs, const Tree& rhs) {
+    rhs.VisitPreorder(rhs.root(), [&](NodeId v) {
+      LabelId l = rhs.label(v);
+      if (g.IsNonterminal(l)) refs[l].push_back(RuleNode{lhs, v});
+    });
+  });
+  return refs;
+}
+
+std::unordered_map<LabelId, int> ComputeRefCounts(const Grammar& g) {
+  std::unordered_map<LabelId, int> counts;
+  for (LabelId r : g.Nonterminals()) counts[r] = 0;
+  g.ForEachRule([&](LabelId, const Tree& rhs) {
+    rhs.VisitPreorder(rhs.root(), [&](NodeId v) {
+      LabelId l = rhs.label(v);
+      if (g.IsNonterminal(l)) ++counts[l];
+    });
+  });
+  return counts;
+}
+
+std::vector<LabelId> AntiSlOrder(const Grammar& g) {
+  std::vector<LabelId> order;
+  SLG_CHECK_MSG(TopoSort(g, &order), "grammar is recursive");
+  return order;
+}
+
+std::vector<LabelId> TopDownOrder(const Grammar& g) {
+  std::vector<LabelId> order = AntiSlOrder(g);
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+bool IsStraightLine(const Grammar& g) {
+  std::vector<LabelId> order;
+  return TopoSort(g, &order);
+}
+
+}  // namespace slg

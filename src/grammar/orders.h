@@ -1,0 +1,40 @@
+// Call-graph utilities: reference sets, straight-line orders.
+//
+// refG(Q) is the set of Q-labeled nonterminal nodes within the rules of
+// G (paper §II). "Q occurs before R in anti-SL order" iff R (directly
+// or transitively) calls Q; processing rules in anti-SL order therefore
+// visits callees before callers (bottom-up through the grammar).
+
+#ifndef SLG_GRAMMAR_ORDERS_H_
+#define SLG_GRAMMAR_ORDERS_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/grammar/grammar.h"
+
+namespace slg {
+
+// All call sites, grouped by callee: refs[Q] = every node labeled Q in
+// any rule's right-hand side.
+std::unordered_map<LabelId, std::vector<RuleNode>> ComputeRefs(
+    const Grammar& g);
+
+// Reference counts only (cheaper than full ComputeRefs).
+std::unordered_map<LabelId, int> ComputeRefCounts(const Grammar& g);
+
+// Nonterminals in anti-SL order: every rule appears after all rules it
+// calls (callees first). Aborts if the grammar is recursive — use
+// Validate() for a graceful check. Deterministic: ties broken by rule
+// creation order.
+std::vector<LabelId> AntiSlOrder(const Grammar& g);
+
+// Callers-first order (reverse of AntiSlOrder).
+std::vector<LabelId> TopDownOrder(const Grammar& g);
+
+// True iff the call graph is acyclic (i.e. the grammar is straight-line).
+bool IsStraightLine(const Grammar& g);
+
+}  // namespace slg
+
+#endif  // SLG_GRAMMAR_ORDERS_H_

@@ -1,0 +1,44 @@
+// Parameter-segment sizes for path isolation (paper §III-A).
+//
+// For a nonterminal A of rank k, size(A, 0..k) are the numbers of nodes
+// of val_G(A) that appear — in preorder — before y1, between y1 and y2,
+// ..., after yk. Example from the paper: val(A) =
+// f(y1, g(h(a,y2), g(a,y3)))  ⇒  sizes = {1, 3, 2, 0}.
+//
+// All segment sizes are computed in a single bottom-up grammar pass and
+// saturate at kSizeCap for exponentially compressing grammars (see
+// value.h); navigation — the only consumer — is used on real documents,
+// far below the cap.
+
+#ifndef SLG_GRAMMAR_SIZES_H_
+#define SLG_GRAMMAR_SIZES_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/grammar/grammar.h"
+
+namespace slg {
+
+struct SegmentSizes {
+  // sizes[i] = size(A, i); sizes.size() == rank(A) + 1.
+  std::vector<int64_t> sizes;
+
+  // Total number of nodes of val(A) excluding parameter substitutions.
+  int64_t Total() const {
+    int64_t t = 0;
+    for (int64_t s : sizes) t += s;
+    return t;
+  }
+};
+
+// Segment sizes for every nonterminal. Requires the grammar's
+// parameter-order invariant (y1..ym in preorder), which Validate()
+// enforces.
+std::unordered_map<LabelId, SegmentSizes> ComputeSegmentSizes(
+    const Grammar& g);
+
+}  // namespace slg
+
+#endif  // SLG_GRAMMAR_SIZES_H_

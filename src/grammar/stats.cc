@@ -1,0 +1,27 @@
+#include "src/grammar/stats.h"
+
+#include <algorithm>
+
+namespace slg {
+
+GrammarStats ComputeStats(const Grammar& g) {
+  GrammarStats s;
+  const LabelTable& labels = g.labels();
+  g.ForEachRule([&](LabelId lhs, const Tree& rhs) {
+    ++s.rule_count;
+    s.max_rank = std::max<int64_t>(s.max_rank, labels.Rank(lhs));
+    int64_t nodes = 0;
+    rhs.VisitPreorder(rhs.root(), [&](NodeId v) {
+      ++nodes;
+      LabelId l = rhs.label(v);
+      if (labels.IsParam(l)) ++s.param_node_count;
+      if (g.IsNonterminal(l)) ++s.nonterminal_node_count;
+      if (v != rhs.root() && l != kNullLabel) ++s.non_null_edge_count;
+    });
+    s.node_count += nodes;
+    s.edge_count += nodes - 1;
+  });
+  return s;
+}
+
+}  // namespace slg

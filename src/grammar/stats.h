@@ -1,0 +1,40 @@
+// Size accounting for grammars.
+//
+// The paper (via [3]) measures grammar size as the sum of the edge
+// counts of all right-hand sides. We expose three related counts:
+//  * node_count:        Σ_R |nodes(t_R)|
+//  * edge_count:        Σ_R (|nodes(t_R)| - 1)
+//  * non_null_edges:    edges whose target is not a ⊥ node — the count
+//                       used for all compression ratios in the bench
+//                       harness, since ⊥ leaves cost nothing in a real
+//                       representation (they are null pointers).
+
+#ifndef SLG_GRAMMAR_STATS_H_
+#define SLG_GRAMMAR_STATS_H_
+
+#include <cstdint>
+
+#include "src/grammar/grammar.h"
+
+namespace slg {
+
+struct GrammarStats {
+  int64_t rule_count = 0;
+  int64_t node_count = 0;
+  int64_t edge_count = 0;
+  int64_t non_null_edge_count = 0;
+  int64_t param_node_count = 0;
+  int64_t nonterminal_node_count = 0;  // call sites
+  int64_t max_rank = 0;
+};
+
+GrammarStats ComputeStats(const Grammar& g);
+
+// The size measure used throughout benches and EXPERIMENTS.md.
+inline int64_t GrammarSize(const Grammar& g) {
+  return ComputeStats(g).non_null_edge_count;
+}
+
+}  // namespace slg
+
+#endif  // SLG_GRAMMAR_STATS_H_

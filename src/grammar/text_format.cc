@@ -1,0 +1,130 @@
+#include "src/grammar/text_format.h"
+
+#include <string>
+#include <vector>
+
+#include "src/grammar/validate.h"
+#include "src/tree/tree_io.h"
+
+namespace slg {
+
+std::string FormatGrammar(const Grammar& g) {
+  std::string out = "start: " + g.labels().Name(g.start()) + "\n";
+  g.ForEachRule([&](LabelId lhs, const Tree& rhs) {
+    out += g.labels().Name(lhs);
+    out += " -> ";
+    out += ToTerm(rhs, g.labels());
+    out += "\n";
+  });
+  return out;
+}
+
+namespace {
+
+// One "lhs -> term" line. Rank of lhs is the number of parameters found
+// in the term (computed after parsing).
+Status AddRuleLine(Grammar* g, std::string_view line) {
+  size_t arrow = line.find("->");
+  if (arrow == std::string_view::npos) {
+    return Status::InvalidArgument("rule line without '->': " +
+                                   std::string(line));
+  }
+  std::string_view lhs_text = line.substr(0, arrow);
+  std::string_view rhs_text = line.substr(arrow + 2);
+  // Trim.
+  while (!lhs_text.empty() && std::isspace((unsigned char)lhs_text.front()))
+    lhs_text.remove_prefix(1);
+  while (!lhs_text.empty() && std::isspace((unsigned char)lhs_text.back()))
+    lhs_text.remove_suffix(1);
+  if (lhs_text.empty()) {
+    return Status::InvalidArgument("empty rule left-hand side");
+  }
+
+  StatusOr<Tree> rhs = ParseTerm(rhs_text, &g->labels());
+  if (!rhs.ok()) return rhs.status();
+  Tree t = rhs.take();
+
+  int max_param = 0;
+  t.VisitPreorder(t.root(), [&](NodeId v) {
+    int p = g->labels().ParamIndex(t.label(v));
+    if (p > max_param) max_param = p;
+  });
+
+  LabelId existing = g->labels().Find(lhs_text);
+  LabelId lhs;
+  if (existing != kNoLabel) {
+    if (g->labels().Rank(existing) != max_param) {
+      return Status::InvalidArgument(
+          "rule " + std::string(lhs_text) + " has rank " +
+          std::to_string(g->labels().Rank(existing)) + " but uses " +
+          std::to_string(max_param) + " parameters");
+    }
+    lhs = existing;
+  } else {
+    lhs = g->labels().Intern(lhs_text, max_param);
+  }
+  if (g->HasRule(lhs)) {
+    return Status::InvalidArgument("duplicate rule for " +
+                                   std::string(lhs_text));
+  }
+  g->AddRule(lhs, std::move(t));
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<Grammar> ParseGrammar(std::string_view text) {
+  Grammar g;
+  LabelId start = kNoLabel;
+  size_t pos = 0;
+  bool saw_first_rule = false;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    // Trim + skip blanks/comments.
+    while (!line.empty() && std::isspace((unsigned char)line.front()))
+      line.remove_prefix(1);
+    while (!line.empty() && std::isspace((unsigned char)line.back()))
+      line.remove_suffix(1);
+    if (line.empty() || line.front() == '#') continue;
+    if (line.substr(0, 6) == "start:") {
+      std::string_view name = line.substr(6);
+      while (!name.empty() && std::isspace((unsigned char)name.front()))
+        name.remove_prefix(1);
+      // Start may be declared before its rule: remember the name.
+      start = g.labels().Intern(name, 0);
+      continue;
+    }
+    SLG_RETURN_IF_ERROR(AddRuleLine(&g, line));
+    if (!saw_first_rule) {
+      saw_first_rule = true;
+      if (start == kNoLabel) {
+        // First rule is the start by convention.
+        size_t arrow = line.find("->");
+        std::string_view name = line.substr(0, arrow);
+        while (!name.empty() && std::isspace((unsigned char)name.back()))
+          name.remove_suffix(1);
+        start = g.labels().Find(name);
+      }
+    }
+  }
+  if (start == kNoLabel) {
+    return Status::InvalidArgument("grammar text declares no rules");
+  }
+  g.set_start(start);
+  SLG_RETURN_IF_ERROR(Validate(g));
+  return g;
+}
+
+StatusOr<Grammar> GrammarFromRules(const std::vector<std::string>& rules) {
+  std::string text;
+  for (const std::string& r : rules) {
+    text += r;
+    text += "\n";
+  }
+  return ParseGrammar(text);
+}
+
+}  // namespace slg

@@ -1,0 +1,37 @@
+// Human-readable text serialization for grammars.
+//
+// Format (one rule per line, start rule first):
+//
+//   start: S
+//   S -> f(A(B,B),~)
+//   B -> A(~,~)
+//   A -> a($1,a($2,$3))
+//
+// Right-hand sides use the tree_io term syntax ("~" is ⊥, "$i" is yi).
+// A label's rank is implied by its use; nonterminal-ness by having a
+// rule. Round-trips with ParseGrammar for every valid grammar.
+
+#ifndef SLG_GRAMMAR_TEXT_FORMAT_H_
+#define SLG_GRAMMAR_TEXT_FORMAT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/grammar/grammar.h"
+
+namespace slg {
+
+std::string FormatGrammar(const Grammar& g);
+
+// Parses the text format; validates the result.
+StatusOr<Grammar> ParseGrammar(std::string_view text);
+
+// Test helper: builds a grammar from rule strings like
+// {"S -> f(A,~)", "A -> a(~,~)"}; the first rule is the start.
+StatusOr<Grammar> GrammarFromRules(const std::vector<std::string>& rules);
+
+}  // namespace slg
+
+#endif  // SLG_GRAMMAR_TEXT_FORMAT_H_

@@ -1,0 +1,24 @@
+#include "src/grammar/usage.h"
+
+#include "src/grammar/orders.h"
+
+namespace slg {
+
+std::unordered_map<LabelId, uint64_t> ComputeUsage(const Grammar& g) {
+  std::unordered_map<LabelId, uint64_t> usage;
+  for (LabelId r : g.Nonterminals()) usage[r] = 0;
+  usage[g.start()] = 1;
+  // Top-down: a rule's usage is final before its callees are visited.
+  for (LabelId r : TopDownOrder(g)) {
+    uint64_t u = usage[r];
+    if (u == 0) continue;
+    const Tree& t = g.rhs(r);
+    t.VisitPreorder(t.root(), [&](NodeId v) {
+      LabelId l = t.label(v);
+      if (g.IsNonterminal(l)) usage[l] = UsageSatAdd(usage[l], u);
+    });
+  }
+  return usage;
+}
+
+}  // namespace slg

@@ -1,0 +1,30 @@
+// usage_G(Q): how many times Q's rule is used when deriving val_G(S)
+// (paper §IV-A). usage(S) = 1; usage(Q) = Σ_{call sites of Q in R}
+// usage(R). Counts saturate at kUsageCap (counts in exponentially
+// compressing grammars exceed any machine integer); a saturated count
+// still compares correctly for "most frequent digram" selection.
+
+#ifndef SLG_GRAMMAR_USAGE_H_
+#define SLG_GRAMMAR_USAGE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/grammar/grammar.h"
+
+namespace slg {
+
+inline constexpr uint64_t kUsageCap = uint64_t{1} << 62;
+
+inline uint64_t UsageSatAdd(uint64_t a, uint64_t b) {
+  uint64_t s = a + b;
+  return (s < a || s > kUsageCap) ? kUsageCap : s;
+}
+
+// usage for every nonterminal, one top-down pass. Nonterminals that are
+// unreachable from the start rule get usage 0.
+std::unordered_map<LabelId, uint64_t> ComputeUsage(const Grammar& g);
+
+}  // namespace slg
+
+#endif  // SLG_GRAMMAR_USAGE_H_

@@ -1,0 +1,79 @@
+#include "src/grammar/value.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/grammar/inliner.h"
+#include "src/grammar/orders.h"
+
+namespace slg {
+
+StatusOr<Tree> ValueOf(const Grammar& g, LabelId r, int64_t max_nodes) {
+  SLG_CHECK_MSG(g.HasRule(r), "ValueOf() of a label without rule");
+  SLG_CHECK_MSG(g.labels().Rank(r) == 0,
+                "ValueOf() only defined for rank-0 nonterminals");
+  Tree out;
+  std::vector<NodeId> calls;
+  NodeId root = out.CopySubtreeFrom(g.rhs(r), g.rhs(r).root());
+  out.SetRoot(root);
+  out.VisitPreorder(root, [&](NodeId v) {
+    if (g.IsNonterminal(out.label(v))) calls.push_back(v);
+  });
+  while (!calls.empty()) {
+    NodeId call = calls.back();
+    calls.pop_back();
+    InlineCall(g, &out, call, g.rhs(out.label(call)), &calls);
+    if (out.LiveCount() > max_nodes) {
+      return Status::OutOfRange("val(G) exceeds node budget of " +
+                                std::to_string(max_nodes) + " nodes");
+    }
+  }
+  return out;
+}
+
+namespace {
+
+int64_t SatAdd(int64_t a, int64_t b) {
+  int64_t s = a + b;
+  return (s < 0 || s > kSizeCap) ? kSizeCap : s;
+}
+int64_t SatMul(int64_t a, int64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > kSizeCap / b) return kSizeCap;
+  return a * b;
+}
+
+// Counts nodes of val(S) using per-rule totals computed bottom-up.
+// Parameters contribute 0 (their substitutions are counted at the call
+// sites). `count_node(label)` decides whether a terminal counts.
+template <typename Pred>
+int64_t CountValue(const Grammar& g, Pred count_node) {
+  std::unordered_map<LabelId, int64_t> per_rule;
+  for (LabelId r : AntiSlOrder(g)) {
+    const Tree& t = g.rhs(r);
+    int64_t total = 0;
+    t.VisitPreorder(t.root(), [&](NodeId v) {
+      LabelId l = t.label(v);
+      if (g.labels().IsParam(l)) return;
+      if (g.IsNonterminal(l)) {
+        total = SatAdd(total, per_rule[l]);
+      } else if (count_node(l)) {
+        total = SatAdd(total, 1);
+      }
+    });
+    per_rule[r] = total;
+  }
+  return SatMul(per_rule[g.start()], 1);
+}
+
+}  // namespace
+
+int64_t ValueNodeCount(const Grammar& g) {
+  return CountValue(g, [](LabelId) { return true; });
+}
+
+int64_t ValueElementCount(const Grammar& g) {
+  return CountValue(g, [](LabelId l) { return l != kNullLabel; });
+}
+
+}  // namespace slg

@@ -1,0 +1,70 @@
+#include "src/repair/digram.h"
+
+#include <string>
+#include <vector>
+
+namespace slg {
+
+int DigramRank(const Digram& d, const LabelTable& labels) {
+  return labels.Rank(d.parent_label) + labels.Rank(d.child_label) - 1;
+}
+
+Tree MakePattern(const Digram& d, LabelTable* labels) {
+  const int m = labels->Rank(d.parent_label);
+  const int n = labels->Rank(d.child_label);
+  const int i = d.child_index;
+  SLG_CHECK(i >= 1 && i <= m);
+
+  Tree t;
+  NodeId a = t.NewNode(d.parent_label);
+  t.SetRoot(a);
+  int next_param = 1;
+  for (int j = 1; j <= m; ++j) {
+    if (j == i) {
+      NodeId b = t.NewNode(d.child_label);
+      t.AppendChild(a, b);
+      for (int k = 1; k <= n; ++k) {
+        t.AppendChild(b, t.NewNode(labels->Param(next_param++)));
+      }
+    } else {
+      t.AppendChild(a, t.NewNode(labels->Param(next_param++)));
+    }
+  }
+  SLG_CHECK(next_param - 1 == m + n - 1);
+  return t;
+}
+
+std::string DigramToString(const Digram& d, const LabelTable& labels) {
+  return "(" + labels.Name(d.parent_label) + "," +
+         std::to_string(d.child_index) + "," + labels.Name(d.child_label) +
+         ")";
+}
+
+NodeId ReplaceDigramNodes(Tree* t, NodeId v, int child_index, LabelId x) {
+  NodeId w = t->Child(v, child_index);
+  SLG_DCHECK(w != kNilNode);
+
+  std::vector<NodeId> new_children;
+  int j = 0;
+  for (NodeId c = t->first_child(v); c != kNilNode; c = t->next_sibling(c)) {
+    ++j;
+    if (j == child_index) {
+      for (NodeId wc = t->first_child(w); wc != kNilNode;
+           wc = t->next_sibling(wc)) {
+        new_children.push_back(wc);
+      }
+    } else {
+      new_children.push_back(c);
+    }
+  }
+  // Detach grandchildren first (they live under w), then w's siblings.
+  for (NodeId c : new_children) t->Detach(c);
+  NodeId x_node = t->NewNode(x);
+  for (NodeId c : new_children) t->AppendChild(x_node, c);
+  t->ReplaceWith(v, x_node);
+  // v is now detached; w is v's only remaining child.
+  t->FreeSubtree(v);
+  return x_node;
+}
+
+}  // namespace slg

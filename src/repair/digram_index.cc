@@ -1,0 +1,118 @@
+#include "src/repair/digram_index.h"
+
+#include <algorithm>
+
+namespace slg {
+
+void TreeDigramIndex::Build(const Tree& t) {
+  table_.clear();
+  total_ = 0;
+  heap_ = {};
+  std::vector<NodeId> order = t.Preorder();
+  // Reverse preorder visits children before parents; sibling order is
+  // irrelevant for overlap (occurrences overlap only via parent-child
+  // sharing).
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    NodeId v = *it;
+    int i = 0;
+    for (NodeId c = t.first_child(v); c != kNilNode; c = t.next_sibling(c)) {
+      ++i;
+      Add(t, v, i);
+    }
+  }
+}
+
+void TreeDigramIndex::Add(const Tree& t, NodeId v, int child_index) {
+  NodeId w = t.Child(v, child_index);
+  LabelId a = t.label(v);
+  LabelId b = t.label(w);
+  if (labels_->IsParam(a) || labels_->IsParam(b)) return;
+  Digram d{a, child_index, b};
+  Entry& e = table_[d];
+  if (a == b) {
+    // Greedy non-overlap: reject if w already parents a stored
+    // occurrence, or if v is already the child of one (v's parent p
+    // stored and v sits at the digram's child index under p).
+    if (e.parents.count(w) > 0) return;
+    NodeId p = t.parent(v);
+    if (p != kNilNode && t.label(p) == a && e.parents.count(p) > 0 &&
+        t.Child(p, child_index) == v) {
+      return;
+    }
+  }
+  if (e.parents.insert(v).second) {
+    ++total_;
+    PushHeap(d, static_cast<long long>(e.parents.size()));
+  }
+}
+
+void TreeDigramIndex::Remove(const Digram& d, NodeId v) {
+  auto it = table_.find(d);
+  if (it == table_.end()) return;
+  if (it->second.parents.erase(v) > 0) {
+    --total_;
+    PushHeap(d, static_cast<long long>(it->second.parents.size()));
+  }
+}
+
+std::vector<NodeId> TreeDigramIndex::Take(const Digram& d) {
+  auto it = table_.find(d);
+  if (it == table_.end()) return {};
+  std::vector<NodeId> out(it->second.parents.begin(),
+                          it->second.parents.end());
+  // Deterministic processing order regardless of hashing.
+  std::sort(out.begin(), out.end());
+  total_ -= static_cast<long long>(out.size());
+  table_.erase(it);
+  return out;
+}
+
+long long TreeDigramIndex::Count(const Digram& d) const {
+  auto it = table_.find(d);
+  return it == table_.end()
+             ? 0
+             : static_cast<long long>(it->second.parents.size());
+}
+
+void TreeDigramIndex::PushHeap(const Digram& d, long long count) {
+  if (count > 0) heap_.push(HeapItem{count, d});
+}
+
+std::optional<Digram> TreeDigramIndex::MostFrequent(
+    const RepairOptions& options) {
+  // Deterministic tie-break: lexicographically smallest digram among
+  // those tied at the maximal count (see GrammarDigramIndex).
+  auto less = [](const Digram& a, const Digram& b) {
+    if (a.parent_label != b.parent_label) {
+      return a.parent_label < b.parent_label;
+    }
+    if (a.child_index != b.child_index) return a.child_index < b.child_index;
+    return a.child_label < b.child_label;
+  };
+  while (!heap_.empty()) {
+    HeapItem top = heap_.top();
+    heap_.pop();
+    long long current = Count(top.d);
+    if (current != top.count) continue;  // stale snapshot
+    if (current < options.min_count) continue;
+    if (DigramRank(top.d, *labels_) > options.max_rank) continue;
+    Digram best = top.d;
+    std::vector<Digram> requeue;
+    while (!heap_.empty() && heap_.top().count == top.count) {
+      HeapItem other = heap_.top();
+      heap_.pop();
+      if (Count(other.d) != other.count) continue;
+      if (DigramRank(other.d, *labels_) > options.max_rank) continue;
+      requeue.push_back(other.d);
+      if (less(other.d, best)) best = other.d;
+    }
+    requeue.push_back(top.d);
+    for (const Digram& d : requeue) {
+      if (!(d == best)) PushHeap(d, top.count);
+    }
+    return best;
+  }
+  return std::nullopt;
+}
+
+}  // namespace slg

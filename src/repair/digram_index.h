@@ -1,0 +1,78 @@
+// Digram occurrence index over a single tree (the TreeRePair case).
+//
+// An occurrence of α = (a,i,b) is the pair (v, w) with w = v's i-th
+// child; since the parent is unique, occurrences are keyed by v. The
+// index maintains, per digram, the set of stored non-overlapping
+// occurrences (greedy, children-before-parents as in TreeRePair [3])
+// and supports the incremental neighbourhood updates of §IV-C.
+//
+// Most-frequent selection uses a lazy max-heap: every count change
+// pushes a snapshot; pops discard stale snapshots. This keeps all
+// operations O(log #digrams) amortized without the bucket machinery of
+// Larsson-Moffat — measured to be far off the critical path.
+
+#ifndef SLG_REPAIR_DIGRAM_INDEX_H_
+#define SLG_REPAIR_DIGRAM_INDEX_H_
+
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/repair/digram.h"
+#include "src/repair/repair_options.h"
+#include "src/tree/tree.h"
+
+namespace slg {
+
+class TreeDigramIndex {
+ public:
+  explicit TreeDigramIndex(const LabelTable* labels) : labels_(labels) {}
+
+  // Scans the whole tree (children before parents) and records the
+  // greedy maximal non-overlapping occurrence sets.
+  void Build(const Tree& t);
+
+  // Records the occurrence (v, v.i). For equal-label digrams the
+  // overlap rule is enforced: the occurrence is dropped if it would
+  // share a node with a stored occurrence.
+  void Add(const Tree& t, NodeId v, int child_index);
+
+  // Removes the occurrence parented at v, if stored.
+  void Remove(const Digram& d, NodeId v);
+
+  // Extracts and clears the occurrence list of d (unordered).
+  std::vector<NodeId> Take(const Digram& d);
+
+  // Most frequent appropriate digram: count >= options.min_count and
+  // rank <= options.max_rank. Returns nullopt when none remains.
+  std::optional<Digram> MostFrequent(const RepairOptions& options);
+
+  long long Count(const Digram& d) const;
+
+  // Total number of stored occurrences over all digrams (diagnostics).
+  long long TotalOccurrences() const { return total_; }
+
+ private:
+  struct Entry {
+    std::unordered_set<NodeId> parents;
+  };
+
+  void PushHeap(const Digram& d, long long count);
+
+  const LabelTable* labels_;
+  std::unordered_map<Digram, Entry, DigramHash> table_;
+  // Lazy heap of (count, digram) snapshots.
+  struct HeapItem {
+    long long count;
+    Digram d;
+    bool operator<(const HeapItem& o) const { return count < o.count; }
+  };
+  std::priority_queue<HeapItem> heap_;
+  long long total_ = 0;
+};
+
+}  // namespace slg
+
+#endif  // SLG_REPAIR_DIGRAM_INDEX_H_

@@ -1,0 +1,112 @@
+#include "src/repair/pruning.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/grammar/inliner.h"
+#include "src/grammar/orders.h"
+
+namespace slg {
+
+long long SavValue(const Grammar& g, LabelId r, int refs) {
+  const Tree& t = g.rhs(r);
+  long long size = t.LiveCount() - 1;  // edges
+  long long rank = g.labels().Rank(r);
+  return static_cast<long long>(refs) * (size - rank) - size;
+}
+
+namespace {
+
+// Reference counts are maintained incrementally across removals:
+// recomputing them per removal would make pruning quadratic in the
+// grammar size.
+class Pruner {
+ public:
+  explicit Pruner(Grammar* g) : g_(g), refs_(ComputeRefCounts(*g)) {}
+
+  void Run() {
+    // Phase 1: drop unreferenced rules, inline |ref| == 1 rules.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (LabelId r : g_->Nonterminals()) {
+        if (r == g_->start() || !g_->HasRule(r)) continue;
+        int rc = refs_[r];
+        if (rc == 0) {
+          DropRule(r);
+          changed = true;
+        } else if (rc == 1) {
+          InlineAway(r);
+          changed = true;
+        }
+      }
+    }
+
+    // Phase 2: anti-SL sweep over sav values; callees first, so caller
+    // sizes reflect earlier inlinings when their turn comes. Inlining
+    // can push other rules to |ref| <= 1, handled by a final phase-1
+    // style sweep.
+    for (LabelId r : AntiSlOrder(*g_)) {
+      if (r == g_->start() || !g_->HasRule(r)) continue;
+      int rc = refs_[r];
+      if (rc == 0 || rc == 1 || SavValue(*g_, r, rc) < 0) {
+        if (rc == 0) {
+          DropRule(r);
+        } else {
+          InlineAway(r);
+        }
+      }
+    }
+    bool again = true;
+    while (again) {
+      again = false;
+      for (LabelId r : g_->Nonterminals()) {
+        if (r == g_->start() || !g_->HasRule(r)) continue;
+        int rc = refs_[r];
+        if (rc == 0) {
+          DropRule(r);
+          again = true;
+        } else if (rc == 1 || SavValue(*g_, r, rc) < 0) {
+          InlineAway(r);
+          again = true;
+        }
+      }
+    }
+  }
+
+ private:
+  // Callee multiset of r's body.
+  std::unordered_map<LabelId, int> BodyCallees(LabelId r) {
+    std::unordered_map<LabelId, int> counts;
+    const Tree& t = g_->rhs(r);
+    t.VisitPreorder(t.root(), [&](NodeId v) {
+      LabelId l = t.label(v);
+      if (g_->IsNonterminal(l)) ++counts[l];
+    });
+    return counts;
+  }
+
+  void DropRule(LabelId r) {
+    for (auto [callee, n] : BodyCallees(r)) refs_[callee] -= n;
+    g_->RemoveRule(r);
+    refs_.erase(r);
+  }
+
+  void InlineAway(LabelId r) {
+    int rc = refs_[r];
+    // Each of the rc call sites receives a body copy; the original
+    // body disappears with the rule.
+    for (auto [callee, n] : BodyCallees(r)) refs_[callee] += n * (rc - 1);
+    InlineEverywhereAndRemove(g_, r);
+    refs_.erase(r);
+  }
+
+  Grammar* g_;
+  std::unordered_map<LabelId, int> refs_;
+};
+
+}  // namespace
+
+void Prune(Grammar* g) { Pruner(g).Run(); }
+
+}  // namespace slg

@@ -1,0 +1,26 @@
+// Pruning phase (paper §IV-D): removes unproductive rules.
+//
+// sav_G(R) = |ref_G(R)| * (size(t_R) - rank(R)) - size(t_R), with
+// size(t) = #edges of t. A rule with sav < 0 costs more than it saves
+// and is inlined away. Following TreeRePair's greedy strategy, rules
+// referenced exactly once are removed first (always profitable), then
+// rules are analyzed in anti-SL order, since inlining Q into R changes
+// size(t_R) and thus sav(R).
+
+#ifndef SLG_REPAIR_PRUNING_H_
+#define SLG_REPAIR_PRUNING_H_
+
+#include "src/grammar/grammar.h"
+
+namespace slg {
+
+// sav value for rule r under current reference count `refs`.
+long long SavValue(const Grammar& g, LabelId r, int refs);
+
+// Prunes the grammar in place. Never removes the start rule. Preserves
+// val(G).
+void Prune(Grammar* g);
+
+}  // namespace slg
+
+#endif  // SLG_REPAIR_PRUNING_H_

@@ -1,0 +1,33 @@
+// TreeRePair (Lohrey, Maneth, Mennicke [3]): RePair compression of a
+// ranked labeled ordered tree. This is the paper's baseline compressor
+// and the "compress" leg of the update-decompress-compress (udc)
+// method.
+//
+// The algorithm repeatedly replaces a most frequent appropriate digram
+// α = (a,i,b) by a fresh nonterminal X with rule X -> pattern(α),
+// maintaining digram occurrence lists incrementally (§IV-C), and ends
+// with the pruning phase (§IV-D).
+
+#ifndef SLG_REPAIR_TREE_REPAIR_H_
+#define SLG_REPAIR_TREE_REPAIR_H_
+
+#include "src/grammar/grammar.h"
+#include "src/repair/repair_options.h"
+#include "src/tree/label_table.h"
+#include "src/tree/tree.h"
+
+namespace slg {
+
+struct TreeRepairResult {
+  Grammar grammar;
+  int digrams_replaced = 0;
+};
+
+// Compresses `t` (consumed) into an SLCF grammar with val(G) == t.
+// `labels` must be the table `t`'s labels come from (copied in).
+TreeRepairResult TreeRePair(Tree t, const LabelTable& labels,
+                            const RepairOptions& options = {});
+
+}  // namespace slg
+
+#endif  // SLG_REPAIR_TREE_REPAIR_H_

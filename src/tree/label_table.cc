@@ -1,0 +1,56 @@
+#include "src/tree/label_table.h"
+
+#include <string>
+
+namespace slg {
+
+LabelTable::LabelTable() {
+  // Reserve id 0 for the ⊥ empty-node label.
+  LabelId null_id = Intern("~", 0);
+  SLG_CHECK(null_id == kNullLabel);
+}
+
+LabelId LabelTable::Intern(std::string_view name, int rank) {
+  auto it = by_name_.find(std::string(name));
+  if (it != by_name_.end()) {
+    SLG_CHECK_MSG(entries_[Index(it->second)].rank == rank,
+                  "label re-interned with different rank");
+    return it->second;
+  }
+  LabelId id = static_cast<LabelId>(entries_.size());
+  entries_.push_back(Entry{std::string(name), rank, 0});
+  by_name_.emplace(std::string(name), id);
+  return id;
+}
+
+LabelId LabelTable::Find(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? kNoLabel : it->second;
+}
+
+LabelId LabelTable::Param(int index) {
+  SLG_CHECK(index >= 1);
+  while (static_cast<int>(params_.size()) < index) {
+    int next = static_cast<int>(params_.size()) + 1;
+    std::string name = "$" + std::to_string(next);
+    SLG_CHECK_MSG(by_name_.find(name) == by_name_.end(),
+                  "parameter name already taken by a non-parameter label");
+    LabelId id = static_cast<LabelId>(entries_.size());
+    entries_.push_back(Entry{name, 0, next});
+    by_name_.emplace(name, id);
+    params_.push_back(id);
+  }
+  return params_[static_cast<size_t>(index - 1)];
+}
+
+LabelId LabelTable::Fresh(std::string_view prefix, int rank) {
+  for (;;) {
+    std::string name =
+        std::string(prefix) + std::to_string(fresh_counter_++);
+    if (by_name_.find(name) == by_name_.end()) {
+      return Intern(name, rank);
+    }
+  }
+}
+
+}  // namespace slg

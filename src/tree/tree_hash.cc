@@ -1,0 +1,88 @@
+#include "src/tree/tree_hash.h"
+
+#include <vector>
+
+namespace slg {
+
+namespace {
+
+inline uint64_t Mix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h *= 0xff51afd7ed558ccdULL;
+  return h ^ (h >> 33);
+}
+
+}  // namespace
+
+uint64_t SubtreeHash(const Tree& t, NodeId v) {
+  // Post-order accumulation with an explicit stack: (node, child cursor).
+  // hashes[] holds finished child hashes on a value stack.
+  struct Frame {
+    NodeId node;
+    NodeId next_child;
+    uint64_t h;
+  };
+  std::vector<Frame> stack;
+  stack.push_back(
+      {v, t.first_child(v), Mix(0x1234abcdULL, static_cast<uint64_t>(
+                                                   t.label(v)))});
+  uint64_t result = 0;
+  for (;;) {
+    Frame& top = stack.back();
+    if (top.next_child == kNilNode) {
+      uint64_t h = Mix(top.h, 0x5bd1e995ULL);
+      stack.pop_back();
+      if (stack.empty()) {
+        result = h;
+        break;
+      }
+      Frame& up = stack.back();
+      up.h = Mix(up.h, h);
+      up.next_child = t.next_sibling(up.next_child);
+    } else {
+      NodeId c = top.next_child;
+      stack.push_back({c, t.first_child(c),
+                       Mix(0x1234abcdULL, static_cast<uint64_t>(t.label(c)))});
+    }
+  }
+  return result;
+}
+
+std::vector<uint64_t> AllSubtreeHashes(const Tree& t) {
+  std::vector<uint64_t> hashes;
+  std::vector<NodeId> order = t.Preorder();
+  if (order.empty()) return hashes;
+  NodeId max_id = 0;
+  for (NodeId v : order) max_id = std::max(max_id, v);
+  hashes.assign(static_cast<size_t>(max_id) + 1, 0);
+  // Process in reverse preorder: children before parents.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    NodeId v = *it;
+    uint64_t h = Mix(0x1234abcdULL, static_cast<uint64_t>(t.label(v)));
+    for (NodeId c = t.first_child(v); c != kNilNode; c = t.next_sibling(c)) {
+      h = Mix(h, hashes[static_cast<size_t>(c)]);
+    }
+    hashes[static_cast<size_t>(v)] = Mix(h, 0x5bd1e995ULL);
+  }
+  return hashes;
+}
+
+bool SubtreeEquals(const Tree& a, NodeId va, const Tree& b, NodeId vb) {
+  std::vector<std::pair<NodeId, NodeId>> stack = {{va, vb}};
+  while (!stack.empty()) {
+    auto [x, y] = stack.back();
+    stack.pop_back();
+    if (a.label(x) != b.label(y)) return false;
+    NodeId cx = a.first_child(x);
+    NodeId cy = b.first_child(y);
+    while (cx != kNilNode && cy != kNilNode) {
+      stack.emplace_back(cx, cy);
+      cx = a.next_sibling(cx);
+      cy = b.next_sibling(cy);
+    }
+    if (cx != kNilNode || cy != kNilNode) return false;
+  }
+  return true;
+}
+
+}  // namespace slg

@@ -1,0 +1,36 @@
+// Structural subtree hashing and equality.
+//
+// Used by the minimal-DAG builder (hash-consing), by tests (comparing
+// decompressed trees without materializing strings), and by the
+// workload generator (sampling structurally distinct subtrees).
+
+#ifndef SLG_TREE_TREE_HASH_H_
+#define SLG_TREE_TREE_HASH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/tree/tree.h"
+
+namespace slg {
+
+// 64-bit structural hash of the subtree rooted at v (label + shape).
+uint64_t SubtreeHash(const Tree& t, NodeId v);
+
+// Structural hashes for every node of `t`, indexed by NodeId (entries
+// for ids that are not live are unspecified). Single post-order pass.
+std::vector<uint64_t> AllSubtreeHashes(const Tree& t);
+
+// True iff the two subtrees are structurally identical (same labels,
+// same shape).
+bool SubtreeEquals(const Tree& a, NodeId va, const Tree& b, NodeId vb);
+
+// Whole-tree comparison.
+inline bool TreeEquals(const Tree& a, const Tree& b) {
+  if (a.empty() || b.empty()) return a.empty() && b.empty();
+  return SubtreeEquals(a, a.root(), b, b.root());
+}
+
+}  // namespace slg
+
+#endif  // SLG_TREE_TREE_HASH_H_

@@ -1,0 +1,132 @@
+#include "src/tree/tree_io.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace slg {
+
+namespace {
+
+bool IsLabelChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '$' || c == '~' || c == '#' || c == '.' || c == ':' || c == '-';
+}
+
+class TermParser {
+ public:
+  TermParser(std::string_view text, LabelTable* labels)
+      : text_(text), labels_(labels) {}
+
+  StatusOr<Tree> Parse() {
+    Tree t;
+    StatusOr<NodeId> root = ParseNode(&t);
+    if (!root.ok()) return root.status();
+    t.SetRoot(root.value());
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing characters after term at " +
+                                     std::to_string(pos_));
+    }
+    return t;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  StatusOr<NodeId> ParseNode(Tree* t) {
+    SkipWs();
+    size_t start = pos_;
+    while (pos_ < text_.size() && IsLabelChar(text_[pos_])) ++pos_;
+    if (pos_ == start) {
+      return Status::InvalidArgument("expected label at position " +
+                                     std::to_string(pos_));
+    }
+    std::string name(text_.substr(start, pos_ - start));
+
+    std::vector<NodeId> children;
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '(') {
+      ++pos_;
+      for (;;) {
+        StatusOr<NodeId> child = ParseNode(t);
+        if (!child.ok()) return child.status();
+        children.push_back(child.value());
+        SkipWs();
+        if (pos_ < text_.size() && text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (pos_ < text_.size() && text_[pos_] == ')') {
+          ++pos_;
+          break;
+        }
+        return Status::InvalidArgument("expected ',' or ')' at position " +
+                                       std::to_string(pos_));
+      }
+    }
+
+    LabelId label;
+    if (name.size() >= 2 && name[0] == '$') {
+      int index = std::atoi(name.c_str() + 1);
+      if (index < 1 || !children.empty()) {
+        return Status::InvalidArgument("bad parameter " + name);
+      }
+      label = labels_->Param(index);
+    } else {
+      LabelId existing = labels_->Find(name);
+      int rank = static_cast<int>(children.size());
+      if (existing != kNoLabel && labels_->Rank(existing) != rank) {
+        return Status::InvalidArgument(
+            "label '" + name + "' used with child count " +
+            std::to_string(rank) + " but has rank " +
+            std::to_string(labels_->Rank(existing)));
+      }
+      label = labels_->Intern(name, rank);
+    }
+
+    NodeId v = t->NewNode(label);
+    for (NodeId c : children) t->AppendChild(v, c);
+    return v;
+  }
+
+  std::string_view text_;
+  LabelTable* labels_;
+  size_t pos_ = 0;
+};
+
+void ToTermRec(const Tree& t, const LabelTable& labels, NodeId v,
+               std::string* out) {
+  out->append(labels.Name(t.label(v)));
+  NodeId c = t.first_child(v);
+  if (c == kNilNode) return;
+  out->push_back('(');
+  bool first = true;
+  for (; c != kNilNode; c = t.next_sibling(c)) {
+    if (!first) out->push_back(',');
+    first = false;
+    ToTermRec(t, labels, c, out);
+  }
+  out->push_back(')');
+}
+
+}  // namespace
+
+StatusOr<Tree> ParseTerm(std::string_view text, LabelTable* labels) {
+  return TermParser(text, labels).Parse();
+}
+
+std::string ToTerm(const Tree& t, const LabelTable& labels, NodeId v) {
+  std::string out;
+  if (v == kNilNode) v = t.root();
+  if (v == kNilNode) return out;
+  ToTermRec(t, labels, v, &out);
+  return out;
+}
+
+}  // namespace slg

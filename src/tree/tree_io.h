@@ -1,0 +1,35 @@
+// Term-syntax reader/writer for trees, used by tests, the grammar text
+// format, and debugging output.
+//
+// Syntax:   tree    := label [ '(' tree (',' tree)* ')' ]
+//           label   := [A-Za-z0-9_$~#.:-]+
+// "~" is the ⊥ empty node; "$i" is parameter y_i. Whitespace between
+// tokens is ignored. Example: "f(a(~,a(~,~)),~)".
+//
+// Labels are interned into the supplied LabelTable. A label's rank is
+// fixed by its first occurrence; later occurrences with a different
+// child count are rejected.
+
+#ifndef SLG_TREE_TREE_IO_H_
+#define SLG_TREE_TREE_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/tree/label_table.h"
+#include "src/tree/tree.h"
+
+namespace slg {
+
+// Parses `text` into a fresh tree, interning labels into `labels`.
+StatusOr<Tree> ParseTerm(std::string_view text, LabelTable* labels);
+
+// Renders the subtree of `t` rooted at `v` (default: root) back to term
+// syntax.
+std::string ToTerm(const Tree& t, const LabelTable& labels,
+                   NodeId v = kNilNode);
+
+}  // namespace slg
+
+#endif  // SLG_TREE_TREE_IO_H_

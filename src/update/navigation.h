@@ -1,0 +1,29 @@
+// Derived-size bookkeeping for navigating val(G) without
+// decompression (paper §III-A).
+//
+// For a node v of a rule's right-hand side, the derived subtree of v
+// is the part of val(G) produced by v (with parameters replaced by
+// the derived subtrees of the call's arguments). Its node count is
+// computable bottom-up from the segment sizes of the called rules.
+
+#ifndef SLG_UPDATE_NAVIGATION_H_
+#define SLG_UPDATE_NAVIGATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/grammar/grammar.h"
+#include "src/grammar/sizes.h"
+
+namespace slg {
+
+// Derived node count for every node of `t` (indexed by NodeId; dead
+// ids hold 0). `seg` must come from ComputeSegmentSizes on the same
+// grammar. Saturates at kSizeCap.
+std::vector<int64_t> DerivedSubtreeSizes(
+    const Grammar& g, const Tree& t,
+    const std::unordered_map<LabelId, SegmentSizes>& seg);
+
+}  // namespace slg
+
+#endif  // SLG_UPDATE_NAVIGATION_H_

@@ -1,0 +1,98 @@
+#include "src/update/path_isolation.h"
+
+#include <string>
+#include <vector>
+
+#include "src/grammar/inliner.h"
+#include "src/grammar/sizes.h"
+#include "src/grammar/value.h"
+#include "src/update/navigation.h"
+
+namespace slg {
+
+StatusOr<NodeId> IsolateNode(Grammar* g, int64_t preorder) {
+  if (preorder < 1) {
+    return Status::OutOfRange("preorder positions are 1-based");
+  }
+  auto seg = ComputeSegmentSizes(*g);
+  Tree& t = g->rhs(g->start());
+  std::vector<int64_t> derived = DerivedSubtreeSizes(*g, t, seg);
+  auto derived_of = [&](NodeId v) {
+    return derived[static_cast<size_t>(v)];
+  };
+  if (preorder > derived_of(t.root())) {
+    return Status::OutOfRange("preorder position " + std::to_string(preorder) +
+                              " beyond val(G) size " +
+                              std::to_string(derived_of(t.root())));
+  }
+
+  NodeId v = t.root();
+  int64_t k = preorder;  // target is the k-th node of v's derived subtree
+  const LabelTable& labels = g->labels();
+  for (;;) {
+    LabelId l = t.label(v);
+    SLG_CHECK(!labels.IsParam(l));
+    if (!g->IsNonterminal(l)) {
+      if (k == 1) return v;
+      k -= 1;
+      NodeId c = t.first_child(v);
+      for (; c != kNilNode; c = t.next_sibling(c)) {
+        int64_t n = derived_of(c);
+        if (k <= n) break;
+        k -= n;
+      }
+      SLG_CHECK(c != kNilNode);
+      v = c;
+      continue;
+    }
+    // Nonterminal call: decide whether the target lies in an argument
+    // subtree (descend without inlining) or in the rule body (inline).
+    const SegmentSizes& s = seg.at(l);
+    int64_t k2 = k;
+    NodeId arg = t.first_child(v);
+    NodeId descend = kNilNode;
+    for (size_t i = 0; i + 1 < s.sizes.size() && arg != kNilNode;
+         ++i, arg = t.next_sibling(arg)) {
+      int64_t body_seg = s.sizes[i];
+      if (k2 <= body_seg) break;  // inside the body: inline
+      k2 -= body_seg;
+      int64_t n = derived_of(arg);
+      if (k2 <= n) {
+        descend = arg;
+        break;
+      }
+      k2 -= n;
+    }
+    if (descend != kNilNode) {
+      v = arg;
+      k = k2;
+      continue;
+    }
+    // Target is produced by the rule body: inline one derivation step
+    // and continue from the copy (same k: the derived subtree of the
+    // position is unchanged).
+    NodeId copy_root = InlineCall(*g, &t, v, g->rhs(l));
+    // Derived sizes for the copied region are recomputed locally.
+    std::vector<NodeId> fresh = t.Preorder(copy_root);
+    NodeId max_id = static_cast<NodeId>(derived.size()) - 1;
+    for (NodeId f : fresh) max_id = std::max(max_id, f);
+    derived.resize(static_cast<size_t>(max_id) + 1, 0);
+    auto sat_add = [](int64_t a, int64_t b) {
+      int64_t s = a + b;
+      return (s < 0 || s > kSizeCap) ? kSizeCap : s;
+    };
+    for (auto it = fresh.rbegin(); it != fresh.rend(); ++it) {
+      NodeId u = *it;
+      LabelId ul = t.label(u);
+      int64_t n = g->IsNonterminal(ul) ? seg.at(ul).Total() : 1;
+      for (NodeId c = t.first_child(u); c != kNilNode;
+           c = t.next_sibling(c)) {
+        n = sat_add(n, derived[static_cast<size_t>(c)]);
+      }
+      derived[static_cast<size_t>(u)] = n;
+    }
+    v = copy_root;
+  }
+}
+
+}  // namespace slg

@@ -1,0 +1,27 @@
+// Path isolation (paper §III-A): make the node at a given preorder
+// position of val(G) terminally available in the start rule.
+//
+// iso(G, u) expands only the productions along the root-to-u spine,
+// inlining each needed call into (a working copy of) the start rule;
+// by Lemma 1 the isolated start rule stays within about twice the
+// grammar size for a single isolation. The other rules are untouched.
+
+#ifndef SLG_UPDATE_PATH_ISOLATION_H_
+#define SLG_UPDATE_PATH_ISOLATION_H_
+
+#include <cstdint>
+
+#include "src/common/status.h"
+#include "src/grammar/grammar.h"
+
+namespace slg {
+
+// Ensures the node at 1-based preorder position `preorder` of val(G)
+// exists as a terminal node of g's start rule; returns its NodeId in
+// the start rule's tree. Modifies g (inlines along the spine only).
+// Fails with OutOfRange for positions beyond val(G).
+StatusOr<NodeId> IsolateNode(Grammar* g, int64_t preorder);
+
+}  // namespace slg
+
+#endif  // SLG_UPDATE_PATH_ISOLATION_H_

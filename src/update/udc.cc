@@ -1,0 +1,28 @@
+#include "src/update/udc.h"
+
+#include <utility>
+
+#include "src/common/timer.h"
+#include "src/grammar/value.h"
+#include "src/repair/tree_repair.h"
+
+namespace slg {
+
+StatusOr<UdcResult> UpdateDecompressCompress(const Grammar& g,
+                                             const RepairOptions& options,
+                                             int64_t max_nodes) {
+  UdcResult result;
+  Timer timer;
+  StatusOr<Tree> tree = Value(g, max_nodes);
+  if (!tree.ok()) return tree.status();
+  result.decompress_seconds = timer.ElapsedSeconds();
+  result.tree_nodes = tree.value().LiveCount();
+
+  timer.Reset();
+  TreeRepairResult tr = TreeRePair(tree.take(), g.labels(), options);
+  result.compress_seconds = timer.ElapsedSeconds();
+  result.grammar = std::move(tr.grammar);
+  return result;
+}
+
+}  // namespace slg

@@ -1,0 +1,32 @@
+// The update-decompress-compress (udc) baseline (paper §V-C): the best
+// previously known way to regain compression after updates — fully
+// decompress the (updated) grammar to its tree and run TreeRePair from
+// scratch. GrammarRePair's claim is to beat this in time and space
+// while matching its compression.
+
+#ifndef SLG_UPDATE_UDC_H_
+#define SLG_UPDATE_UDC_H_
+
+#include "src/common/status.h"
+#include "src/grammar/grammar.h"
+#include "src/repair/repair_options.h"
+
+namespace slg {
+
+struct UdcResult {
+  Grammar grammar;
+  double decompress_seconds = 0;
+  double compress_seconds = 0;
+  // Peak tree size materialized (nodes) — udc's space cost.
+  int64_t tree_nodes = 0;
+};
+
+// Decompresses `g` and recompresses the tree with TreeRePair. Fails
+// (OutOfRange) if val(g) exceeds `max_nodes`.
+StatusOr<UdcResult> UpdateDecompressCompress(const Grammar& g,
+                                             const RepairOptions& options = {},
+                                             int64_t max_nodes = 64'000'000);
+
+}  // namespace slg
+
+#endif  // SLG_UPDATE_UDC_H_

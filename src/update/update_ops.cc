@@ -1,0 +1,161 @@
+#include "src/update/update_ops.h"
+
+#include <string>
+
+#include "src/grammar/orders.h"
+#include "src/update/path_isolation.h"
+
+namespace slg {
+
+int CollectGarbageRules(Grammar* g) {
+  int removed = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    auto refs = ComputeRefCounts(*g);
+    for (LabelId r : g->Nonterminals()) {
+      if (r != g->start() && refs[r] == 0) {
+        g->RemoveRule(r);
+        ++removed;
+        changed = true;
+      }
+    }
+  }
+  return removed;
+}
+
+NodeId RightmostLeaf(const Tree& t, NodeId v) {
+  for (;;) {
+    NodeId c = t.first_child(v);
+    if (c == kNilNode) return v;
+    while (t.next_sibling(c) != kNilNode) c = t.next_sibling(c);
+    v = c;
+  }
+}
+
+Status RenameNode(Grammar* g, int64_t preorder, std::string_view new_label) {
+  StatusOr<NodeId> u = IsolateNode(g, preorder);
+  if (!u.ok()) return u.status();
+  Tree& t = g->rhs(g->start());
+  if (t.label(u.value()) == kNullLabel) {
+    return Status::InvalidArgument("rename target is the empty node ⊥");
+  }
+  LabelId existing = g->labels().Find(new_label);
+  if (existing == kNullLabel) {
+    return Status::InvalidArgument("cannot rename to ⊥");
+  }
+  if (existing != kNoLabel && g->labels().Rank(existing) != 2) {
+    return Status::InvalidArgument(
+        "rename label exists with a rank other than 2");
+  }
+  LabelId nl =
+      existing != kNoLabel ? existing : g->labels().Intern(new_label, 2);
+  t.set_label(u.value(), nl);
+  return Status::Ok();
+}
+
+Status InsertTreeBefore(Grammar* g, int64_t preorder, const Tree& s) {
+  if (s.empty()) return Status::InvalidArgument("empty insert fragment");
+  StatusOr<NodeId> u_or = IsolateNode(g, preorder);
+  if (!u_or.ok()) return u_or.status();
+  NodeId u = u_or.value();
+  Tree& t = g->rhs(g->start());
+
+  NodeId copy = t.CopySubtreeFrom(s, s.root());
+  NodeId hole = RightmostLeaf(t, copy);
+  if (t.label(hole) != kNullLabel) {
+    t.DetachAndFree(copy);
+    return Status::InvalidArgument(
+        "insert fragment's rightmost leaf is not ⊥");
+  }
+
+  if (t.label(u) == kNullLabel) {
+    // Insert into an empty position: t[u/s].
+    t.ReplaceWith(u, copy);
+    t.FreeSubtree(u);
+    return Status::Ok();
+  }
+  // t[u/s'] with s' = s[rightmost ⊥ / t_u].
+  // Splice the copy where u was, then hang u's subtree at the hole.
+  NodeId after = t.next_sibling(u);
+  NodeId parent = t.parent(u);
+  t.Detach(u);
+  if (parent == kNilNode) {
+    t.SetRoot(copy);
+  } else if (after != kNilNode) {
+    t.InsertBefore(after, copy);
+  } else {
+    t.AppendChild(parent, copy);
+  }
+  t.ReplaceWith(hole, u);
+  t.FreeSubtree(hole);
+  return Status::Ok();
+}
+
+Status DeleteSubtree(Grammar* g, int64_t preorder) {
+  StatusOr<NodeId> u_or = IsolateNode(g, preorder);
+  if (!u_or.ok()) return u_or.status();
+  NodeId u = u_or.value();
+  Tree& t = g->rhs(g->start());
+  if (t.label(u) == kNullLabel) {
+    return Status::InvalidArgument("delete target is the empty node ⊥");
+  }
+  if (t.NumChildren(u) != 2) {
+    return Status::FailedPrecondition(
+        "delete target is not a binary element node");
+  }
+  NodeId next_sib = t.Child(u, 2);
+  t.Detach(next_sib);
+  t.ReplaceWith(u, next_sib);
+  t.FreeSubtree(u);  // frees u and its first-child subtree
+  CollectGarbageRules(g);
+  return Status::Ok();
+}
+
+void ApplyInsertToTree(Tree* t, int64_t preorder, const Tree& s) {
+  NodeId u = t->AtPreorderIndex(static_cast<int>(preorder));
+  SLG_CHECK(u != kNilNode);
+  NodeId copy = t->CopySubtreeFrom(s, s.root());
+  NodeId hole = RightmostLeaf(*t, copy);
+  SLG_CHECK(t->label(hole) == kNullLabel);
+  if (t->label(u) == kNullLabel) {
+    t->ReplaceWith(u, copy);
+    t->FreeSubtree(u);
+    return;
+  }
+  NodeId after = t->next_sibling(u);
+  NodeId parent = t->parent(u);
+  t->Detach(u);
+  if (parent == kNilNode) {
+    t->SetRoot(copy);
+  } else if (after != kNilNode) {
+    t->InsertBefore(after, copy);
+  } else {
+    t->AppendChild(parent, copy);
+  }
+  t->ReplaceWith(hole, u);
+  t->FreeSubtree(hole);
+}
+
+void ApplyDeleteToTree(Tree* t, int64_t preorder) {
+  NodeId u = t->AtPreorderIndex(static_cast<int>(preorder));
+  SLG_CHECK(u != kNilNode && t->label(u) != kNullLabel);
+  NodeId ns = t->Child(u, 2);
+  t->Detach(ns);
+  t->ReplaceWith(u, ns);
+  t->FreeSubtree(u);
+}
+
+void ApplyRenameToTree(Tree* t, int64_t preorder, LabelId label) {
+  NodeId u = t->AtPreorderIndex(static_cast<int>(preorder));
+  SLG_CHECK(u != kNilNode);
+  t->set_label(u, label);
+}
+
+StatusOr<std::string> ReadLabel(Grammar* g, int64_t preorder) {
+  StatusOr<NodeId> u = IsolateNode(g, preorder);
+  if (!u.ok()) return u.status();
+  return g->labels().Name(g->rhs(g->start()).label(u.value()));
+}
+
+}  // namespace slg

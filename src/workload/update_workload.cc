@@ -1,0 +1,118 @@
+#include "src/workload/update_workload.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/update/update_ops.h"
+
+namespace slg {
+
+namespace {
+
+// The XML-subtree of v as an insertable fragment: v plus its
+// first-child subtree, next-sibling slot cut to ⊥. Returns the number
+// of binary nodes via `size`.
+Tree ExtractFragment(const Tree& t, NodeId v, int* size) {
+  Tree frag;
+  NodeId root = frag.NewNode(t.label(v));
+  frag.SetRoot(root);
+  NodeId fc = t.first_child(v);
+  if (fc != kNilNode) {
+    frag.AppendChild(root, frag.CopySubtreeFrom(t, fc));
+  }
+  frag.AppendChild(root, frag.NewNode(kNullLabel));
+  *size = frag.LiveCount();
+  return frag;
+}
+
+// Picks a uniformly random non-root, non-⊥ node whose XML subtree has
+// at most max_nodes binary nodes (retries; falls back to any non-root
+// element).
+NodeId PickElement(const Tree& t, Rng* rng, int max_nodes) {
+  std::vector<NodeId> order = t.Preorder();
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    NodeId v = order[rng->Below(order.size())];
+    if (v == t.root() || t.label(v) == kNullLabel) continue;
+    if (max_nodes > 0) {
+      NodeId fc = t.first_child(v);
+      int sz = 2 + (fc == kNilNode ? 0 : t.SubtreeSize(fc));
+      if (sz > max_nodes) continue;
+    }
+    return v;
+  }
+  for (NodeId v : order) {
+    if (v != t.root() && t.label(v) != kNullLabel) return v;
+  }
+  return kNilNode;
+}
+
+}  // namespace
+
+UpdateWorkload MakeUpdateWorkload(const Tree& final_tree,
+                                  const LabelTable& labels,
+                                  const WorkloadOptions& options) {
+  (void)labels;
+  Rng rng(options.seed);
+  Tree t = final_tree;  // working copy, walked backwards
+  std::vector<UpdateOp> reverse_ops;
+  reverse_ops.reserve(static_cast<size_t>(options.num_ops));
+
+  for (int i = 0; i < options.num_ops; ++i) {
+    bool forward_is_insert = !rng.Chance(options.delete_fraction);
+    if (forward_is_insert) {
+      // Inverse: delete a random XML subtree; forward op reinserts it
+      // at the position its next-sibling root then occupies.
+      NodeId v = PickElement(t, &rng, options.max_fragment_nodes);
+      if (v == kNilNode) break;
+      int frag_size = 0;
+      Tree frag = ExtractFragment(t, v, &frag_size);
+      int64_t pre = t.PreorderIndexOf(v);
+      ApplyDeleteToTree(&t, pre);
+      reverse_ops.push_back(
+          UpdateOp{UpdateOp::Kind::kInsert, pre, std::move(frag)});
+    } else {
+      // Inverse: insert a fragment sampled from the document; forward
+      // op deletes it again.
+      NodeId sample = PickElement(t, &rng, options.max_fragment_nodes);
+      if (sample == kNilNode) break;
+      int frag_size = 0;
+      Tree frag = ExtractFragment(t, sample, &frag_size);
+      std::vector<NodeId> order = t.Preorder();
+      NodeId u = order[rng.Below(order.size())];
+      int64_t pre = t.PreorderIndexOf(u);
+      ApplyInsertToTree(&t, pre, frag);
+      reverse_ops.push_back(UpdateOp{UpdateOp::Kind::kDelete, pre, Tree()});
+    }
+  }
+
+  UpdateWorkload w;
+  w.seed = std::move(t);
+  w.ops.assign(std::make_move_iterator(reverse_ops.rbegin()),
+               std::make_move_iterator(reverse_ops.rend()));
+  return w;
+}
+
+std::vector<RenameOp> MakeRenameWorkload(const Tree& tree,
+                                         const LabelTable& labels, int count,
+                                         uint64_t seed) {
+  (void)labels;
+  Rng rng(seed);
+  std::vector<RenameOp> ops;
+  std::vector<NodeId> order = tree.Preorder();
+  for (int i = 0; i < count; ++i) {
+    NodeId v = kNilNode;
+    for (int attempt = 0; attempt < 64 && v == kNilNode; ++attempt) {
+      NodeId cand = order[rng.Below(order.size())];
+      if (tree.label(cand) != kNullLabel) v = cand;
+    }
+    if (v == kNilNode) break;
+    ops.push_back(RenameOp{tree.PreorderIndexOf(v),
+                           "fresh_" + std::to_string(i)});
+  }
+  return ops;
+}
+
+}  // namespace slg

@@ -1,0 +1,69 @@
+// Update-workload generation (paper §V-C).
+//
+// "We consider sequences of random insert and delete operations (10%
+//  deletes and 90% inserts). The sequences are obtained by starting
+//  from a given document, and then applying the inverse of the
+//  operations until a seed document is derived."
+//
+// MakeUpdateWorkload walks backwards from the final document applying
+// inverse operations (inverse of insert = delete a random XML subtree;
+// inverse of delete = insert a random fragment sampled from the
+// document itself) and records the forward operation with the preorder
+// address valid at its application time. Replaying `ops` in order on
+// `seed` reproduces the final document exactly — on the plain tree and
+// on the grammar alike.
+
+#ifndef SLG_WORKLOAD_UPDATE_WORKLOAD_H_
+#define SLG_WORKLOAD_UPDATE_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/tree/label_table.h"
+#include "src/tree/tree.h"
+
+namespace slg {
+
+struct UpdateOp {
+  enum class Kind { kInsert, kDelete };
+  Kind kind;
+  int64_t preorder;  // address in the binary tree at application time
+  Tree fragment;     // only for kInsert
+};
+
+struct UpdateWorkload {
+  Tree seed;                  // binary tree the sequence starts from
+  std::vector<UpdateOp> ops;  // forward order
+};
+
+struct WorkloadOptions {
+  int num_ops = 1000;
+  double delete_fraction = 0.1;  // paper: 10% deletes, 90% inserts
+  // Inserted fragments are sampled from the document's own subtrees,
+  // capped at this many binary nodes (keeps document size stationary).
+  int max_fragment_nodes = 60;
+  uint64_t seed = 7;
+};
+
+// `final_tree` is the binary encoding of the target document (the
+// sequence ends there); labels must be its table (shared with the
+// grammars the benches compress).
+UpdateWorkload MakeUpdateWorkload(const Tree& final_tree,
+                                  const LabelTable& labels,
+                                  const WorkloadOptions& options);
+
+// Random-rename workload for the runtime experiment (paper §V-C
+// "Runtime Comparison"): `count` renames of random non-⊥ nodes to
+// fresh labels not used in the document.
+struct RenameOp {
+  int64_t preorder;
+  std::string label;
+};
+std::vector<RenameOp> MakeRenameWorkload(const Tree& tree,
+                                         const LabelTable& labels, int count,
+                                         uint64_t seed);
+
+}  // namespace slg
+
+#endif  // SLG_WORKLOAD_UPDATE_WORKLOAD_H_

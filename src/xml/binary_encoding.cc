@@ -1,0 +1,106 @@
+#include "src/xml/binary_encoding.h"
+
+#include <vector>
+
+namespace slg {
+
+Tree EncodeBinary(const XmlTree& xml, LabelTable* labels) {
+  Tree t;
+  if (xml.root() == kXmlNil) return t;
+
+  // Iterative construction. For each XML node we create a binary node
+  // and then visit (first_child slot, next_sibling slot).
+  struct Work {
+    XmlNodeId xml_node;   // kXmlNil means "emit ⊥"
+    NodeId bin_parent;    // node to append under (kNilNode = root slot)
+  };
+  std::vector<Work> stack;
+  stack.push_back({xml.root(), kNilNode});
+  while (!stack.empty()) {
+    Work w = stack.back();
+    stack.pop_back();
+    if (w.xml_node == kXmlNil) {
+      NodeId nil = t.NewNode(kNullLabel);
+      t.AppendChild(w.bin_parent, nil);
+      continue;
+    }
+    LabelId label = labels->Intern(xml.Tag(w.xml_node), 2);
+    NodeId v = t.NewNode(label);
+    if (w.bin_parent == kNilNode) {
+      t.SetRoot(v);
+    } else {
+      t.AppendChild(w.bin_parent, v);
+    }
+    // Append order matters: first-child slot, then next-sibling slot.
+    // Since AppendChild adds at the back, push nothing and process
+    // immediately via two queued entries in reverse on the stack.
+    XmlNodeId fc = xml.FirstChild(w.xml_node);
+    XmlNodeId ns = (w.bin_parent == kNilNode)
+                       ? kXmlNil  // root has no next sibling
+                       : xml.NextSibling(w.xml_node);
+    // Stack pops LIFO: push next-sibling first so first-child is
+    // appended first.
+    stack.push_back({ns, v});
+    stack.push_back({fc, v});
+  }
+  return t;
+}
+
+namespace {
+
+Status BadEncoding(const char* what) {
+  return Status::InvalidArgument(std::string("not a binary XML encoding: ") +
+                                 what);
+}
+
+}  // namespace
+
+StatusOr<XmlTree> DecodeBinary(const Tree& tree, const LabelTable& labels) {
+  XmlTree xml;
+  if (tree.empty()) return xml;
+  if (tree.label(tree.root()) == kNullLabel) return BadEncoding("⊥ root");
+
+  struct Work {
+    NodeId bin_node;
+    XmlNodeId xml_parent;
+  };
+  std::vector<Work> stack = {{tree.root(), kXmlNil}};
+  while (!stack.empty()) {
+    Work w = stack.back();
+    stack.pop_back();
+    NodeId v = w.bin_node;
+    LabelId l = tree.label(v);
+    if (l == kNullLabel) {
+      if (tree.first_child(v) != kNilNode) return BadEncoding("⊥ with children");
+      continue;
+    }
+    if (labels.IsParam(l)) return BadEncoding("parameter node");
+    if (tree.NumChildren(v) != 2) return BadEncoding("element without 2 children");
+    XmlNodeId x = xml.AddNode(labels.Name(l), w.xml_parent);
+    NodeId fc = tree.Child(v, 1);
+    NodeId ns = tree.Child(v, 2);
+    if (w.xml_parent == kXmlNil && tree.label(ns) != kNullLabel) {
+      return BadEncoding("root with non-⊥ next-sibling");
+    }
+    // Process next-sibling first (LIFO) so that the first-child chain
+    // of x is built before x's later siblings... order actually does
+    // not matter for AddNode correctness: siblings attach to
+    // xml_parent in pop order. To preserve document order, push the
+    // next-sibling first and the first-child last.
+    stack.push_back({ns, w.xml_parent});
+    stack.push_back({fc, x});
+  }
+  return xml;
+}
+
+int ElementCount(const Tree& tree, NodeId v) {
+  if (v == kNilNode) v = tree.root();
+  if (v == kNilNode) return 0;
+  int n = 0;
+  tree.VisitPreorder(v, [&](NodeId u) {
+    if (tree.label(u) != kNullLabel) ++n;
+  });
+  return n;
+}
+
+}  // namespace slg

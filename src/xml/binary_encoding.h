@@ -1,0 +1,34 @@
+// First-child / next-sibling binary encoding of XML trees (paper §II,
+// Fig. 1).
+//
+// Every element label becomes a rank-2 symbol a(first_child,
+// next_sibling); a missing first-child or next-sibling is the explicit
+// empty node ⊥ (kNullLabel). The encoding is a bijection; both
+// directions are provided and tested as inverses.
+
+#ifndef SLG_XML_BINARY_ENCODING_H_
+#define SLG_XML_BINARY_ENCODING_H_
+
+#include "src/common/status.h"
+#include "src/tree/label_table.h"
+#include "src/tree/tree.h"
+#include "src/xml/xml_tree.h"
+
+namespace slg {
+
+// Encodes `xml` into a binary tree whose labels are interned into
+// `labels` with rank 2.
+Tree EncodeBinary(const XmlTree& xml, LabelTable* labels);
+
+// Decodes a binary tree back to the unranked XML tree. Fails if the
+// tree is not a valid encoding (wrong ranks, ⊥ root, ⊥ with children,
+// or a non-⊥ next-sibling at the root).
+StatusOr<XmlTree> DecodeBinary(const Tree& tree, const LabelTable& labels);
+
+// Number of element nodes represented by a binary (sub)tree, i.e. the
+// count of non-⊥ nodes.
+int ElementCount(const Tree& tree, NodeId v = kNilNode);
+
+}  // namespace slg
+
+#endif  // SLG_XML_BINARY_ENCODING_H_

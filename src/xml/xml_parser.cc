@@ -1,0 +1,153 @@
+#include "src/xml/xml_parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace slg {
+
+namespace {
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == ':' || c == '-' || c == '.';
+}
+
+Status ErrorAt(size_t pos, const std::string& what) {
+  return Status::InvalidArgument(what + " at byte " + std::to_string(pos));
+}
+
+}  // namespace
+
+StatusOr<XmlTree> ParseXml(std::string_view text) {
+  XmlTree tree;
+  std::vector<XmlNodeId> open;       // element stack
+  std::vector<std::string> open_tags;
+  size_t i = 0;
+  const size_t n = text.size();
+
+  auto skip_until = [&](std::string_view marker) -> bool {
+    size_t found = text.find(marker, i);
+    if (found == std::string_view::npos) return false;
+    i = found + marker.size();
+    return true;
+  };
+
+  while (i < n) {
+    if (text[i] != '<') {
+      ++i;  // text content: skipped
+      continue;
+    }
+    size_t tag_start = i;
+    if (i + 1 >= n) return ErrorAt(i, "unterminated markup");
+    char c = text[i + 1];
+
+    if (c == '?') {  // processing instruction / xml declaration
+      i += 2;
+      if (!skip_until("?>")) return ErrorAt(tag_start, "unterminated PI");
+      continue;
+    }
+    if (c == '!') {
+      if (text.substr(i, 4) == "<!--") {
+        i += 4;
+        if (!skip_until("-->")) return ErrorAt(tag_start, "unterminated comment");
+        continue;
+      }
+      if (text.substr(i, 9) == "<![CDATA[") {
+        i += 9;
+        if (!skip_until("]]>")) return ErrorAt(tag_start, "unterminated CDATA");
+        continue;
+      }
+      // DOCTYPE or other declaration: skip to matching '>' (no nested
+      // internal subset support beyond bracket counting).
+      int depth = 0;
+      while (i < n) {
+        if (text[i] == '[') ++depth;
+        if (text[i] == ']') --depth;
+        if (text[i] == '>' && depth == 0) break;
+        ++i;
+      }
+      if (i >= n) return ErrorAt(tag_start, "unterminated declaration");
+      ++i;
+      continue;
+    }
+
+    if (c == '/') {  // closing tag
+      i += 2;
+      size_t name_start = i;
+      while (i < n && IsNameChar(text[i])) ++i;
+      std::string name(text.substr(name_start, i - name_start));
+      while (i < n && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+      if (i >= n || text[i] != '>') return ErrorAt(tag_start, "bad closing tag");
+      ++i;
+      if (open.empty()) return ErrorAt(tag_start, "closing tag without opener");
+      if (open_tags.back() != name) {
+        return ErrorAt(tag_start, "mismatched closing tag </" + name +
+                                      ">, expected </" + open_tags.back() +
+                                      ">");
+      }
+      open.pop_back();
+      open_tags.pop_back();
+      continue;
+    }
+
+    // Opening tag.
+    ++i;
+    if (i >= n || !IsNameStart(text[i])) return ErrorAt(tag_start, "bad tag name");
+    size_t name_start = i;
+    while (i < n && IsNameChar(text[i])) ++i;
+    std::string name(text.substr(name_start, i - name_start));
+
+    // Skip attributes (quoted values may contain '>' or '/').
+    bool self_closing = false;
+    while (i < n) {
+      char a = text[i];
+      if (a == '"' || a == '\'') {
+        size_t endq = text.find(a, i + 1);
+        if (endq == std::string_view::npos) {
+          return ErrorAt(i, "unterminated attribute value");
+        }
+        i = endq + 1;
+        continue;
+      }
+      if (a == '/') {
+        if (i + 1 < n && text[i + 1] == '>') {
+          self_closing = true;
+          i += 2;
+          break;
+        }
+        return ErrorAt(i, "stray '/' in tag");
+      }
+      if (a == '>') {
+        ++i;
+        break;
+      }
+      ++i;
+    }
+    if (i > n) return ErrorAt(tag_start, "unterminated opening tag");
+
+    XmlNodeId parent = open.empty() ? kXmlNil : open.back();
+    if (parent == kXmlNil && tree.root() != kXmlNil) {
+      return ErrorAt(tag_start, "multiple root elements");
+    }
+    XmlNodeId v = tree.AddNode(name, parent);
+    if (!self_closing) {
+      open.push_back(v);
+      open_tags.push_back(name);
+    }
+  }
+
+  if (!open.empty()) {
+    return Status::InvalidArgument("unclosed element <" + open_tags.back() +
+                                   ">");
+  }
+  if (tree.root() == kXmlNil) {
+    return Status::InvalidArgument("no root element");
+  }
+  return tree;
+}
+
+}  // namespace slg

@@ -1,0 +1,23 @@
+// Structure-only XML parser.
+//
+// Parses well-formed XML and keeps only the element structure, exactly
+// like the paper's benchmark preprocessing: text content, attributes,
+// comments, CDATA, processing instructions and the DOCTYPE are skipped.
+// Mismatched or unterminated tags yield an InvalidArgument Status with
+// the byte offset of the problem.
+
+#ifndef SLG_XML_XML_PARSER_H_
+#define SLG_XML_XML_PARSER_H_
+
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/xml/xml_tree.h"
+
+namespace slg {
+
+StatusOr<XmlTree> ParseXml(std::string_view text);
+
+}  // namespace slg
+
+#endif  // SLG_XML_XML_PARSER_H_

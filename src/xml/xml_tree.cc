@@ -1,0 +1,57 @@
+#include "src/xml/xml_tree.h"
+
+#include <vector>
+
+namespace slg {
+
+int32_t XmlTree::InternTag(std::string_view tag) {
+  auto it = tag_ids_.find(std::string(tag));
+  if (it != tag_ids_.end()) return it->second;
+  int32_t id = static_cast<int32_t>(tags_.size());
+  tags_.emplace_back(tag);
+  tag_ids_.emplace(std::string(tag), id);
+  return id;
+}
+
+XmlNodeId XmlTree::AddNode(std::string_view tag, XmlNodeId parent) {
+  XmlNodeId v = static_cast<XmlNodeId>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_.back().tag = InternTag(tag);
+  nodes_.back().parent = parent;
+  if (parent == kXmlNil) {
+    SLG_CHECK_MSG(root_ == kXmlNil, "XmlTree already has a root");
+    root_ = v;
+  } else {
+    Node& p = nodes_[Check(parent)];
+    if (p.last_child == kXmlNil) {
+      p.first_child = v;
+    } else {
+      nodes_[Check(p.last_child)].next_sibling = v;
+    }
+    p.last_child = v;
+  }
+  return v;
+}
+
+int XmlTree::NumChildren(XmlNodeId v) const {
+  int n = 0;
+  for (XmlNodeId c = FirstChild(v); c != kXmlNil; c = NextSibling(c)) ++n;
+  return n;
+}
+
+int XmlTree::Depth() const {
+  if (root_ == kXmlNil) return 0;
+  int max_depth = 0;
+  std::vector<std::pair<XmlNodeId, int>> stack = {{root_, 0}};
+  while (!stack.empty()) {
+    auto [v, d] = stack.back();
+    stack.pop_back();
+    if (d > max_depth) max_depth = d;
+    for (XmlNodeId c = FirstChild(v); c != kXmlNil; c = NextSibling(c)) {
+      stack.emplace_back(c, d + 1);
+    }
+  }
+  return max_depth;
+}
+
+}  // namespace slg

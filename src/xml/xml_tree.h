@@ -1,0 +1,80 @@
+// Unranked element-only XML document tree.
+//
+// Following the paper (§V-A), documents consist of element nodes only:
+// text, attributes, comments and processing instructions are stripped
+// by the parser. An XmlTree is the natural unranked form; compressors
+// operate on its rank-2 binary encoding (see binary_encoding.h).
+
+#ifndef SLG_XML_XML_TREE_H_
+#define SLG_XML_XML_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace slg {
+
+using XmlNodeId = int32_t;
+inline constexpr XmlNodeId kXmlNil = -1;
+
+class XmlTree {
+ public:
+  XmlTree() = default;
+
+  // Adds a node with the given tag under `parent` (kXmlNil for the
+  // root; only one root is allowed). Children are appended in order.
+  XmlNodeId AddNode(std::string_view tag, XmlNodeId parent);
+
+  XmlNodeId root() const { return root_; }
+  int NodeCount() const { return static_cast<int>(nodes_.size()); }
+  // XML edges = element nodes - 1 (the count reported in Table III).
+  int EdgeCount() const { return NodeCount() == 0 ? 0 : NodeCount() - 1; }
+
+  const std::string& Tag(XmlNodeId v) const {
+    return tags_[static_cast<size_t>(nodes_[Check(v)].tag)];
+  }
+  int32_t TagId(XmlNodeId v) const { return nodes_[Check(v)].tag; }
+  XmlNodeId Parent(XmlNodeId v) const { return nodes_[Check(v)].parent; }
+  XmlNodeId FirstChild(XmlNodeId v) const {
+    return nodes_[Check(v)].first_child;
+  }
+  XmlNodeId NextSibling(XmlNodeId v) const {
+    return nodes_[Check(v)].next_sibling;
+  }
+
+  int NumChildren(XmlNodeId v) const;
+
+  // Depth of the deepest node; a lone root has depth 0 (paper's "dp").
+  int Depth() const;
+
+  int DistinctTagCount() const { return static_cast<int>(tags_.size()); }
+
+ private:
+  struct Node {
+    int32_t tag = -1;
+    XmlNodeId parent = kXmlNil;
+    XmlNodeId first_child = kXmlNil;
+    XmlNodeId last_child = kXmlNil;
+    XmlNodeId next_sibling = kXmlNil;
+  };
+
+  size_t Check(XmlNodeId v) const {
+    SLG_DCHECK(v >= 0 && v < static_cast<XmlNodeId>(nodes_.size()));
+    return static_cast<size_t>(v);
+  }
+
+  int32_t InternTag(std::string_view tag);
+
+  std::vector<Node> nodes_;
+  std::vector<std::string> tags_;
+  std::unordered_map<std::string, int32_t> tag_ids_;
+  XmlNodeId root_ = kXmlNil;
+};
+
+}  // namespace slg
+
+#endif  // SLG_XML_XML_TREE_H_

@@ -1,0 +1,48 @@
+#include "src/xml/xml_writer.h"
+
+#include <string>
+#include <vector>
+
+namespace slg {
+
+std::string WriteXml(const XmlTree& tree, const XmlWriteOptions& options) {
+  std::string out;
+  if (tree.root() == kXmlNil) return out;
+
+  // Iterative traversal: frame is (node, entering?) — entering emits the
+  // opening tag, the second visit emits the closing tag.
+  struct Frame {
+    XmlNodeId v;
+    int depth;
+    bool closing;
+  };
+  std::vector<Frame> stack = {{tree.root(), 0, false}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    if (options.pretty && !out.empty()) out.push_back('\n');
+    if (options.pretty) out.append(static_cast<size_t>(f.depth) * 2, ' ');
+    if (f.closing) {
+      out += "</" + tree.Tag(f.v) + ">";
+      continue;
+    }
+    if (tree.FirstChild(f.v) == kXmlNil) {
+      out += "<" + tree.Tag(f.v) + "/>";
+      continue;
+    }
+    out += "<" + tree.Tag(f.v) + ">";
+    stack.push_back({f.v, f.depth, true});
+    // Push children in reverse so they pop in document order.
+    std::vector<XmlNodeId> kids;
+    for (XmlNodeId c = tree.FirstChild(f.v); c != kXmlNil;
+         c = tree.NextSibling(c)) {
+      kids.push_back(c);
+    }
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back({*it, f.depth + 1, false});
+    }
+  }
+  return out;
+}
+
+}  // namespace slg

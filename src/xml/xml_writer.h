@@ -1,0 +1,20 @@
+// Serializer for element-only XML trees.
+
+#ifndef SLG_XML_XML_WRITER_H_
+#define SLG_XML_XML_WRITER_H_
+
+#include <string>
+
+#include "src/xml/xml_tree.h"
+
+namespace slg {
+
+struct XmlWriteOptions {
+  bool pretty = false;  // newline + two-space indent per depth level
+};
+
+std::string WriteXml(const XmlTree& tree, const XmlWriteOptions& options = {});
+
+}  // namespace slg
+
+#endif  // SLG_XML_XML_WRITER_H_

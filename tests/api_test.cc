@@ -1,0 +1,99 @@
+// Tests for the CompressedXmlTree facade.
+
+#include "src/api/compressed_xml_tree.h"
+
+#include <gtest/gtest.h>
+
+namespace slg {
+namespace {
+
+constexpr const char* kDoc =
+    "<log><entry><ip/><date/><status/></entry>"
+    "<entry><ip/><date/><status/></entry>"
+    "<entry><ip/><date/><status/></entry></log>";
+
+TEST(CompressedXmlTreeTest, RoundTrip) {
+  auto doc = CompressedXmlTree::FromXml(kDoc);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc.value().ElementCount(), 13);
+  auto xml = doc.value().ToXml();
+  ASSERT_TRUE(xml.ok());
+  EXPECT_EQ(xml.value(), kDoc);
+}
+
+TEST(CompressedXmlTreeTest, RejectsBadXml) {
+  EXPECT_FALSE(CompressedXmlTree::FromXml("<a><b></a>").ok());
+}
+
+TEST(CompressedXmlTreeTest, FindAndRename) {
+  auto doc_or = CompressedXmlTree::FromXml(kDoc);
+  ASSERT_TRUE(doc_or.ok());
+  CompressedXmlTree doc = doc_or.take();
+  auto pos = doc.FindElement("date", 2);
+  ASSERT_TRUE(pos.ok());
+  auto label = doc.LabelAt(pos.value());
+  ASSERT_TRUE(label.ok());
+  EXPECT_EQ(label.value(), "date");
+  ASSERT_TRUE(doc.Rename(pos.value(), "timestamp").ok());
+  auto xml = doc.ToXml();
+  ASSERT_TRUE(xml.ok());
+  EXPECT_NE(xml.value().find("<timestamp/>"), std::string::npos);
+  EXPECT_FALSE(doc.FindElement("nosuch").ok());
+  EXPECT_FALSE(doc.FindElement("date", 99).ok());
+}
+
+TEST(CompressedXmlTreeTest, InsertAndDelete) {
+  auto doc_or = CompressedXmlTree::FromXml(kDoc);
+  ASSERT_TRUE(doc_or.ok());
+  CompressedXmlTree doc = doc_or.take();
+  auto pos = doc.FindElement("entry", 1);
+  ASSERT_TRUE(pos.ok());
+  ASSERT_TRUE(
+      doc.InsertXmlBefore(pos.value(), "<entry><new/></entry>").ok());
+  EXPECT_EQ(doc.ElementCount(), 15);
+  auto xml = doc.ToXml();
+  ASSERT_TRUE(xml.ok());
+  EXPECT_EQ(xml.value().find("<entry><new/></entry>"),
+            std::string("<log>").size());
+
+  auto pos2 = doc.FindElement("entry", 1);
+  ASSERT_TRUE(pos2.ok());
+  ASSERT_TRUE(doc.Delete(pos2.value()).ok());
+  EXPECT_EQ(doc.ElementCount(), 13);
+  EXPECT_EQ(doc.ToXml().value(), kDoc);
+}
+
+TEST(CompressedXmlTreeTest, RecompressShrinksAfterUpdates) {
+  auto doc_or = CompressedXmlTree::FromXml(kDoc);
+  ASSERT_TRUE(doc_or.ok());
+  CompressedXmlTree doc = doc_or.take();
+  for (int i = 0; i < 6; ++i) {
+    auto pos = doc.FindElement("entry", 1);
+    ASSERT_TRUE(pos.ok());
+    ASSERT_TRUE(
+        doc.InsertXmlBefore(pos.value(),
+                            "<entry><ip/><date/><status/></entry>")
+            .ok());
+  }
+  int64_t before = doc.CompressedSize();
+  EXPECT_EQ(doc.UpdatesSinceRecompress(), 6);
+  doc.Recompress();
+  EXPECT_EQ(doc.UpdatesSinceRecompress(), 0);
+  EXPECT_LE(doc.CompressedSize(), before);
+  EXPECT_EQ(doc.ElementCount(), 13 + 6 * 4);
+}
+
+TEST(CompressedXmlTreeTest, AutoRecompress) {
+  CompressedXmlTreeOptions opts;
+  opts.auto_recompress_every = 3;
+  auto doc_or = CompressedXmlTree::FromXml(kDoc, opts);
+  ASSERT_TRUE(doc_or.ok());
+  CompressedXmlTree doc = doc_or.take();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(doc.Rename(1, "log" + std::to_string(i)).ok());
+  }
+  EXPECT_EQ(doc.UpdatesSinceRecompress(), 0);  // auto-triggered
+}
+
+}  // namespace
+}  // namespace slg

@@ -1,0 +1,87 @@
+// Binary serialization round-trips and corruption rejection.
+
+#include "src/grammar/binary_format.h"
+
+#include <gtest/gtest.h>
+
+#include "src/api/compressed_xml_tree.h"
+#include "src/core/grammar_repair.h"
+#include "src/datasets/generators.h"
+#include "src/grammar/stats.h"
+#include "src/grammar/text_format.h"
+#include "src/grammar/validate.h"
+#include "src/grammar/value.h"
+#include "src/tree/tree_hash.h"
+#include "src/xml/binary_encoding.h"
+
+namespace slg {
+namespace {
+
+TEST(BinaryFormatTest, RoundTripSmall) {
+  Grammar g = GrammarFromRules({
+      "S -> f(A(B,B),~)",
+      "B -> A(~,~)",
+      "A -> a(~,a($1,$2))",
+  }).take();
+  std::string bytes = SerializeGrammar(g);
+  auto back = DeserializeGrammar(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(FormatGrammar(back.value()), FormatGrammar(g));
+}
+
+TEST(BinaryFormatTest, RoundTripCompressedCorpus) {
+  XmlTree xml = GenerateCorpus(Corpus::kMedline, 0.01);
+  LabelTable labels;
+  Tree bin = EncodeBinary(xml, &labels);
+  Tree original = bin;
+  Grammar g =
+      GrammarRePair(Grammar::ForTree(std::move(bin), labels), {}).grammar;
+  std::string bytes = SerializeGrammar(g);
+  auto back = DeserializeGrammar(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_TRUE(Validate(back.value()).ok());
+  EXPECT_TRUE(TreeEquals(Value(back.value()).take(), original));
+  EXPECT_EQ(ComputeStats(back.value()).edge_count,
+            ComputeStats(g).edge_count);
+  // The image should be in the ballpark of the grammar size, far below
+  // the document.
+  EXPECT_LT(bytes.size(),
+            static_cast<size_t>(original.LiveCount()) * 2);
+}
+
+TEST(BinaryFormatTest, RejectsCorruption) {
+  Grammar g = GrammarFromRules({"S -> f(a,b)"}).take();
+  std::string bytes = SerializeGrammar(g);
+  EXPECT_FALSE(DeserializeGrammar("").ok());
+  EXPECT_FALSE(DeserializeGrammar("XXXX").ok());
+  // Truncations at every prefix length must fail cleanly, not crash.
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(DeserializeGrammar(bytes.substr(0, len)).ok()) << len;
+  }
+  // Trailing garbage.
+  EXPECT_FALSE(DeserializeGrammar(bytes + "zz").ok());
+  // Single-byte corruption must never crash (it may accidentally still
+  // parse; we only require no aborts and validated output).
+  for (size_t i = 4; i < bytes.size(); ++i) {
+    std::string mut = bytes;
+    mut[i] = static_cast<char>(mut[i] ^ 0x7f);
+    auto r = DeserializeGrammar(mut);
+    if (r.ok()) {
+      EXPECT_TRUE(Validate(r.value()).ok());
+    }
+  }
+}
+
+TEST(BinaryFormatTest, FacadeSaveLoad) {
+  auto doc = CompressedXmlTree::FromXml(
+                 "<r><a><b/></a><a><b/></a><a><b/></a></r>")
+                 .take();
+  std::string image = doc.Serialize();
+  auto loaded = CompressedXmlTree::Deserialize(image);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().ToXml().value(), doc.ToXml().value());
+  EXPECT_EQ(loaded.value().CompressedSize(), doc.CompressedSize());
+}
+
+}  // namespace
+}  // namespace slg

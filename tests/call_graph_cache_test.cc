@@ -1,0 +1,128 @@
+// CallGraphCache must agree with the direct (full-scan) computations
+// it replaces, both after a full build and after partial updates.
+
+#include "src/core/call_graph_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/common/rng.h"
+#include "src/core/tree_links.h"
+#include "src/grammar/orders.h"
+#include "src/grammar/text_format.h"
+#include "src/grammar/inliner.h"
+#include "src/grammar/usage.h"
+#include "src/grammar/validate.h"
+#include "src/repair/tree_repair.h"
+#include "src/xml/binary_encoding.h"
+#include "src/xml/xml_tree.h"
+
+namespace slg {
+namespace {
+
+Grammar SampleGrammar() {
+  // A compressed grammar with real sharing: repetitive log document.
+  XmlTree xml;
+  XmlNodeId root = xml.AddNode("log", kXmlNil);
+  Rng rng(5);
+  for (int i = 0; i < 40; ++i) {
+    XmlNodeId e = xml.AddNode("entry", root);
+    xml.AddNode("ip", e);
+    xml.AddNode("date", e);
+    if (rng.Chance(0.3)) xml.AddNode("extra", e);
+  }
+  LabelTable labels;
+  Tree bin = EncodeBinary(xml, &labels);
+  return TreeRePair(std::move(bin), labels, {}).grammar;
+}
+
+TEST(CallGraphCacheTest, UsageMatchesDirect) {
+  Grammar g = SampleGrammar();
+  CallGraphCache cache;
+  cache.Build(g);
+  auto direct = ComputeUsage(g);
+  auto cached = cache.Usage(g);
+  EXPECT_EQ(direct.size(), cached.size());
+  for (const auto& [rule, u] : direct) {
+    EXPECT_EQ(cached[rule], u) << g.labels().Name(rule);
+  }
+}
+
+TEST(CallGraphCacheTest, AntiSlIsValidTopologicalOrder) {
+  Grammar g = SampleGrammar();
+  CallGraphCache cache;
+  cache.Build(g);
+  std::vector<LabelId> order = cache.AntiSl(g);
+  EXPECT_EQ(order.size(), static_cast<size_t>(g.RuleCount()));
+  // Every rule appears after all rules it calls.
+  std::unordered_map<LabelId, size_t> pos;
+  for (size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  g.ForEachRule([&](LabelId lhs, const Tree& rhs) {
+    rhs.VisitPreorder(rhs.root(), [&](NodeId v) {
+      LabelId l = rhs.label(v);
+      if (g.IsNonterminal(l)) EXPECT_LT(pos[l], pos[lhs]);
+    });
+  });
+}
+
+TEST(CallGraphCacheTest, InterfacesMatchDirect) {
+  Grammar g = SampleGrammar();
+  CallGraphCache cache;
+  cache.Build(g);
+  auto direct = ComputeInterfaces(g);
+  auto cached = cache.Interfaces(g);
+  for (const auto& [rule, iface] : direct) {
+    EXPECT_TRUE(cached[rule] == iface) << g.labels().Name(rule);
+  }
+}
+
+TEST(CallGraphCacheTest, UpdateTracksRuleChanges) {
+  Grammar g = SampleGrammar();
+  CallGraphCache cache;
+  cache.Build(g);
+  // Mutate a rule: inline one of its callees.
+  LabelId victim = kNoLabel;
+  g.ForEachRule([&](LabelId lhs, const Tree& rhs) {
+    if (victim != kNoLabel) return;
+    NodeId call = kNilNode;
+    rhs.VisitPreorder(rhs.root(), [&](NodeId v) {
+      if (call == kNilNode && g.IsNonterminal(rhs.label(v))) call = v;
+    });
+    if (call != kNilNode) victim = lhs;
+  });
+  ASSERT_NE(victim, kNoLabel);
+  {
+    Tree& t = g.rhs(victim);
+    NodeId call = kNilNode;
+    t.VisitPreorder(t.root(), [&](NodeId v) {
+      if (call == kNilNode && g.IsNonterminal(t.label(v))) call = v;
+    });
+    InlineCall(g, &t, call);
+  }
+  cache.Update(g, {victim}, {});
+  auto direct = ComputeUsage(g);
+  auto cached = cache.Usage(g);
+  for (const auto& [rule, u] : direct) {
+    EXPECT_EQ(cached[rule], u) << g.labels().Name(rule);
+  }
+}
+
+TEST(CallGraphCacheTest, CallersInvertsCallees) {
+  Grammar g = SampleGrammar();
+  CallGraphCache cache;
+  cache.Build(g);
+  auto callers = cache.Callers();
+  auto refs = ComputeRefs(g);
+  for (const auto& [callee, rule_nodes] : refs) {
+    std::unordered_set<LabelId> expect;
+    for (const RuleNode& rn : rule_nodes) expect.insert(rn.rule);
+    std::unordered_set<LabelId> got(callers[callee].begin(),
+                                    callers[callee].end());
+    EXPECT_EQ(got, expect) << g.labels().Name(callee);
+  }
+}
+
+}  // namespace
+}  // namespace slg

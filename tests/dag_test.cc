@@ -1,0 +1,82 @@
+// Tests for the minimal-DAG baseline compressor.
+
+#include "src/dag/dag_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "src/grammar/stats.h"
+#include "src/grammar/validate.h"
+#include "src/grammar/value.h"
+#include "src/tree/tree_hash.h"
+#include "src/tree/tree_io.h"
+#include "src/xml/binary_encoding.h"
+#include "src/xml/xml_parser.h"
+
+namespace slg {
+namespace {
+
+TEST(DagTest, SharesRepeatedSubtrees) {
+  LabelTable labels;
+  Tree t = ParseTerm("f(g(a,b),g(a,b))", &labels).take();
+  Grammar g = BuildDag(t, labels);
+  ASSERT_TRUE(Validate(g).ok());
+  // One shared rule for g(a,b).
+  EXPECT_EQ(g.RuleCount(), 2);
+  Tree v = Value(g).take();
+  EXPECT_TRUE(TreeEquals(t, v));
+}
+
+TEST(DagTest, ValuePreservedOnXml) {
+  auto xml = ParseXml(
+      "<lib><book><t/><au/></book><book><t/><au/></book>"
+      "<book><t/><au/><au/></book></lib>");
+  ASSERT_TRUE(xml.ok());
+  LabelTable labels;
+  Tree bin = EncodeBinary(xml.value(), &labels);
+  Grammar g = BuildDag(bin, labels);
+  ASSERT_TRUE(Validate(g).ok());
+  Tree v = Value(g).take();
+  EXPECT_TRUE(TreeEquals(bin, v));
+  // Sharing must shrink the representation.
+  EXPECT_LT(ComputeStats(g).node_count, bin.LiveCount());
+}
+
+TEST(DagTest, NoSharingOnAllDistinct) {
+  LabelTable labels;
+  Tree t = ParseTerm("f(g(a,b),h(c,d))", &labels).take();
+  Grammar g = BuildDag(t, labels);
+  EXPECT_EQ(g.RuleCount(), 1);  // nothing shared
+  EXPECT_TRUE(TreeEquals(t, Value(g).take()));
+}
+
+TEST(DagTest, MinSubtreeSizeRespected) {
+  LabelTable labels;
+  Tree t = ParseTerm("f(a,a,a,a)", &labels).take();
+  DagOptions opts;
+  opts.min_subtree_size = 2;
+  Grammar g = BuildDag(t, labels, opts);
+  EXPECT_EQ(g.RuleCount(), 1);  // leaves are never shared
+}
+
+TEST(DagTest, DistinctSubtreeCount) {
+  LabelTable labels;
+  Tree t = ParseTerm("f(g(a,b),g(a,b))", &labels).take();
+  // Distinct: a, b, g(a,b), f(...) → 4.
+  EXPECT_EQ(DistinctSubtreeCount(t), 4);
+  Tree t2 = ParseTerm("a", &labels).take();
+  EXPECT_EQ(DistinctSubtreeCount(t2), 1);
+}
+
+TEST(DagTest, NestedSharing) {
+  LabelTable labels;
+  // g(a,a) shared; h(g(a,a)) shared.
+  Tree t =
+      ParseTerm("f(h(g(a,a)),h(g(a,a)),g(a,a))", &labels).take();
+  Grammar g = BuildDag(t, labels);
+  ASSERT_TRUE(Validate(g).ok());
+  EXPECT_TRUE(TreeEquals(t, Value(g).take()));
+  EXPECT_EQ(g.RuleCount(), 3);  // S, h(g..), g(a,a)
+}
+
+}  // namespace
+}  // namespace slg

@@ -1,0 +1,38 @@
+// Tests for the bench harness utilities (flag parsing, table output).
+
+#include "src/bench_util/reporting.h"
+
+#include <gtest/gtest.h>
+
+namespace slg {
+namespace {
+
+TEST(FlagsTest, ParsesValues) {
+  const char* argv[] = {"prog", "--scale=0.25", "--updates=300", "--verbose"};
+  int argc = 4;
+  char** av = const_cast<char**>(argv);
+  EXPECT_DOUBLE_EQ(FlagDouble(argc, av, "--scale", 1.0), 0.25);
+  EXPECT_EQ(FlagInt(argc, av, "--updates", 0), 300);
+  EXPECT_EQ(FlagInt(argc, av, "--missing", 42), 42);
+  EXPECT_DOUBLE_EQ(FlagDouble(argc, av, "--nope", 2.5), 2.5);
+  EXPECT_TRUE(FlagBool(argc, av, "--verbose"));
+  EXPECT_FALSE(FlagBool(argc, av, "--quiet"));
+}
+
+TEST(TablePrinterTest, Formatting) {
+  EXPECT_EQ(TablePrinter::Num(1234), "1234");
+  EXPECT_EQ(TablePrinter::Fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Pct(0.1317), "13.17");
+  EXPECT_EQ(TablePrinter::Pct(0.00005), "<0.01");
+  EXPECT_EQ(TablePrinter::Pct(0.0), "0.00");
+}
+
+TEST(TablePrinterTest, PrintsWithoutCrashing) {
+  TablePrinter t({"a", "longer-header"});
+  t.AddRow({"1", "2"});
+  t.AddRow({"333333", "4"});
+  t.Print();  // smoke: aligned output to stdout
+}
+
+}  // namespace
+}  // namespace slg

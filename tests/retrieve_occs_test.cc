@@ -1,0 +1,138 @@
+// Focused tests for the weighted grammar digram index: delta
+// add/remove round-trips, weight adjustment, rescans, and the
+// positive-savings filter.
+
+#include "src/core/retrieve_occs.h"
+
+#include <gtest/gtest.h>
+
+#include "src/grammar/text_format.h"
+#include "src/grammar/usage.h"
+
+namespace slg {
+namespace {
+
+Grammar TwoRuleGrammar() {
+  auto g = GrammarFromRules({
+      "S -> f(A,A,a(b(e)))",
+      "A -> a(b(e))",
+  });
+  SLG_CHECK(g.ok());
+  return g.take();
+}
+
+TEST(GrammarDigramIndexTest, WeightedCounts) {
+  Grammar g = TwoRuleGrammar();
+  auto usage = ComputeUsage(g);
+  GrammarDigramIndex index;
+  index.Build(g, usage);
+  LabelId a = g.labels().Find("a");
+  LabelId b = g.labels().Find("b");
+  // (a,1,b): once in S (weight 1) and once in A (weight 2) = 3.
+  EXPECT_EQ(index.WeightedCount(Digram{a, 1, b}), 3u);
+  // (f,1,a): the A call site resolves to A's root a; two such + the
+  // literal a child at index 3.
+  LabelId f = g.labels().Find("f");
+  EXPECT_EQ(index.WeightedCount(Digram{f, 1, a}), 1u);
+  EXPECT_EQ(index.WeightedCount(Digram{f, 2, a}), 1u);
+  EXPECT_EQ(index.WeightedCount(Digram{f, 3, a}), 1u);
+}
+
+TEST(GrammarDigramIndexTest, DropRuleRemovesItsOccurrences) {
+  Grammar g = TwoRuleGrammar();
+  auto usage = ComputeUsage(g);
+  GrammarDigramIndex index;
+  index.Build(g, usage);
+  LabelId a = g.labels().Find("a");
+  LabelId b = g.labels().Find("b");
+  LabelId rule_a = g.labels().Find("A");
+  index.DropRule(rule_a);
+  // Only S's occurrence remains.
+  EXPECT_EQ(index.WeightedCount(Digram{a, 1, b}), 1u);
+}
+
+TEST(GrammarDigramIndexTest, AdjustWeightRescalesCounts) {
+  Grammar g = TwoRuleGrammar();
+  auto usage = ComputeUsage(g);
+  GrammarDigramIndex index;
+  index.Build(g, usage);
+  LabelId a = g.labels().Find("a");
+  LabelId b = g.labels().Find("b");
+  LabelId rule_a = g.labels().Find("A");
+  index.AdjustWeight(rule_a, 7);
+  EXPECT_EQ(index.WeightedCount(Digram{a, 1, b}), 8u);  // 1 + 7
+  index.AdjustWeight(rule_a, 2);
+  EXPECT_EQ(index.WeightedCount(Digram{a, 1, b}), 3u);
+}
+
+TEST(GrammarDigramIndexTest, AddRemoveGeneratorRoundTrip) {
+  Grammar g = TwoRuleGrammar();
+  auto usage = ComputeUsage(g);
+  GrammarDigramIndex index;
+  index.Build(g, usage);
+  LabelId a = g.labels().Find("a");
+  LabelId b = g.labels().Find("b");
+  Digram d{a, 1, b};
+  LabelId s = g.start();
+  // Locate S's b node (generator of its (a,1,b) occurrence).
+  const Tree& t = g.rhs(s);
+  NodeId gen = kNilNode;
+  t.VisitPreorder(t.root(), [&](NodeId v) {
+    if (gen == kNilNode && t.label(v) == b) gen = v;
+  });
+  ASSERT_NE(gen, kNilNode);
+  index.RemoveGenerator(d, RuleNode{s, gen});
+  EXPECT_EQ(index.WeightedCount(d), 2u);
+  index.AddGenerator(g, RuleNode{s, gen}, 1);
+  EXPECT_EQ(index.WeightedCount(d), 3u);
+  // Double add is idempotent.
+  index.AddGenerator(g, RuleNode{s, gen}, 1);
+  EXPECT_EQ(index.WeightedCount(d), 3u);
+}
+
+TEST(GrammarDigramIndexTest, EqualLabelOverlapRejectedBothDirections) {
+  // Chain r -> c(c(c(e,~),~),~): digram (c,1,c) twice, overlapping.
+  auto g = GrammarFromRules({"S -> c(c(c(e,~),~),~)"}).take();
+  auto usage = ComputeUsage(g);
+  GrammarDigramIndex index;
+  index.Build(g, usage);
+  LabelId c = g.labels().Find("c");
+  EXPECT_EQ(index.WeightedCount(Digram{c, 1, c}), 1u);
+}
+
+TEST(GrammarDigramIndexTest, PositiveSavingsFilter) {
+  Grammar g = TwoRuleGrammar();
+  auto usage = ComputeUsage(g);
+  GrammarDigramIndex index;
+  index.Build(g, usage);
+  RepairOptions plain;
+  // Without the filter some digram is offered.
+  EXPECT_TRUE(index.MostFrequent(g.labels(), plain).has_value());
+  // With it, rank-1 digrams need weighted count >= 3; (a,1,b) with
+  // count 3 still qualifies, count-2 digrams do not.
+  RepairOptions strict;
+  strict.require_positive_savings = true;
+  auto d = index.MostFrequent(g.labels(), strict);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_GE(index.WeightedCount(*d),
+            static_cast<uint64_t>(DigramRank(*d, g.labels())) + 2);
+}
+
+TEST(GrammarDigramIndexTest, TakeClearsAndSorts) {
+  Grammar g = TwoRuleGrammar();
+  auto usage = ComputeUsage(g);
+  GrammarDigramIndex index;
+  index.Build(g, usage);
+  LabelId a = g.labels().Find("a");
+  LabelId b = g.labels().Find("b");
+  Digram d{a, 1, b};
+  std::vector<RuleNode> gens = index.Take(d);
+  EXPECT_EQ(gens.size(), 2u);
+  EXPECT_TRUE(gens[0].rule < gens[1].rule ||
+              (gens[0].rule == gens[1].rule && gens[0].node < gens[1].node));
+  EXPECT_EQ(index.WeightedCount(d), 0u);
+  EXPECT_TRUE(index.Take(d).empty());
+}
+
+}  // namespace
+}  // namespace slg

@@ -1,0 +1,217 @@
+// Tests for TreeRePair: digram bookkeeping, replacement, pruning, and
+// value preservation on random trees (property suite).
+
+#include "src/repair/tree_repair.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/grammar/stats.h"
+#include "src/grammar/text_format.h"
+#include "src/grammar/validate.h"
+#include "src/grammar/value.h"
+#include "src/repair/digram.h"
+#include "src/repair/digram_index.h"
+#include "src/repair/pruning.h"
+#include "src/tree/tree_hash.h"
+#include "src/tree/tree_io.h"
+#include "src/xml/binary_encoding.h"
+#include "src/xml/xml_parser.h"
+
+namespace slg {
+namespace {
+
+TEST(DigramTest, PatternConstruction) {
+  LabelTable labels;
+  LabelId a = labels.Intern("a", 2);
+  LabelId b = labels.Intern("b", 2);
+  Digram d{a, 2, b};
+  EXPECT_EQ(DigramRank(d, labels), 3);
+  Tree p = MakePattern(d, &labels);
+  EXPECT_EQ(ToTerm(p, labels), "a($1,b($2,$3))");
+  Digram d1{a, 1, b};
+  EXPECT_EQ(ToTerm(MakePattern(d1, &labels), labels), "a(b($1,$2),$3)");
+}
+
+TEST(DigramTest, PatternWithNullChild) {
+  LabelTable labels;
+  LabelId a = labels.Intern("a", 2);
+  Digram d{a, 2, kNullLabel};
+  EXPECT_EQ(DigramRank(d, labels), 1);
+  EXPECT_EQ(ToTerm(MakePattern(d, &labels), labels), "a($1,~)");
+}
+
+TEST(DigramTest, ReplaceDigramNodes) {
+  LabelTable labels;
+  Tree t = ParseTerm("f(p,a(q,b(r,s)),u)", &labels).take();
+  LabelId x = labels.Intern("X", 3);
+  NodeId a = t.Child(t.root(), 2);
+  NodeId x_node = ReplaceDigramNodes(&t, a, 2, x);
+  EXPECT_EQ(ToTerm(t, labels), "f(p,X(q,r,s),u)");
+  EXPECT_EQ(t.label(x_node), x);
+  EXPECT_TRUE(t.CheckConsistency());
+}
+
+TEST(DigramIndexTest, CountsSimpleTree) {
+  LabelTable labels;
+  Tree t = ParseTerm("f(a(c,c),a(c,c))", &labels).take();
+  TreeDigramIndex index(&labels);
+  index.Build(t);
+  LabelId f = labels.Find("f");
+  LabelId a = labels.Find("a");
+  LabelId c = labels.Find("c");
+  EXPECT_EQ(index.Count(Digram{f, 1, a}), 1);
+  EXPECT_EQ(index.Count(Digram{f, 2, a}), 1);
+  EXPECT_EQ(index.Count(Digram{a, 1, c}), 2);
+  EXPECT_EQ(index.Count(Digram{a, 2, c}), 2);
+}
+
+TEST(DigramIndexTest, EqualLabelChainGreedy) {
+  // Right-spine chain a-a-a-a via child 2: greedy bottom-up stores
+  // floor(3/2) + ... : occurrences (a3,a4) and (a1,a2).
+  LabelTable labels;
+  Tree t = ParseTerm("a(x,a(x,a(x,a(x,y))))", &labels).take();
+  TreeDigramIndex index(&labels);
+  index.Build(t);
+  LabelId a = labels.Find("a");
+  EXPECT_EQ(index.Count(Digram{a, 2, a}), 2);
+}
+
+TEST(DigramIndexTest, MostFrequentRespectsRankLimit) {
+  LabelTable labels;
+  // Digram (f,1,g) has rank(f)+rank(g)-1 = 1+3-1 = 3.
+  Tree t = ParseTerm("r(f(g(x,y,z)),f(g(x,y,z)))", &labels).take();
+  TreeDigramIndex index(&labels);
+  index.Build(t);
+  RepairOptions opts;
+  opts.max_rank = 2;
+  while (auto d = index.MostFrequent(opts)) {
+    EXPECT_LE(DigramRank(*d, labels), 2);
+    index.Take(*d);
+  }
+}
+
+TEST(TreeRepairTest, PaperStringExample) {
+  // §I: on w = ababababa RePair produces S→BBa, B→AA, A→ab (size 7).
+  // Encoded as a tree: right spine of a/b alternation.
+  LabelTable labels;
+  const char* chain = "a(b(a(b(a(b(a(b(e))))))))";
+  Tree t = ParseTerm(chain, &labels).take();
+  RepairOptions opts;
+  opts.max_rank = 4;
+  TreeRepairResult r = TreeRePair(std::move(t), labels, opts);
+  ASSERT_TRUE(Validate(r.grammar).ok());
+  // Value preserved.
+  LabelTable labels2;
+  Tree expect = ParseTerm(chain, &labels2).take();
+  Tree val = Value(r.grammar).take();
+  EXPECT_TRUE(TreeEquals(val, expect));
+  // Strong compression: fewer edges than the input chain.
+  EXPECT_LT(ComputeStats(r.grammar).edge_count, 8);
+}
+
+TEST(TreeRepairTest, ValuePreservedOnXmlDocument) {
+  auto xml = ParseXml(
+      "<log><e><ip/><d/><st/></e><e><ip/><d/><st/></e>"
+      "<e><ip/><d/><st/></e><e><ip/><d/><st/></e></log>");
+  ASSERT_TRUE(xml.ok());
+  LabelTable labels;
+  Tree bin = EncodeBinary(xml.value(), &labels);
+  Tree original = bin;  // copy
+  TreeRepairResult r = TreeRePair(std::move(bin), labels, {});
+  ASSERT_TRUE(Validate(r.grammar).ok()) << Validate(r.grammar).ToString();
+  EXPECT_TRUE(TreeEquals(Value(r.grammar).take(), original));
+  EXPECT_GT(r.digrams_replaced, 0);
+  EXPECT_LT(ComputeStats(r.grammar).edge_count, original.LiveCount() - 1);
+}
+
+TEST(TreeRepairTest, NoCompressibleInput) {
+  LabelTable labels;
+  Tree t = ParseTerm("f(a,b)", &labels).take();
+  Tree original = t;
+  TreeRepairResult r = TreeRePair(std::move(t), labels, {});
+  ASSERT_TRUE(Validate(r.grammar).ok());
+  EXPECT_EQ(r.grammar.RuleCount(), 1);
+  EXPECT_TRUE(TreeEquals(Value(r.grammar).take(), original));
+}
+
+TEST(PruningTest, RemovesSingleUseRules) {
+  Grammar g = GrammarFromRules({"S -> f(A,~)", "A -> g(a(~,~),~)"}).take();
+  Prune(&g);
+  EXPECT_EQ(g.RuleCount(), 1);
+  ASSERT_TRUE(Validate(g).ok());
+}
+
+TEST(PruningTest, KeepsProductiveRules) {
+  // A of size 4 edges, rank 0, used 3 times: sav = 3*4 - 4 = 8 > 0.
+  Grammar g = GrammarFromRules({"S -> f(f(A,A),A)", "A -> g(g(a,a),g(a,b))"}).take();
+  Tree before = Value(g).take();
+  Prune(&g);
+  EXPECT_EQ(g.RuleCount(), 2);
+  EXPECT_TRUE(TreeEquals(before, Value(g).take()));
+}
+
+TEST(PruningTest, RemovesUnproductiveRules) {
+  // A of size 1 edge... A -> g(a): keeping costs 1 rule of size 1;
+  // sav = refs*(1-0) - 1; with 2 refs sav = 1 > 0. Use rank-1 rule:
+  // A -> g($1): size 1, rank 1, sav = refs*0 - 1 < 0 always.
+  Grammar g = GrammarFromRules({"S -> f(A(a),A(b))", "A -> g($1)"}).take();
+  Tree before = Value(g).take();
+  Prune(&g);
+  EXPECT_EQ(g.RuleCount(), 1);
+  EXPECT_TRUE(TreeEquals(before, Value(g).take()));
+}
+
+// --- Property suite: random binary XML-like trees ---------------------
+
+Tree RandomBinaryXmlTree(uint64_t seed, int target_elements,
+                         int distinct_labels, LabelTable* labels) {
+  Rng rng(seed);
+  XmlTree xml;
+  XmlNodeId root = xml.AddNode("r0", kXmlNil);
+  std::vector<XmlNodeId> pool = {root};
+  for (int i = 1; i < target_elements; ++i) {
+    XmlNodeId parent = pool[rng.Below(pool.size())];
+    std::string tag = "t" + std::to_string(rng.Below(
+                                static_cast<uint64_t>(distinct_labels)));
+    XmlNodeId v = xml.AddNode(tag, parent);
+    pool.push_back(v);
+  }
+  return EncodeBinary(xml, labels);
+}
+
+struct RepairCase {
+  uint64_t seed;
+  int elements;
+  int labels;
+  int max_rank;
+};
+
+class TreeRepairPropertyTest : public ::testing::TestWithParam<RepairCase> {};
+
+TEST_P(TreeRepairPropertyTest, ValuePreservedAndValid) {
+  const RepairCase& c = GetParam();
+  LabelTable labels;
+  Tree t = RandomBinaryXmlTree(c.seed, c.elements, c.labels, &labels);
+  Tree original = t;
+  RepairOptions opts;
+  opts.max_rank = c.max_rank;
+  TreeRepairResult r = TreeRePair(std::move(t), labels, opts);
+  ASSERT_TRUE(Validate(r.grammar).ok()) << Validate(r.grammar).ToString();
+  EXPECT_TRUE(TreeEquals(Value(r.grammar).take(), original));
+  // Grammar never larger than the input tree (edges).
+  EXPECT_LE(ComputeStats(r.grammar).edge_count, original.LiveCount() - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomTrees, TreeRepairPropertyTest,
+    ::testing::Values(RepairCase{1, 30, 2, 4}, RepairCase{2, 100, 3, 4},
+                      RepairCase{3, 300, 2, 4}, RepairCase{4, 300, 5, 2},
+                      RepairCase{5, 1000, 4, 4}, RepairCase{6, 1000, 1, 4},
+                      RepairCase{7, 50, 1, 3}, RepairCase{8, 500, 8, 4},
+                      RepairCase{9, 2000, 3, 4}, RepairCase{10, 200, 2, 6}));
+
+}  // namespace
+}  // namespace slg

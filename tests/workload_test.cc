@@ -1,0 +1,111 @@
+// Tests for the update-workload generator: replaying the forward
+// sequence on the seed (plain tree and grammar alike) must reproduce
+// the final document exactly.
+
+#include "src/workload/update_workload.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/grammar_repair.h"
+#include "src/datasets/generators.h"
+#include "src/grammar/validate.h"
+#include "src/grammar/value.h"
+#include "src/repair/tree_repair.h"
+#include "src/tree/tree_hash.h"
+#include "src/update/update_ops.h"
+#include "src/xml/binary_encoding.h"
+
+namespace slg {
+namespace {
+
+Tree SmallCorpus(LabelTable* labels, Corpus c = Corpus::kMedline) {
+  XmlTree xml = GenerateCorpus(c, 0.01);
+  return EncodeBinary(xml, labels);
+}
+
+TEST(WorkloadTest, ReplayOnTreeReachesFinal) {
+  LabelTable labels;
+  Tree final_tree = SmallCorpus(&labels);
+  WorkloadOptions opts;
+  opts.num_ops = 120;
+  opts.seed = 3;
+  UpdateWorkload w = MakeUpdateWorkload(final_tree, labels, opts);
+  ASSERT_EQ(w.ops.size(), 120u);
+
+  Tree t = w.seed;
+  for (const UpdateOp& op : w.ops) {
+    if (op.kind == UpdateOp::Kind::kInsert) {
+      ApplyInsertToTree(&t, op.preorder, op.fragment);
+    } else {
+      ApplyDeleteToTree(&t, op.preorder);
+    }
+  }
+  EXPECT_TRUE(TreeEquals(t, final_tree));
+}
+
+TEST(WorkloadTest, ReplayOnGrammarReachesFinal) {
+  LabelTable labels;
+  Tree final_tree = SmallCorpus(&labels, Corpus::kExiTelecomp);
+  WorkloadOptions opts;
+  opts.num_ops = 80;
+  opts.seed = 9;
+  UpdateWorkload w = MakeUpdateWorkload(final_tree, labels, opts);
+
+  Grammar g = TreeRePair(Tree(w.seed), labels, {}).grammar;
+  for (const UpdateOp& op : w.ops) {
+    if (op.kind == UpdateOp::Kind::kInsert) {
+      ASSERT_TRUE(InsertTreeBefore(&g, op.preorder, op.fragment).ok());
+    } else {
+      ASSERT_TRUE(DeleteSubtree(&g, op.preorder).ok());
+    }
+  }
+  ASSERT_TRUE(Validate(g).ok());
+  EXPECT_TRUE(TreeEquals(Value(g).take(), final_tree));
+
+  // And periodic recompression does not disturb replay semantics.
+  Grammar g2 = TreeRePair(Tree(w.seed), labels, {}).grammar;
+  int i = 0;
+  for (const UpdateOp& op : w.ops) {
+    if (op.kind == UpdateOp::Kind::kInsert) {
+      ASSERT_TRUE(InsertTreeBefore(&g2, op.preorder, op.fragment).ok());
+    } else {
+      ASSERT_TRUE(DeleteSubtree(&g2, op.preorder).ok());
+    }
+    if (++i % 20 == 0) {
+      GrammarRepairResult r = GrammarRePair(std::move(g2), {});
+      g2 = std::move(r.grammar);
+    }
+  }
+  EXPECT_TRUE(TreeEquals(Value(g2).take(), final_tree));
+}
+
+TEST(WorkloadTest, DeleteFractionApproximatelyRespected) {
+  LabelTable labels;
+  Tree final_tree = SmallCorpus(&labels);
+  WorkloadOptions opts;
+  opts.num_ops = 600;
+  opts.delete_fraction = 0.1;
+  UpdateWorkload w = MakeUpdateWorkload(final_tree, labels, opts);
+  int deletes = 0;
+  for (const UpdateOp& op : w.ops) {
+    if (op.kind == UpdateOp::Kind::kDelete) ++deletes;
+  }
+  EXPECT_GT(deletes, 20);
+  EXPECT_LT(deletes, 130);
+}
+
+TEST(WorkloadTest, RenameWorkloadTargetsElements) {
+  LabelTable labels;
+  Tree t = SmallCorpus(&labels);
+  std::vector<RenameOp> ops = MakeRenameWorkload(t, labels, 50, 5);
+  ASSERT_EQ(ops.size(), 50u);
+  for (const RenameOp& op : ops) {
+    NodeId v = t.AtPreorderIndex(static_cast<int>(op.preorder));
+    ASSERT_NE(v, kNilNode);
+    EXPECT_NE(t.label(v), kNullLabel);
+    EXPECT_EQ(labels.Find(op.label), kNoLabel);  // fresh name
+  }
+}
+
+}  // namespace
+}  // namespace slg

@@ -1,0 +1,117 @@
+// Tests for the XML parser, writer, and binary encoding.
+
+#include <gtest/gtest.h>
+
+#include "src/tree/tree_io.h"
+#include "src/xml/binary_encoding.h"
+#include "src/xml/xml_parser.h"
+#include "src/xml/xml_writer.h"
+
+namespace slg {
+namespace {
+
+TEST(XmlParserTest, SimpleDocument) {
+  auto r = ParseXml("<root><a/><b><c/></b></root>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const XmlTree& t = r.value();
+  EXPECT_EQ(t.NodeCount(), 4);
+  EXPECT_EQ(t.EdgeCount(), 3);
+  EXPECT_EQ(t.Tag(t.root()), "root");
+  EXPECT_EQ(t.NumChildren(t.root()), 2);
+  EXPECT_EQ(t.Depth(), 2);
+}
+
+TEST(XmlParserTest, SkipsNonElementContent) {
+  auto r = ParseXml(
+      "<?xml version=\"1.0\"?>\n"
+      "<!DOCTYPE root [<!ELEMENT root ANY>]>\n"
+      "<root attr=\"x>y\" other='z'>text<!-- comment <a/> -->"
+      "<![CDATA[<fake/>]]><real/>more text</root>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().NodeCount(), 2);
+  EXPECT_EQ(r.value().Tag(r.value().FirstChild(r.value().root())), "real");
+}
+
+TEST(XmlParserTest, Errors) {
+  EXPECT_FALSE(ParseXml("").ok());
+  EXPECT_FALSE(ParseXml("<a>").ok());
+  EXPECT_FALSE(ParseXml("<a></b>").ok());
+  EXPECT_FALSE(ParseXml("</a>").ok());
+  EXPECT_FALSE(ParseXml("<a/><b/>").ok());
+  EXPECT_FALSE(ParseXml("<a><!-- unterminated </a>").ok());
+  EXPECT_FALSE(ParseXml("<a attr=\"unterminated></a>").ok());
+}
+
+TEST(XmlWriterTest, RoundTrip) {
+  const std::string doc = "<r><a><b/><b/></a><c/></r>";
+  auto parsed = ParseXml(doc);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(WriteXml(parsed.value()), doc);
+}
+
+TEST(XmlWriterTest, Pretty) {
+  auto parsed = ParseXml("<r><a/></r>");
+  ASSERT_TRUE(parsed.ok());
+  XmlWriteOptions opts;
+  opts.pretty = true;
+  EXPECT_EQ(WriteXml(parsed.value(), opts), "<r>\n  <a/>\n</r>");
+}
+
+TEST(BinaryEncodingTest, PaperFigure1) {
+  // Fig. 1: f(a(a,a)(a,a)) — unranked f with two a children each having
+  // two a children... the figure's tree: f with children a,a; each a
+  // has children a,a.
+  auto xml = ParseXml("<f><a><a/><a/></a><a><a/><a/></a></f>");
+  ASSERT_TRUE(xml.ok());
+  LabelTable labels;
+  Tree bin = EncodeBinary(xml.value(), &labels);
+  // Paper: f(a(⊥,...),⊥) with nested a(⊥,a(...)) pattern.
+  EXPECT_EQ(ToTerm(bin, labels),
+            "f(a(a(~,a(~,~)),a(a(~,a(~,~)),~)),~)");
+  // 7 elements → 7 labeled nodes + 8 nulls = 15 binary nodes.
+  EXPECT_EQ(bin.LiveCount(), 15);
+  EXPECT_EQ(ElementCount(bin), 7);
+}
+
+TEST(BinaryEncodingTest, RoundTrip) {
+  const char* docs[] = {
+      "<a/>",
+      "<a><b/></a>",
+      "<r><a><b/><b/></a><c/><a><b/></a></r>",
+      "<x><x><x><x/></x></x></x>",
+  };
+  for (const char* doc : docs) {
+    auto xml = ParseXml(doc);
+    ASSERT_TRUE(xml.ok());
+    LabelTable labels;
+    Tree bin = EncodeBinary(xml.value(), &labels);
+    auto back = DecodeBinary(bin, labels);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(WriteXml(back.value()), doc);
+  }
+}
+
+TEST(BinaryEncodingTest, EncodedSizeIsTwoNPlusOne) {
+  auto xml = ParseXml("<r><a/><a/><a/><a/></r>");
+  ASSERT_TRUE(xml.ok());
+  LabelTable labels;
+  Tree bin = EncodeBinary(xml.value(), &labels);
+  EXPECT_EQ(bin.LiveCount(), 2 * xml.value().NodeCount() + 1);
+}
+
+TEST(BinaryEncodingTest, DecodeRejectsGarbage) {
+  LabelTable labels;
+  // ⊥ root.
+  Tree t1 = ParseTerm("~", &labels).take();
+  EXPECT_FALSE(DecodeBinary(t1, labels).ok());
+  // Element with wrong arity.
+  Tree t2 = ParseTerm("f(~,~,~)", &labels).take();
+  EXPECT_FALSE(DecodeBinary(t2, labels).ok());
+  // Root with non-null next-sibling.
+  LabelTable labels3;
+  Tree t3 = ParseTerm("f(~,g(~,~))", &labels3).take();
+  EXPECT_FALSE(DecodeBinary(t3, labels3).ok());
+}
+
+}  // namespace
+}  // namespace slg
