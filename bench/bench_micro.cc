@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "src/bench_util/reporting.h"
+#include "src/core/cursor.h"
 #include "src/core/retrieve_occs.h"
 #include "src/datasets/generators.h"
 #include "src/grammar/usage.h"
@@ -45,14 +47,16 @@ BENCHMARK(BM_TreeRePairCompress);
 struct CompressedFixture {
   Grammar grammar;
   int64_t nodes;
+  int64_t elements;
   static CompressedFixture& Get() {
     static CompressedFixture* f = [] {
       XmlTree xml = SharedDoc();
       LabelTable labels;
       Tree bin = EncodeBinary(xml, &labels);
       auto* fx = new CompressedFixture{
-          TreeRePair(std::move(bin), labels, {}).grammar, 0};
+          TreeRePair(std::move(bin), labels, {}).grammar, 0, 0};
       fx->nodes = ValueNodeCount(fx->grammar);
+      fx->elements = ValueElementCount(fx->grammar);
       return fx;
     }();
     return *f;
@@ -79,6 +83,75 @@ void BM_DigramIndexBuild(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DigramIndexBuild);
+
+// Document-order DFS over every element of val(G) through the cursor:
+// the query-without-decompression workload the paper's premise rests
+// on. Exercises Down/Up across rule boundaries on every step.
+void BM_CursorDfsTraversal(benchmark::State& state) {
+  CompressedFixture& f = CompressedFixture::Get();
+  for (auto _ : state) {
+    GrammarCursor cur(&f.grammar);
+    int64_t visited = 1;
+    bool done = false;
+    while (!done) {
+      if (cur.FirstChildElement()) {
+        ++visited;
+        continue;
+      }
+      for (;;) {
+        if (cur.NextSiblingElement()) {
+          ++visited;
+          break;
+        }
+        if (!cur.ParentElement()) {
+          done = true;
+          break;
+        }
+      }
+    }
+    benchmark::DoNotOptimize(visited);
+  }
+  state.SetItemsProcessed(state.iterations() * f.elements);
+}
+BENCHMARK(BM_CursorDfsTraversal);
+
+// Root-to-leaf descents (alternating first-child / next-sibling) and
+// the matching ascents: the pure Down/Up hot loop.
+void BM_CursorRootToLeaf(benchmark::State& state) {
+  CompressedFixture& f = CompressedFixture::Get();
+  GrammarCursor cur(&f.grammar);
+  int64_t steps = 0;
+  for (auto _ : state) {
+    cur.ToRoot();
+    int which = 1;
+    while (cur.Down(which)) {
+      ++steps;
+      which = (which == 1) ? 2 : 1;
+    }
+    while (cur.Up()) ++steps;
+    benchmark::DoNotOptimize(cur.Depth());
+  }
+  state.SetItemsProcessed(steps);
+}
+BENCHMARK(BM_CursorRootToLeaf);
+
+// Sibling scan along the element list of the root's children: the
+// binary encoding turns this into repeated Down(2) hops.
+void BM_CursorSiblingScan(benchmark::State& state) {
+  CompressedFixture& f = CompressedFixture::Get();
+  GrammarCursor cur(&f.grammar);
+  int64_t scanned = 0;
+  for (auto _ : state) {
+    cur.ToRoot();
+    if (cur.FirstChildElement()) {
+      ++scanned;
+      while (cur.NextSiblingElement()) ++scanned;
+    }
+    benchmark::DoNotOptimize(cur.Depth());
+  }
+  state.SetItemsProcessed(scanned);
+}
+BENCHMARK(BM_CursorSiblingScan);
 
 void BM_PathIsolation(benchmark::State& state) {
   CompressedFixture& f = CompressedFixture::Get();
@@ -107,4 +180,17 @@ BENCHMARK(BM_SingleRename);
 }  // namespace
 }  // namespace slg
 
-BENCHMARK_MAIN();
+// Custom main: identical to BENCHMARK_MAIN() except that results are
+// also written to BENCH_micro.json (JSON reporter) unless the caller
+// passes their own --benchmark_out, so the perf trajectory of the hot
+// paths is machine-readable from every run.
+int main(int argc, char** argv) {
+  std::vector<char*> args =
+      slg::BenchmarkArgsWithJsonDefault(argc, argv, "BENCH_micro.json");
+  int ac = static_cast<int>(args.size());
+  benchmark::Initialize(&ac, args.data());
+  if (benchmark::ReportUnrecognizedArguments(ac, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

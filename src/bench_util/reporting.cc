@@ -35,6 +35,26 @@ bool FlagBool(int argc, char** argv, const std::string& name) {
   return FindFlag(argc, argv, name) != nullptr;
 }
 
+std::vector<char*> BenchmarkArgsWithJsonDefault(int argc, char** argv,
+                                                const std::string& default_path) {
+  std::vector<char*> out(argv, argv + argc);
+  for (int i = 1; i < argc; ++i) {
+    // Exact flag only: "--benchmark_out_format" alone must not
+    // suppress the default output file.
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0 ||
+        std::strcmp(argv[i], "--benchmark_out") == 0) {
+      return out;
+    }
+  }
+  // Owned storage must outlive the call: google-benchmark keeps the
+  // char* around until RunSpecifiedBenchmarks.
+  static std::vector<std::string>* owned = new std::vector<std::string>();
+  owned->push_back("--benchmark_out=" + default_path);
+  owned->push_back("--benchmark_out_format=json");
+  for (std::string& s : *owned) out.push_back(s.data());
+  return out;
+}
+
 TablePrinter::TablePrinter(std::vector<std::string> headers)
     : headers_(std::move(headers)) {}
 

@@ -16,6 +16,15 @@ double FlagDouble(int argc, char** argv, const std::string& name, double def);
 int64_t FlagInt(int argc, char** argv, const std::string& name, int64_t def);
 bool FlagBool(int argc, char** argv, const std::string& name);
 
+// Builds an argv for a google-benchmark binary that appends
+// --benchmark_out=<default_path> (JSON format) unless the caller
+// already passed a --benchmark_out flag. The returned pointers stay
+// valid for the lifetime of the process, so the result can be handed
+// straight to benchmark::Initialize. Gives every bench binary a
+// machine-readable BENCH_*.json trail by default.
+std::vector<char*> BenchmarkArgsWithJsonDefault(int argc, char** argv,
+                                                const std::string& default_path);
+
 // Aligned table printing.
 class TablePrinter {
  public:

@@ -1,24 +1,31 @@
 #include "src/core/cursor.h"
 
-#include "src/core/tree_links.h"
-
 namespace slg {
 
-GrammarCursor::GrammarCursor(const Grammar* g) : g_(g) { ToRoot(); }
+GrammarCursor::GrammarCursor(const Grammar* g)
+    : GrammarCursor(g, std::make_shared<const RuleMeta>(
+                           RuleMeta::Build(*g, /*with_sizes=*/false))) {}
+
+GrammarCursor::GrammarCursor(const Grammar* g,
+                             std::shared_ptr<const RuleMeta> meta)
+    : g_(g), meta_(std::move(meta)) {
+  ToRoot();
+}
 
 void GrammarCursor::ToRoot() {
   stack_.clear();
   cur_rule_ = g_->start();
-  cur_ = RuleTree(cur_rule_).root();
+  cur_ = meta_->RhsRoot(cur_rule_);
   depth_ = 0;
   ResolveDown();
 }
 
 void GrammarCursor::ResolveDown() {
+  const RuleMeta& meta = *meta_;
   for (;;) {
     const Tree& t = RuleTree(cur_rule_);
     LabelId l = t.label(cur_);
-    int pidx = g_->labels().ParamIndex(l);
+    int pidx = meta.ParamIndex(l);
     if (pidx > 0) {
       // The node is the j-th parameter of the current rule: its
       // derived content is the j-th argument of the instantiating
@@ -30,11 +37,11 @@ void GrammarCursor::ResolveDown() {
       cur_ = RuleTree(cur_rule_).Child(f.call, pidx);
       continue;
     }
-    if (g_->IsNonterminal(l)) {
+    if (meta.IsNonterminal(l)) {
       // Enter the callee at its root.
       stack_.push_back(Frame{cur_rule_, cur_});
       cur_rule_ = l;
-      cur_ = RuleTree(cur_rule_).root();
+      cur_ = meta.RhsRoot(l);
       continue;
     }
     return;  // terminal
@@ -49,7 +56,7 @@ const std::string& GrammarCursor::LabelName() const {
   return g_->labels().Name(Label());
 }
 
-int GrammarCursor::NumChildren() const { return g_->labels().Rank(Label()); }
+int GrammarCursor::NumChildren() const { return meta_->Rank(Label()); }
 
 bool GrammarCursor::Down(int i) {
   const Tree& t = RuleTree(cur_rule_);
@@ -65,6 +72,7 @@ int GrammarCursor::DerivedChildIndex() const {
   // Index of the current derived node under its derived parent (0 at
   // the derived root): walk the same boundaries Up() crosses, without
   // moving the cursor.
+  const RuleMeta& meta = *meta_;
   const Tree* t = &RuleTree(cur_rule_);
   LabelId rule = cur_rule_;
   NodeId c = cur_;
@@ -87,12 +95,12 @@ int GrammarCursor::DerivedChildIndex() const {
       c = f.call;
       continue;
     }
-    if (g_->IsNonterminal(t->label(p))) {
+    if (meta.IsNonterminal(t->label(p))) {
       int j = t->ChildIndex(c);
       extra.push_back(Frame{rule, p});
       rule = t->label(p);
       t = &RuleTree(rule);
-      c = FindParamNode(*g_, rule, j);
+      c = meta.ParamNode(rule, j);
       continue;
     }
     return t->ChildIndex(c);
@@ -100,6 +108,7 @@ int GrammarCursor::DerivedChildIndex() const {
 }
 
 bool GrammarCursor::Up() {
+  const RuleMeta& meta = *meta_;
   for (;;) {
     const Tree& t = RuleTree(cur_rule_);
     NodeId p = t.parent(cur_);
@@ -114,13 +123,13 @@ bool GrammarCursor::Up() {
       continue;
     }
     LabelId pl = t.label(p);
-    if (g_->IsNonterminal(pl)) {
+    if (meta.IsNonterminal(pl)) {
       // Current node is the j-th argument of a call: the derived
       // parent is the parent of the j-th parameter inside the callee.
       int j = t.ChildIndex(cur_);
       stack_.push_back(Frame{cur_rule_, p});
       cur_rule_ = pl;
-      cur_ = FindParamNode(*g_, cur_rule_, j);
+      cur_ = meta.ParamNode(pl, j);
       continue;
     }
     cur_ = p;
@@ -130,6 +139,18 @@ bool GrammarCursor::Up() {
 }
 
 bool GrammarCursor::Right() {
+  // Fast path: when the in-rule parent is a terminal, the derived
+  // siblings are exactly the rule-tree siblings — one link hop, no
+  // cursor copy, no Up/Down round trip.
+  const Tree& t = RuleTree(cur_rule_);
+  NodeId p = t.parent(cur_);
+  if (p != kNilNode && !meta_->IsNonterminal(t.label(p))) {
+    NodeId s = t.next_sibling(cur_);
+    if (s == kNilNode) return false;
+    cur_ = s;
+    ResolveDown();
+    return true;
+  }
   int index = DerivedChildIndex();
   if (index == 0) return false;
   GrammarCursor probe = *this;
@@ -140,6 +161,15 @@ bool GrammarCursor::Right() {
 }
 
 bool GrammarCursor::Left() {
+  const Tree& t = RuleTree(cur_rule_);
+  NodeId p = t.parent(cur_);
+  if (p != kNilNode && !meta_->IsNonterminal(t.label(p))) {
+    NodeId s = t.prev_sibling(cur_);
+    if (s == kNilNode) return false;
+    cur_ = s;
+    ResolveDown();
+    return true;
+  }
   int index = DerivedChildIndex();
   if (index <= 1) return false;
   GrammarCursor probe = *this;

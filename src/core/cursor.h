@@ -7,6 +7,12 @@
 // call and parameter boundaries. Down/Up are amortized O(grammar
 // depth); the cursor never materializes any part of the tree.
 //
+// Per-step rule metadata (is-nonterminal, rank, param index, rhs root,
+// parameter positions) comes from a RuleMeta snapshot built once at
+// construction — flat arrays indexed by LabelId instead of the
+// grammar's hash lookups — and is shared between cursor copies, so
+// copying a cursor stays cheap (frame stack + refcount).
+//
 // Navigation operates on the binary encoding; element-level helpers
 // (FirstChildElement / NextSiblingElement) skip the ⊥ slots.
 //
@@ -16,18 +22,25 @@
 #ifndef SLG_CORE_CURSOR_H_
 #define SLG_CORE_CURSOR_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/grammar/grammar.h"
+#include "src/grammar/rule_meta.h"
 
 namespace slg {
 
 class GrammarCursor {
  public:
   // Positions the cursor at the root of val(g). The grammar must be
-  // valid and non-empty.
+  // valid and non-empty. Builds the RuleMeta snapshot (one pass over
+  // the grammar).
   explicit GrammarCursor(const Grammar* g);
+
+  // Shares `meta` (which must be a snapshot of *g) instead of building
+  // a fresh one — for callers creating many short-lived cursors.
+  GrammarCursor(const Grammar* g, std::shared_ptr<const RuleMeta> meta);
 
   // Label of the current derived node.
   LabelId Label() const;
@@ -71,7 +84,7 @@ class GrammarCursor {
     NodeId call;  // call node in this rule whose callee we are inside
   };
 
-  const Tree& RuleTree(LabelId rule) const { return g_->rhs(rule); }
+  const Tree& RuleTree(LabelId rule) const { return meta_->Rhs(rule); }
 
   // Resolves cur_ (which may sit on a parameter or a call) to a
   // terminal node, adjusting the frame stack.
@@ -82,6 +95,7 @@ class GrammarCursor {
   int DerivedChildIndex() const;
 
   const Grammar* g_;
+  std::shared_ptr<const RuleMeta> meta_;
   // Stack of enclosing call sites; the current position is node cur_
   // within rule cur_rule_.
   std::vector<Frame> stack_;

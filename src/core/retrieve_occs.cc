@@ -205,16 +205,6 @@ bool GrammarDigramIndex::HasPositiveSavings(const Digram& d, int rank) const {
   return WeightedCount(d) > static_cast<uint64_t>(rank) + 1;
 }
 
-namespace {
-
-bool DigramLess(const Digram& a, const Digram& b) {
-  if (a.parent_label != b.parent_label) return a.parent_label < b.parent_label;
-  if (a.child_index != b.child_index) return a.child_index < b.child_index;
-  return a.child_label < b.child_label;
-}
-
-}  // namespace
-
 std::optional<Digram> GrammarDigramIndex::MostFrequent(
     const LabelTable& labels, const RepairOptions& options) {
   // Deterministic selection: among all digrams with the maximal count,

@@ -1,0 +1,127 @@
+#include "src/grammar/rule_meta.h"
+
+#include <utility>
+#include <vector>
+
+#include "src/grammar/orders.h"
+#include "src/grammar/value.h"
+
+namespace slg {
+
+RuleMeta RuleMeta::Build(const Grammar& g, bool with_sizes) {
+  const LabelTable& labels = g.labels();
+  size_t n = static_cast<size_t>(labels.size());
+
+  RuleMeta m;
+  m.rank_.resize(n);
+  m.param_index_.resize(n);
+  m.rhs_.assign(n, nullptr);
+  m.rhs_root_.assign(n, kNilNode);
+  m.param_offset_.assign(n, -1);
+  m.seg_offset_.assign(n, -1);
+  m.seg_total_.assign(n, 0);
+  for (size_t l = 0; l < n; ++l) {
+    LabelId id = static_cast<LabelId>(l);
+    m.rank_[l] = labels.Rank(id);
+    m.param_index_[l] = labels.ParamIndex(id);
+    // Terminals derive exactly their own node; parameters derive
+    // nothing of their rule's value.
+    m.seg_total_[l] = m.param_index_[l] > 0 ? 0 : 1;
+  }
+
+  g.ForEachRule([&](LabelId lhs, const Tree& rhs) {
+    size_t l = static_cast<size_t>(lhs);
+    m.rhs_[l] = &rhs;
+    m.rhs_root_[l] = rhs.root();
+    int rank = m.rank_[l];
+    m.param_offset_[l] = static_cast<int32_t>(m.param_nodes_.size());
+    m.param_nodes_.resize(m.param_nodes_.size() + static_cast<size_t>(rank),
+                          kNilNode);
+    rhs.VisitPreorder(rhs.root(), [&](NodeId v) {
+      int pidx = m.param_index_[static_cast<size_t>(rhs.label(v))];
+      if (pidx > 0) {
+        m.param_nodes_[static_cast<size_t>(m.param_offset_[l] + pidx - 1)] = v;
+      }
+    });
+  });
+
+  if (!with_sizes) return m;
+
+  // Parameter-segment sizes (paper §III-A), bottom-up through the
+  // grammar: for each rule, one preorder walk of its rhs accumulating
+  // into the segment of the last parameter seen, reading callee
+  // segments from the already-filled flat arrays (anti-SL order
+  // guarantees callees precede callers).
+  for (LabelId a : AntiSlOrder(g)) {
+    size_t la = static_cast<size_t>(a);
+    const Tree& t = *m.rhs_[la];
+    int rank = m.rank_[la];
+    int32_t off = static_cast<int32_t>(m.seg_sizes_.size());
+    m.seg_offset_[la] = off;
+    m.seg_sizes_.resize(m.seg_sizes_.size() + static_cast<size_t>(rank) + 1,
+                        0);
+    // `cur` is the segment currently being filled: the index of the
+    // last parameter seen in the preorder walk of val(A).
+    int cur = 0;
+
+    // Recursive walk expressed with an explicit stack. Each frame is
+    // either "visit node" or "account callee segment i after the i-th
+    // argument subtree finished".
+    struct Frame {
+      NodeId node;     // kNilNode for callee-segment frames
+      LabelId callee;  // for segment frames
+      int segment;     // for segment frames
+    };
+    std::vector<Frame> stack = {{t.root(), kNoLabel, -1}};
+    std::vector<NodeId> kids;
+    while (!stack.empty()) {
+      Frame f = stack.back();
+      stack.pop_back();
+      auto seg_at = [&](int i) -> int64_t& {
+        return m.seg_sizes_[static_cast<size_t>(off + i)];
+      };
+      if (f.node == kNilNode) {
+        // Post-argument accounting of callee segment f.segment.
+        seg_at(cur) = SizeSatAdd(
+            seg_at(cur),
+            m.SegSize(f.callee, f.segment));
+        continue;
+      }
+      LabelId l = t.label(f.node);
+      int pidx = m.param_index_[static_cast<size_t>(l)];
+      if (pidx > 0) {
+        SLG_CHECK_MSG(pidx == cur + 1, "parameters not in preorder order");
+        cur = pidx;
+        continue;
+      }
+      kids.clear();
+      for (NodeId c = t.first_child(f.node); c != kNilNode;
+           c = t.next_sibling(c)) {
+        kids.push_back(c);
+      }
+      if (m.IsNonterminal(l)) {
+        seg_at(cur) = SizeSatAdd(seg_at(cur), m.SegSize(l, 0));
+        // Push in reverse: after argument i, account callee segment i.
+        for (int i = static_cast<int>(kids.size()); i >= 1; --i) {
+          stack.push_back({kNilNode, l, i});
+          stack.push_back({kids[static_cast<size_t>(i - 1)], kNoLabel, -1});
+        }
+        continue;
+      }
+      // Terminal: one node in the current segment, then its children.
+      seg_at(cur) = SizeSatAdd(seg_at(cur), 1);
+      for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+        stack.push_back({*it, kNoLabel, -1});
+      }
+    }
+    SLG_CHECK_MSG(cur == rank, "rule does not use all its parameters");
+    int64_t total = 0;
+    for (int i = 0; i <= rank; ++i) {
+      total = SizeSatAdd(total, m.seg_sizes_[static_cast<size_t>(off + i)]);
+    }
+    m.seg_total_[la] = total;
+  }
+  return m;
+}
+
+}  // namespace slg

@@ -1,91 +1,22 @@
 #include "src/grammar/sizes.h"
 
-#include <vector>
-
-#include "src/grammar/orders.h"
-#include "src/grammar/value.h"
+#include "src/grammar/rule_meta.h"
 
 namespace slg {
 
-namespace {
-
-int64_t SatAdd(int64_t a, int64_t b) {
-  int64_t s = a + b;
-  return (s < 0 || s > kSizeCap) ? kSizeCap : s;
-}
-
-}  // namespace
-
 std::unordered_map<LabelId, SegmentSizes> ComputeSegmentSizes(
     const Grammar& g) {
+  // The computation itself lives in RuleMeta::Build (flat arrays, the
+  // form the hot paths consume); this wrapper re-shapes the result for
+  // callers that want a per-nonterminal map.
+  RuleMeta meta = RuleMeta::Build(g, /*with_sizes=*/true);
   std::unordered_map<LabelId, SegmentSizes> out;
-  const LabelTable& labels = g.labels();
-
-  for (LabelId a : AntiSlOrder(g)) {
-    const Tree& t = g.rhs(a);
-    int rank = labels.Rank(a);
+  for (LabelId a : g.Nonterminals()) {
+    int rank = meta.Rank(a);
     SegmentSizes seg;
-    seg.sizes.assign(static_cast<size_t>(rank) + 1, 0);
-    // `cur` is the segment currently being filled: the index of the
-    // last parameter seen in the preorder walk of val(A).
-    int cur = 0;
-
-    // Recursive walk expressed with an explicit stack. Each frame is
-    // either "visit node" or "account callee segment i after the i-th
-    // argument subtree finished".
-    struct Frame {
-      NodeId node;       // kNilNode for callee-segment frames
-      LabelId callee;    // for segment frames
-      int segment;       // for segment frames
-    };
-    std::vector<Frame> stack = {{t.root(), kNoLabel, -1}};
-    while (!stack.empty()) {
-      Frame f = stack.back();
-      stack.pop_back();
-      if (f.node == kNilNode) {
-        // Post-argument accounting of callee segment f.segment.
-        seg.sizes[static_cast<size_t>(cur)] = SatAdd(
-            seg.sizes[static_cast<size_t>(cur)],
-            out[f.callee].sizes[static_cast<size_t>(f.segment)]);
-        continue;
-      }
-      LabelId l = t.label(f.node);
-      int pidx = labels.ParamIndex(l);
-      if (pidx > 0) {
-        SLG_CHECK_MSG(pidx == cur + 1, "parameters not in preorder order");
-        cur = pidx;
-        continue;
-      }
-      if (g.IsNonterminal(l)) {
-        const SegmentSizes& callee = out[l];
-        seg.sizes[static_cast<size_t>(cur)] =
-            SatAdd(seg.sizes[static_cast<size_t>(cur)], callee.sizes[0]);
-        // Push in reverse: after argument i, account callee segment i.
-        std::vector<NodeId> kids;
-        for (NodeId c = t.first_child(f.node); c != kNilNode;
-             c = t.next_sibling(c)) {
-          kids.push_back(c);
-        }
-        for (int i = static_cast<int>(kids.size()); i >= 1; --i) {
-          stack.push_back({kNilNode, l, i});
-          stack.push_back({kids[static_cast<size_t>(i - 1)], kNoLabel, -1});
-        }
-        continue;
-      }
-      // Terminal: one node in the current segment, then its children.
-      seg.sizes[static_cast<size_t>(cur)] =
-          SatAdd(seg.sizes[static_cast<size_t>(cur)], 1);
-      std::vector<NodeId> kids;
-      for (NodeId c = t.first_child(f.node); c != kNilNode;
-           c = t.next_sibling(c)) {
-        kids.push_back(c);
-      }
-      for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
-        stack.push_back({*it, kNoLabel, -1});
-      }
-    }
-    SLG_CHECK_MSG(cur == rank, "rule does not use all its parameters");
-    out[a] = std::move(seg);
+    seg.sizes.reserve(static_cast<size_t>(rank) + 1);
+    for (int i = 0; i <= rank; ++i) seg.sizes.push_back(meta.SegSize(a, i));
+    out.emplace(a, std::move(seg));
   }
   return out;
 }

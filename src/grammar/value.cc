@@ -33,10 +33,6 @@ StatusOr<Tree> ValueOf(const Grammar& g, LabelId r, int64_t max_nodes) {
 
 namespace {
 
-int64_t SatAdd(int64_t a, int64_t b) {
-  int64_t s = a + b;
-  return (s < 0 || s > kSizeCap) ? kSizeCap : s;
-}
 int64_t SatMul(int64_t a, int64_t b) {
   if (a == 0 || b == 0) return 0;
   if (a > kSizeCap / b) return kSizeCap;
@@ -46,24 +42,28 @@ int64_t SatMul(int64_t a, int64_t b) {
 // Counts nodes of val(S) using per-rule totals computed bottom-up.
 // Parameters contribute 0 (their substitutions are counted at the call
 // sites). `count_node(label)` decides whether a terminal counts.
+// Totals live in a flat vector indexed by LabelId — no hashing in the
+// per-node visitor.
 template <typename Pred>
 int64_t CountValue(const Grammar& g, Pred count_node) {
-  std::unordered_map<LabelId, int64_t> per_rule;
+  std::vector<int64_t> per_rule(static_cast<size_t>(g.labels().size()), 0);
+  std::vector<char> is_rule(per_rule.size(), 0);
+  for (LabelId r : g.Nonterminals()) is_rule[static_cast<size_t>(r)] = 1;
   for (LabelId r : AntiSlOrder(g)) {
     const Tree& t = g.rhs(r);
     int64_t total = 0;
     t.VisitPreorder(t.root(), [&](NodeId v) {
       LabelId l = t.label(v);
       if (g.labels().IsParam(l)) return;
-      if (g.IsNonterminal(l)) {
-        total = SatAdd(total, per_rule[l]);
+      if (is_rule[static_cast<size_t>(l)]) {
+        total = SizeSatAdd(total, per_rule[static_cast<size_t>(l)]);
       } else if (count_node(l)) {
-        total = SatAdd(total, 1);
+        total = SizeSatAdd(total, 1);
       }
     });
-    per_rule[r] = total;
+    per_rule[static_cast<size_t>(r)] = total;
   }
-  return SatMul(per_rule[g.start()], 1);
+  return SatMul(per_rule[static_cast<size_t>(g.start())], 1);
 }
 
 }  // namespace

@@ -33,6 +33,16 @@ struct DigramHash {
   }
 };
 
+// Lexicographic order on (parent_label, child_index, child_label):
+// the deterministic tie-break both digram indexes (tree and grammar)
+// use for most-frequent selection — they must agree so that the
+// cross-check and mode-equivalence tests hold.
+inline bool DigramLess(const Digram& a, const Digram& b) {
+  if (a.parent_label != b.parent_label) return a.parent_label < b.parent_label;
+  if (a.child_index != b.child_index) return a.child_index < b.child_index;
+  return a.child_label < b.child_label;
+}
+
 // rank(α) = rank(a) + rank(b) - 1: parameter count of the pattern rule.
 int DigramRank(const Digram& d, const LabelTable& labels);
 

@@ -5,9 +5,15 @@
 namespace slg {
 
 void TreeDigramIndex::Build(const Tree& t) {
-  table_.clear();
+  digrams_.clear();
+  slots_.clear();
+  slot_count_ = 0;
+  occs_.clear();
+  occ_free_.clear();
+  node_head_.clear();
+  buckets_.clear();
+  max_count_ = 0;
   total_ = 0;
-  heap_ = {};
   std::vector<NodeId> order = t.Preorder();
   // Reverse preorder visits children before parents; sibling order is
   // irrelevant for overlap (occurrences overlap only via parent-child
@@ -22,95 +28,224 @@ void TreeDigramIndex::Build(const Tree& t) {
   }
 }
 
+TreeDigramIndex::DigramId TreeDigramIndex::Find(const Digram& d) const {
+  if (slots_.empty()) return kNil;
+  size_t mask = slots_.size() - 1;
+  size_t pos = DigramHash()(d) & mask;
+  for (;;) {
+    int32_t s = slots_[pos];
+    if (s == 0) return kNil;
+    DigramId id = s - 1;
+    if (digrams_[static_cast<size_t>(id)].key == d) return id;
+    pos = (pos + 1) & mask;
+  }
+}
+
+void TreeDigramIndex::GrowSlots() {
+  size_t cap = slots_.empty() ? 64 : slots_.size() * 2;
+  slots_.assign(cap, 0);
+  size_t mask = cap - 1;
+  for (size_t id = 0; id < digrams_.size(); ++id) {
+    size_t pos = DigramHash()(digrams_[id].key) & mask;
+    while (slots_[pos] != 0) pos = (pos + 1) & mask;
+    slots_[pos] = static_cast<int32_t>(id) + 1;
+  }
+}
+
+TreeDigramIndex::DigramId TreeDigramIndex::Intern(const Digram& d) {
+  if (slots_.empty() || slot_count_ * 10 >= slots_.size() * 7) GrowSlots();
+  size_t mask = slots_.size() - 1;
+  size_t pos = DigramHash()(d) & mask;
+  for (;;) {
+    int32_t s = slots_[pos];
+    if (s == 0) break;
+    DigramId id = s - 1;
+    if (digrams_[static_cast<size_t>(id)].key == d) return id;
+    pos = (pos + 1) & mask;
+  }
+  DigramId id = static_cast<DigramId>(digrams_.size());
+  DigramInfo info;
+  info.key = d;
+  info.rank = DigramRank(d, *labels_);
+  digrams_.push_back(info);
+  slots_[pos] = id + 1;
+  ++slot_count_;
+  return id;
+}
+
+TreeDigramIndex::OccId TreeDigramIndex::OccOfNode(NodeId v,
+                                                  DigramId id) const {
+  if (static_cast<size_t>(v) >= node_head_.size()) return kNil;
+  for (OccId o = node_head_[static_cast<size_t>(v)]; o != kNil;
+       o = occs_[static_cast<size_t>(o)].nnext) {
+    if (occs_[static_cast<size_t>(o)].digram == id) return o;
+  }
+  return kNil;
+}
+
+void TreeDigramIndex::LinkNode(OccId o) {
+  NodeId v = occs_[static_cast<size_t>(o)].parent;
+  if (static_cast<size_t>(v) >= node_head_.size()) {
+    node_head_.resize(static_cast<size_t>(v) + 1, kNil);
+  }
+  OccId head = node_head_[static_cast<size_t>(v)];
+  occs_[static_cast<size_t>(o)].nprev = kNil;
+  occs_[static_cast<size_t>(o)].nnext = head;
+  if (head != kNil) occs_[static_cast<size_t>(head)].nprev = o;
+  node_head_[static_cast<size_t>(v)] = o;
+}
+
+void TreeDigramIndex::UnlinkNode(OccId o) {
+  const Occ& occ = occs_[static_cast<size_t>(o)];
+  if (occ.nprev != kNil) {
+    occs_[static_cast<size_t>(occ.nprev)].nnext = occ.nnext;
+  } else {
+    node_head_[static_cast<size_t>(occ.parent)] = occ.nnext;
+  }
+  if (occ.nnext != kNil) occs_[static_cast<size_t>(occ.nnext)].nprev = occ.nprev;
+}
+
+void TreeDigramIndex::UnlinkDigram(OccId o) {
+  const Occ& occ = occs_[static_cast<size_t>(o)];
+  if (occ.dprev != kNil) {
+    occs_[static_cast<size_t>(occ.dprev)].dnext = occ.dnext;
+  } else {
+    digrams_[static_cast<size_t>(occ.digram)].occ_head = occ.dnext;
+  }
+  if (occ.dnext != kNil) occs_[static_cast<size_t>(occ.dnext)].dprev = occ.dprev;
+}
+
+void TreeDigramIndex::SetCount(DigramId id, long long count) {
+  DigramInfo& info = digrams_[static_cast<size_t>(id)];
+  if (info.count > 0) {
+    // Unlink from the old bucket.
+    if (info.bucket_prev != kNil) {
+      digrams_[static_cast<size_t>(info.bucket_prev)].bucket_next =
+          info.bucket_next;
+    } else {
+      buckets_[static_cast<size_t>(info.count)] = info.bucket_next;
+    }
+    if (info.bucket_next != kNil) {
+      digrams_[static_cast<size_t>(info.bucket_next)].bucket_prev =
+          info.bucket_prev;
+    }
+    info.bucket_prev = info.bucket_next = kNil;
+  }
+  info.count = count;
+  if (count > 0) {
+    if (static_cast<size_t>(count) >= buckets_.size()) {
+      buckets_.resize(static_cast<size_t>(count) + 1, kNil);
+    }
+    DigramId head = buckets_[static_cast<size_t>(count)];
+    info.bucket_prev = kNil;
+    info.bucket_next = head;
+    if (head != kNil) digrams_[static_cast<size_t>(head)].bucket_prev = id;
+    buckets_[static_cast<size_t>(count)] = id;
+    if (count > max_count_) max_count_ = count;
+  }
+}
+
 void TreeDigramIndex::Add(const Tree& t, NodeId v, int child_index) {
   NodeId w = t.Child(v, child_index);
   LabelId a = t.label(v);
   LabelId b = t.label(w);
   if (labels_->IsParam(a) || labels_->IsParam(b)) return;
-  Digram d{a, child_index, b};
-  Entry& e = table_[d];
+  DigramId id = Intern(Digram{a, child_index, b});
+  // A node parents at most one occurrence per digram (the child index
+  // is part of the key); duplicates are silently ignored.
+  if (OccOfNode(v, id) != kNil) return;
   if (a == b) {
     // Greedy non-overlap: reject if w already parents a stored
     // occurrence, or if v is already the child of one (v's parent p
     // stored and v sits at the digram's child index under p).
-    if (e.parents.count(w) > 0) return;
+    if (OccOfNode(w, id) != kNil) return;
     NodeId p = t.parent(v);
-    if (p != kNilNode && t.label(p) == a && e.parents.count(p) > 0 &&
-        t.Child(p, child_index) == v) {
-      return;
+    if (p != kNilNode && t.label(p) == a) {
+      OccId po = OccOfNode(p, id);
+      if (po != kNil && occs_[static_cast<size_t>(po)].child == v) return;
     }
   }
-  if (e.parents.insert(v).second) {
-    ++total_;
-    PushHeap(d, static_cast<long long>(e.parents.size()));
+  OccId o;
+  if (!occ_free_.empty()) {
+    o = occ_free_.back();
+    occ_free_.pop_back();
+  } else {
+    o = static_cast<OccId>(occs_.size());
+    occs_.emplace_back();
   }
+  Occ& occ = occs_[static_cast<size_t>(o)];
+  occ.digram = id;
+  occ.parent = v;
+  occ.child = w;
+  DigramInfo& info = digrams_[static_cast<size_t>(id)];
+  occ.dprev = kNil;
+  occ.dnext = info.occ_head;
+  if (info.occ_head != kNil) {
+    occs_[static_cast<size_t>(info.occ_head)].dprev = o;
+  }
+  info.occ_head = o;
+  LinkNode(o);
+  SetCount(id, info.count + 1);
+  ++total_;
 }
 
 void TreeDigramIndex::Remove(const Digram& d, NodeId v) {
-  auto it = table_.find(d);
-  if (it == table_.end()) return;
-  if (it->second.parents.erase(v) > 0) {
-    --total_;
-    PushHeap(d, static_cast<long long>(it->second.parents.size()));
-  }
+  DigramId id = Find(d);
+  if (id == kNil) return;
+  OccId o = OccOfNode(v, id);
+  if (o == kNil) return;
+  UnlinkDigram(o);
+  UnlinkNode(o);
+  occs_[static_cast<size_t>(o)] = Occ{};
+  occ_free_.push_back(o);
+  SetCount(id, digrams_[static_cast<size_t>(id)].count - 1);
+  --total_;
 }
 
 std::vector<NodeId> TreeDigramIndex::Take(const Digram& d) {
-  auto it = table_.find(d);
-  if (it == table_.end()) return {};
-  std::vector<NodeId> out(it->second.parents.begin(),
-                          it->second.parents.end());
-  // Deterministic processing order regardless of hashing.
-  std::sort(out.begin(), out.end());
+  DigramId id = Find(d);
+  if (id == kNil || digrams_[static_cast<size_t>(id)].count == 0) return {};
+  std::vector<NodeId> out;
+  out.reserve(static_cast<size_t>(digrams_[static_cast<size_t>(id)].count));
+  for (OccId o = digrams_[static_cast<size_t>(id)].occ_head; o != kNil;) {
+    OccId next = occs_[static_cast<size_t>(o)].dnext;
+    out.push_back(occs_[static_cast<size_t>(o)].parent);
+    UnlinkNode(o);
+    occs_[static_cast<size_t>(o)] = Occ{};
+    occ_free_.push_back(o);
+    o = next;
+  }
+  digrams_[static_cast<size_t>(id)].occ_head = kNil;
+  SetCount(id, 0);
   total_ -= static_cast<long long>(out.size());
-  table_.erase(it);
+  // Deterministic processing order regardless of insertion order.
+  std::sort(out.begin(), out.end());
   return out;
 }
 
 long long TreeDigramIndex::Count(const Digram& d) const {
-  auto it = table_.find(d);
-  return it == table_.end()
-             ? 0
-             : static_cast<long long>(it->second.parents.size());
-}
-
-void TreeDigramIndex::PushHeap(const Digram& d, long long count) {
-  if (count > 0) heap_.push(HeapItem{count, d});
+  DigramId id = Find(d);
+  return id == kNil ? 0 : digrams_[static_cast<size_t>(id)].count;
 }
 
 std::optional<Digram> TreeDigramIndex::MostFrequent(
     const RepairOptions& options) {
-  // Deterministic tie-break: lexicographically smallest digram among
-  // those tied at the maximal count (see GrammarDigramIndex).
-  auto less = [](const Digram& a, const Digram& b) {
-    if (a.parent_label != b.parent_label) {
-      return a.parent_label < b.parent_label;
+  while (max_count_ > 0 &&
+         buckets_[static_cast<size_t>(max_count_)] == kNil) {
+    --max_count_;
+  }
+  long long floor = options.min_count > 1 ? options.min_count : 1;
+  for (long long c = max_count_; c >= floor; --c) {
+    DigramId best = kNil;
+    for (DigramId id = buckets_[static_cast<size_t>(c)]; id != kNil;
+         id = digrams_[static_cast<size_t>(id)].bucket_next) {
+      if (digrams_[static_cast<size_t>(id)].rank > options.max_rank) continue;
+      if (best == kNil || DigramLess(digrams_[static_cast<size_t>(id)].key,
+                                     digrams_[static_cast<size_t>(best)].key)) {
+        best = id;
+      }
     }
-    if (a.child_index != b.child_index) return a.child_index < b.child_index;
-    return a.child_label < b.child_label;
-  };
-  while (!heap_.empty()) {
-    HeapItem top = heap_.top();
-    heap_.pop();
-    long long current = Count(top.d);
-    if (current != top.count) continue;  // stale snapshot
-    if (current < options.min_count) continue;
-    if (DigramRank(top.d, *labels_) > options.max_rank) continue;
-    Digram best = top.d;
-    std::vector<Digram> requeue;
-    while (!heap_.empty() && heap_.top().count == top.count) {
-      HeapItem other = heap_.top();
-      heap_.pop();
-      if (Count(other.d) != other.count) continue;
-      if (DigramRank(other.d, *labels_) > options.max_rank) continue;
-      requeue.push_back(other.d);
-      if (less(other.d, best)) best = other.d;
-    }
-    requeue.push_back(top.d);
-    for (const Digram& d : requeue) {
-      if (!(d == best)) PushHeap(d, top.count);
-    }
-    return best;
+    if (best != kNil) return digrams_[static_cast<size_t>(best)].key;
   }
   return std::nullopt;
 }

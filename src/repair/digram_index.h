@@ -6,18 +6,21 @@
 // occurrences (greedy, children-before-parents as in TreeRePair [3])
 // and supports the incremental neighbourhood updates of §IV-C.
 //
-// Most-frequent selection uses a lazy max-heap: every count change
-// pushes a snapshot; pops discard stale snapshots. This keeps all
-// operations O(log #digrams) amortized without the bucket machinery of
-// Larsson-Moffat — measured to be far off the critical path.
+// Layout follows Larsson-Moffat: digrams are interned to dense ids
+// once (a single open-addressing probe per Add/Remove — the only
+// hashing anywhere), occurrences live in a free-listed pool of flat
+// records threaded onto two intrusive doubly-linked lists (per digram
+// and per parent node), and most-frequent selection uses an array of
+// frequency buckets holding doubly-linked lists of digram ids. Add,
+// Remove and the bucket moves they trigger are O(1); MostFrequent
+// scans one bucket (for the deterministic tie-break) plus the empty
+// buckets skipped since the previous maximum — amortized O(1) over a
+// repair run. No per-operation heap churn, no unordered_set nodes.
 
 #ifndef SLG_REPAIR_DIGRAM_INDEX_H_
 #define SLG_REPAIR_DIGRAM_INDEX_H_
 
 #include <optional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "src/repair/digram.h"
@@ -42,11 +45,13 @@ class TreeDigramIndex {
   // Removes the occurrence parented at v, if stored.
   void Remove(const Digram& d, NodeId v);
 
-  // Extracts and clears the occurrence list of d (unordered).
+  // Extracts and clears the occurrence list of d (sorted by parent id
+  // for deterministic replacement order).
   std::vector<NodeId> Take(const Digram& d);
 
   // Most frequent appropriate digram: count >= options.min_count and
-  // rank <= options.max_rank. Returns nullopt when none remains.
+  // rank <= options.max_rank; ties broken by lexicographically
+  // smallest digram. Returns nullopt when none remains.
   std::optional<Digram> MostFrequent(const RepairOptions& options);
 
   long long Count(const Digram& d) const;
@@ -55,21 +60,53 @@ class TreeDigramIndex {
   long long TotalOccurrences() const { return total_; }
 
  private:
-  struct Entry {
-    std::unordered_set<NodeId> parents;
+  using DigramId = int32_t;
+  using OccId = int32_t;
+  static constexpr int32_t kNil = -1;
+
+  struct DigramInfo {
+    Digram key;
+    int rank = 0;  // DigramRank, fixed at interning time
+    long long count = 0;
+    OccId occ_head = kNil;
+    DigramId bucket_prev = kNil;
+    DigramId bucket_next = kNil;
   };
 
-  void PushHeap(const Digram& d, long long count);
+  struct Occ {
+    DigramId digram = kNil;
+    NodeId parent = kNilNode;
+    NodeId child = kNilNode;
+    OccId dprev = kNil, dnext = kNil;  // per-digram occurrence list
+    OccId nprev = kNil, nnext = kNil;  // per-parent-node occurrence list
+  };
+
+  DigramId Intern(const Digram& d);      // insert-or-find
+  DigramId Find(const Digram& d) const;  // kNil when never interned
+  void GrowSlots();
+
+  // The occurrence of digram `id` parented at v, or kNil. O(#digrams
+  // parented at v) = O(rank of v's label): effectively constant.
+  OccId OccOfNode(NodeId v, DigramId id) const;
+
+  void LinkNode(OccId o);
+  void UnlinkNode(OccId o);
+  void UnlinkDigram(OccId o);
+
+  // Moves digram `id` to the bucket of its new count (0 = none).
+  void SetCount(DigramId id, long long count);
 
   const LabelTable* labels_;
-  std::unordered_map<Digram, Entry, DigramHash> table_;
-  // Lazy heap of (count, digram) snapshots.
-  struct HeapItem {
-    long long count;
-    Digram d;
-    bool operator<(const HeapItem& o) const { return count < o.count; }
-  };
-  std::priority_queue<HeapItem> heap_;
+  std::vector<DigramInfo> digrams_;
+  // Open-addressing intern table: slot holds DigramId + 1, 0 = empty.
+  std::vector<int32_t> slots_;
+  size_t slot_count_ = 0;  // interned digrams (load-factor bookkeeping)
+  std::vector<Occ> occs_;
+  std::vector<OccId> occ_free_;
+  std::vector<OccId> node_head_;  // by NodeId; kNil when none
+  // buckets_[c] = head of the list of digrams with count c (c >= 1).
+  std::vector<DigramId> buckets_;
+  long long max_count_ = 0;
   long long total_ = 0;
 };
 

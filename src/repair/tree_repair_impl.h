@@ -1,0 +1,95 @@
+// TreeRePair replacement loop, templated over the digram-index
+// implementation. Production code instantiates it with the bucketed
+// TreeDigramIndex (tree_repair.cc); tests instantiate it with a
+// reference index to cross-check that both produce identical grammars
+// on identical inputs. The index contract is the TreeDigramIndex API:
+// Build / Add / Remove / Take / MostFrequent / Count.
+
+#ifndef SLG_REPAIR_TREE_REPAIR_IMPL_H_
+#define SLG_REPAIR_TREE_REPAIR_IMPL_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/repair/digram.h"
+#include "src/repair/pruning.h"
+#include "src/repair/tree_repair.h"
+
+namespace slg {
+namespace internal {
+
+// Deletes from the index every stored occurrence adjacent to the
+// occurrence (v, w) about to be replaced: the edge into v from its
+// parent, v's other child edges, and w's child edges (§IV-C).
+template <typename Index>
+void RemoveNeighborhood(const Tree& t, Index* index, NodeId v, NodeId w,
+                        int child_index) {
+  NodeId p = t.parent(v);
+  if (p != kNilNode) {
+    index->Remove(Digram{t.label(p), t.ChildIndex(v), t.label(v)}, p);
+  }
+  int j = 0;
+  for (NodeId c = t.first_child(v); c != kNilNode; c = t.next_sibling(c)) {
+    ++j;
+    if (j == child_index) continue;
+    index->Remove(Digram{t.label(v), j, t.label(c)}, v);
+  }
+  int k = 0;
+  for (NodeId c = t.first_child(w); c != kNilNode; c = t.next_sibling(c)) {
+    ++k;
+    index->Remove(Digram{t.label(w), k, t.label(c)}, w);
+  }
+}
+
+// Registers the fresh digrams around the replacement node x.
+template <typename Index>
+void AddNeighborhood(const Tree& t, Index* index, NodeId x) {
+  NodeId p = t.parent(x);
+  if (p != kNilNode) {
+    index->Add(t, p, t.ChildIndex(x));
+  }
+  int j = 0;
+  for (NodeId c = t.first_child(x); c != kNilNode; c = t.next_sibling(c)) {
+    ++j;
+    index->Add(t, x, j);
+  }
+}
+
+template <typename Index>
+TreeRepairResult TreeRePairWithIndex(Tree t, const LabelTable& labels,
+                                     const RepairOptions& options) {
+  LabelTable table = labels;  // own a mutable copy for fresh X labels
+  Index index(&table);
+  index.Build(t);
+
+  struct PendingRule {
+    LabelId lhs;
+    Tree pattern;
+  };
+  std::vector<PendingRule> rules;
+  int replaced = 0;
+
+  while (auto d = index.MostFrequent(options)) {
+    LabelId x = table.Fresh("X", DigramRank(*d, table));
+    std::vector<NodeId> occs = index.Take(*d);
+    for (NodeId v : occs) {
+      NodeId w = t.Child(v, d->child_index);
+      RemoveNeighborhood(t, &index, v, w, d->child_index);
+      NodeId x_node = ReplaceDigramNodes(&t, v, d->child_index, x);
+      AddNeighborhood(t, &index, x_node);
+    }
+    rules.push_back(PendingRule{x, MakePattern(*d, &table)});
+    ++replaced;
+  }
+
+  Grammar g = Grammar::ForTree(std::move(t), std::move(table));
+  for (PendingRule& r : rules) g.AddRule(r.lhs, std::move(r.pattern));
+  if (options.prune) Prune(&g);
+
+  return TreeRepairResult{std::move(g), replaced};
+}
+
+}  // namespace internal
+}  // namespace slg
+
+#endif  // SLG_REPAIR_TREE_REPAIR_IMPL_H_

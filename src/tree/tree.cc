@@ -55,25 +55,6 @@ void Tree::InsertBefore(NodeId pos, NodeId child) {
   }
 }
 
-NodeId Tree::Child(NodeId v, int i) const {
-  SLG_DCHECK(i >= 1);
-  NodeId c = first_child(v);
-  for (int k = 1; k < i && c != kNilNode; ++k) c = next_sibling(c);
-  return c;
-}
-
-int Tree::ChildIndex(NodeId v) const {
-  int i = 1;
-  for (NodeId s = prev_sibling(v); s != kNilNode; s = prev_sibling(s)) ++i;
-  return i;
-}
-
-int Tree::NumChildren(NodeId v) const {
-  int n = 0;
-  for (NodeId c = first_child(v); c != kNilNode; c = next_sibling(c)) ++n;
-  return n;
-}
-
 int Tree::SubtreeSize(NodeId v) const {
   int n = 0;
   VisitPreorder(v, [&n](NodeId) { ++n; });

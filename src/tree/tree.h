@@ -64,7 +64,8 @@ class Tree {
   NodeId next_sibling(NodeId v) const { return node(v).next_sibling; }
   NodeId prev_sibling(NodeId v) const { return node(v).prev_sibling; }
 
-  // i-th child, 1-based (the paper's convention). Walks the chain.
+  // i-th child, 1-based (the paper's convention). O(1) for the first
+  // two slots (the whole binary-XML encoding); walks the chain beyond.
   NodeId Child(NodeId v, int i) const;
 
   // 1-based index of v in its parent's child list.
@@ -162,6 +163,34 @@ class Tree {
   std::vector<NodeId> free_list_;
   int live_count_ = 0;
 };
+
+// Child/ChildIndex/NumChildren are inline: they sit on the cursor and
+// digram-replacement hot paths, and ranks here are tiny (binary XML
+// terminals have rank 2, digram nonterminals at most kin), so the
+// call overhead would dominate the walk.
+
+inline NodeId Tree::Child(NodeId v, int i) const {
+  SLG_DCHECK(i >= 1);
+  // Two-slot fast path: i is 1 or 2 for every label of the rank-2
+  // binary encoding, each a single link load.
+  NodeId c = node(v).first_child;
+  if (i == 1 || c == kNilNode) return c;
+  c = node(c).next_sibling;
+  for (int k = 2; k < i && c != kNilNode; ++k) c = node(c).next_sibling;
+  return c;
+}
+
+inline int Tree::ChildIndex(NodeId v) const {
+  int i = 1;
+  for (NodeId s = prev_sibling(v); s != kNilNode; s = prev_sibling(s)) ++i;
+  return i;
+}
+
+inline int Tree::NumChildren(NodeId v) const {
+  int n = 0;
+  for (NodeId c = first_child(v); c != kNilNode; c = next_sibling(c)) ++n;
+  return n;
+}
 
 }  // namespace slg
 

@@ -6,39 +6,20 @@
 
 namespace slg {
 
-namespace {
-
-int64_t SatAdd(int64_t a, int64_t b) {
-  int64_t s = a + b;
-  return (s < 0 || s > kSizeCap) ? kSizeCap : s;
-}
-
-}  // namespace
-
-std::vector<int64_t> DerivedSubtreeSizes(
-    const Grammar& g, const Tree& t,
-    const std::unordered_map<LabelId, SegmentSizes>& seg) {
+std::vector<int64_t> DerivedSubtreeSizes(const Tree& t, const RuleMeta& meta) {
   std::vector<NodeId> order = t.Preorder();
   NodeId max_id = 0;
   for (NodeId v : order) max_id = std::max(max_id, v);
   std::vector<int64_t> sizes(static_cast<size_t>(max_id) + 1, 0);
-  const LabelTable& labels = g.labels();
-  // Children before parents.
+  // Children before parents. SegTotal is 1 for terminals, 0 for
+  // parameters (which cannot occur in the start rule, where navigation
+  // happens) and the flattened segment total for nonterminals — all a
+  // single array load.
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     NodeId v = *it;
-    LabelId l = t.label(v);
-    int64_t n;
-    if (labels.IsParam(l)) {
-      // Parameters cannot occur in the start rule, where navigation
-      // happens; defined as 0 for completeness.
-      n = 0;
-    } else if (g.IsNonterminal(l)) {
-      n = seg.at(l).Total();
-    } else {
-      n = 1;
-    }
+    int64_t n = meta.SegTotal(t.label(v));
     for (NodeId c = t.first_child(v); c != kNilNode; c = t.next_sibling(c)) {
-      n = SatAdd(n, sizes[static_cast<size_t>(c)]);
+      n = SizeSatAdd(n, sizes[static_cast<size_t>(c)]);
     }
     sizes[static_cast<size_t>(v)] = n;
   }

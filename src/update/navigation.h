@@ -13,16 +13,14 @@
 #include <vector>
 
 #include "src/grammar/grammar.h"
-#include "src/grammar/sizes.h"
+#include "src/grammar/rule_meta.h"
 
 namespace slg {
 
 // Derived node count for every node of `t` (indexed by NodeId; dead
-// ids hold 0). `seg` must come from ComputeSegmentSizes on the same
-// grammar. Saturates at kSizeCap.
-std::vector<int64_t> DerivedSubtreeSizes(
-    const Grammar& g, const Tree& t,
-    const std::unordered_map<LabelId, SegmentSizes>& seg);
+// ids hold 0). `meta` must be a with_sizes RuleMeta snapshot of the
+// same grammar. Saturates at kSizeCap.
+std::vector<int64_t> DerivedSubtreeSizes(const Tree& t, const RuleMeta& meta);
 
 }  // namespace slg
 

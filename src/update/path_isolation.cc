@@ -1,10 +1,11 @@
 #include "src/update/path_isolation.h"
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
 #include "src/grammar/inliner.h"
-#include "src/grammar/sizes.h"
+#include "src/grammar/rule_meta.h"
 #include "src/grammar/value.h"
 #include "src/update/navigation.h"
 
@@ -14,9 +15,12 @@ StatusOr<NodeId> IsolateNode(Grammar* g, int64_t preorder) {
   if (preorder < 1) {
     return Status::OutOfRange("preorder positions are 1-based");
   }
-  auto seg = ComputeSegmentSizes(*g);
+  // Flat per-label snapshot: segment sizes, ranks, nonterminal flags.
+  // Inlining below mutates only the interior of the start rule's rhs,
+  // which keeps the snapshot valid (see rule_meta.h).
+  RuleMeta meta = RuleMeta::Build(*g, /*with_sizes=*/true);
   Tree& t = g->rhs(g->start());
-  std::vector<int64_t> derived = DerivedSubtreeSizes(*g, t, seg);
+  std::vector<int64_t> derived = DerivedSubtreeSizes(t, meta);
   auto derived_of = [&](NodeId v) {
     return derived[static_cast<size_t>(v)];
   };
@@ -28,11 +32,10 @@ StatusOr<NodeId> IsolateNode(Grammar* g, int64_t preorder) {
 
   NodeId v = t.root();
   int64_t k = preorder;  // target is the k-th node of v's derived subtree
-  const LabelTable& labels = g->labels();
   for (;;) {
     LabelId l = t.label(v);
-    SLG_CHECK(!labels.IsParam(l));
-    if (!g->IsNonterminal(l)) {
+    SLG_CHECK(meta.ParamIndex(l) == 0);
+    if (!meta.IsNonterminal(l)) {
       if (k == 1) return v;
       k -= 1;
       NodeId c = t.first_child(v);
@@ -47,13 +50,13 @@ StatusOr<NodeId> IsolateNode(Grammar* g, int64_t preorder) {
     }
     // Nonterminal call: decide whether the target lies in an argument
     // subtree (descend without inlining) or in the rule body (inline).
-    const SegmentSizes& s = seg.at(l);
+    int rank = meta.Rank(l);
     int64_t k2 = k;
     NodeId arg = t.first_child(v);
     NodeId descend = kNilNode;
-    for (size_t i = 0; i + 1 < s.sizes.size() && arg != kNilNode;
+    for (int i = 0; i < rank && arg != kNilNode;
          ++i, arg = t.next_sibling(arg)) {
-      int64_t body_seg = s.sizes[i];
+      int64_t body_seg = meta.SegSize(l, i);
       if (k2 <= body_seg) break;  // inside the body: inline
       k2 -= body_seg;
       int64_t n = derived_of(arg);
@@ -77,17 +80,12 @@ StatusOr<NodeId> IsolateNode(Grammar* g, int64_t preorder) {
     NodeId max_id = static_cast<NodeId>(derived.size()) - 1;
     for (NodeId f : fresh) max_id = std::max(max_id, f);
     derived.resize(static_cast<size_t>(max_id) + 1, 0);
-    auto sat_add = [](int64_t a, int64_t b) {
-      int64_t s = a + b;
-      return (s < 0 || s > kSizeCap) ? kSizeCap : s;
-    };
     for (auto it = fresh.rbegin(); it != fresh.rend(); ++it) {
       NodeId u = *it;
-      LabelId ul = t.label(u);
-      int64_t n = g->IsNonterminal(ul) ? seg.at(ul).Total() : 1;
+      int64_t n = meta.SegTotal(t.label(u));
       for (NodeId c = t.first_child(u); c != kNilNode;
            c = t.next_sibling(c)) {
-        n = sat_add(n, derived[static_cast<size_t>(c)]);
+        n = SizeSatAdd(n, derived[static_cast<size_t>(c)]);
       }
       derived[static_cast<size_t>(u)] = n;
     }

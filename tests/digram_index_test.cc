@@ -1,0 +1,319 @@
+// Tests for the bucketed (Larsson-Moffat-style) TreeDigramIndex:
+// neighborhood Add/Remove invariants, the equal-label overlap rule,
+// MostFrequent tie/threshold/rank behavior, and a cross-check that the
+// bucket index and the original hash-set + lazy-heap index drive
+// TreeRePair to identical grammars on synthetic corpus inputs.
+
+#include "src/repair/digram_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/datasets/generators.h"
+#include "src/grammar/text_format.h"
+#include "src/repair/tree_repair_impl.h"
+#include "src/tree/tree_io.h"
+#include "src/xml/binary_encoding.h"
+
+namespace slg {
+namespace {
+
+// ---------------------------------------------------------------------
+// Reference implementation: the pre-bucket index (unordered_set per
+// digram + lazy max-heap of count snapshots), kept verbatim as the
+// semantic baseline the rewrite must match grammar-for-grammar.
+
+class LegacyTreeDigramIndex {
+ public:
+  explicit LegacyTreeDigramIndex(const LabelTable* labels) : labels_(labels) {}
+
+  void Build(const Tree& t) {
+    table_.clear();
+    total_ = 0;
+    heap_ = {};
+    std::vector<NodeId> order = t.Preorder();
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      NodeId v = *it;
+      int i = 0;
+      for (NodeId c = t.first_child(v); c != kNilNode; c = t.next_sibling(c)) {
+        ++i;
+        Add(t, v, i);
+      }
+    }
+  }
+
+  void Add(const Tree& t, NodeId v, int child_index) {
+    NodeId w = t.Child(v, child_index);
+    LabelId a = t.label(v);
+    LabelId b = t.label(w);
+    if (labels_->IsParam(a) || labels_->IsParam(b)) return;
+    Digram d{a, child_index, b};
+    Entry& e = table_[d];
+    if (a == b) {
+      if (e.parents.count(w) > 0) return;
+      NodeId p = t.parent(v);
+      if (p != kNilNode && t.label(p) == a && e.parents.count(p) > 0 &&
+          t.Child(p, child_index) == v) {
+        return;
+      }
+    }
+    if (e.parents.insert(v).second) {
+      ++total_;
+      PushHeap(d, static_cast<long long>(e.parents.size()));
+    }
+  }
+
+  void Remove(const Digram& d, NodeId v) {
+    auto it = table_.find(d);
+    if (it == table_.end()) return;
+    if (it->second.parents.erase(v) > 0) {
+      --total_;
+      PushHeap(d, static_cast<long long>(it->second.parents.size()));
+    }
+  }
+
+  std::vector<NodeId> Take(const Digram& d) {
+    auto it = table_.find(d);
+    if (it == table_.end()) return {};
+    std::vector<NodeId> out(it->second.parents.begin(),
+                            it->second.parents.end());
+    std::sort(out.begin(), out.end());
+    total_ -= static_cast<long long>(out.size());
+    table_.erase(it);
+    return out;
+  }
+
+  long long Count(const Digram& d) const {
+    auto it = table_.find(d);
+    return it == table_.end()
+               ? 0
+               : static_cast<long long>(it->second.parents.size());
+  }
+
+  std::optional<Digram> MostFrequent(const RepairOptions& options) {
+    auto less = [](const Digram& a, const Digram& b) {
+      if (a.parent_label != b.parent_label) {
+        return a.parent_label < b.parent_label;
+      }
+      if (a.child_index != b.child_index) return a.child_index < b.child_index;
+      return a.child_label < b.child_label;
+    };
+    while (!heap_.empty()) {
+      HeapItem top = heap_.top();
+      heap_.pop();
+      long long current = Count(top.d);
+      if (current != top.count) continue;  // stale snapshot
+      if (current < options.min_count) continue;
+      if (DigramRank(top.d, *labels_) > options.max_rank) continue;
+      Digram best = top.d;
+      std::vector<Digram> requeue;
+      while (!heap_.empty() && heap_.top().count == top.count) {
+        HeapItem other = heap_.top();
+        heap_.pop();
+        if (Count(other.d) != other.count) continue;
+        if (DigramRank(other.d, *labels_) > options.max_rank) continue;
+        requeue.push_back(other.d);
+        if (less(other.d, best)) best = other.d;
+      }
+      requeue.push_back(top.d);
+      for (const Digram& d : requeue) {
+        if (!(d == best)) PushHeap(d, top.count);
+      }
+      return best;
+    }
+    return std::nullopt;
+  }
+
+  long long TotalOccurrences() const { return total_; }
+
+ private:
+  struct Entry {
+    std::unordered_set<NodeId> parents;
+  };
+  struct HeapItem {
+    long long count;
+    Digram d;
+    bool operator<(const HeapItem& o) const { return count < o.count; }
+  };
+
+  void PushHeap(const Digram& d, long long count) {
+    if (count > 0) heap_.push(HeapItem{count, d});
+  }
+
+  const LabelTable* labels_;
+  std::unordered_map<Digram, Entry, DigramHash> table_;
+  std::priority_queue<HeapItem> heap_;
+  long long total_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Unit tests of the bucket index.
+
+TEST(BucketDigramIndexTest, AddRemoveInvariants) {
+  LabelTable labels;
+  Tree t = ParseTerm("f(a(c,c),a(c,c))", &labels).take();
+  TreeDigramIndex index(&labels);
+  index.Build(t);
+  LabelId f = labels.Find("f");
+  LabelId a = labels.Find("a");
+  LabelId c = labels.Find("c");
+  Digram ac1{a, 1, c};
+  EXPECT_EQ(index.Count(ac1), 2);
+  EXPECT_EQ(index.TotalOccurrences(), 6);
+
+  NodeId a1 = t.Child(t.root(), 1);
+  index.Remove(ac1, a1);
+  EXPECT_EQ(index.Count(ac1), 1);
+  EXPECT_EQ(index.TotalOccurrences(), 5);
+  // Removing again is a no-op.
+  index.Remove(ac1, a1);
+  EXPECT_EQ(index.Count(ac1), 1);
+  EXPECT_EQ(index.TotalOccurrences(), 5);
+  // Removing a never-seen digram is a no-op.
+  index.Remove(Digram{f, 1, c}, t.root());
+  EXPECT_EQ(index.TotalOccurrences(), 5);
+
+  // Re-adding restores the occurrence exactly once.
+  index.Add(t, a1, 1);
+  index.Add(t, a1, 1);
+  EXPECT_EQ(index.Count(ac1), 2);
+  EXPECT_EQ(index.TotalOccurrences(), 6);
+}
+
+TEST(BucketDigramIndexTest, EqualLabelOverlapRule) {
+  // Chain a-a-a-a along child 2: greedy children-before-parents keeps
+  // (a3,a4) and (a1,a2), so the middle edge (a2,a3) is rejected.
+  LabelTable labels;
+  Tree t = ParseTerm("a(x,a(x,a(x,a(x,y))))", &labels).take();
+  TreeDigramIndex index(&labels);
+  index.Build(t);
+  LabelId a = labels.Find("a");
+  Digram aa{a, 2, a};
+  EXPECT_EQ(index.Count(aa), 2);
+
+  // The stored parents are a1 (root) and a3.
+  NodeId a1 = t.root();
+  NodeId a2 = t.Child(a1, 2);
+  NodeId a3 = t.Child(a2, 2);
+  std::vector<NodeId> occs = index.Take(aa);
+  std::vector<NodeId> expect = {a1, a3};
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(occs, expect);
+  EXPECT_EQ(index.Count(aa), 0);
+
+  // After Take, the middle edge can be stored: nothing overlaps.
+  index.Add(t, a2, 2);
+  EXPECT_EQ(index.Count(aa), 1);
+  // Now (a1,a2) overlaps via its child a2, and (a3,a4) overlaps via
+  // its parent a3 being the stored child — both rejected.
+  index.Add(t, a1, 2);
+  EXPECT_EQ(index.Count(aa), 1);
+  index.Add(t, a3, 2);
+  EXPECT_EQ(index.Count(aa), 1);
+}
+
+TEST(BucketDigramIndexTest, MostFrequentThreshold) {
+  LabelTable labels;
+  // Every digram occurs exactly once.
+  Tree t = ParseTerm("f(a(c,c),b)", &labels).take();
+  TreeDigramIndex index(&labels);
+  index.Build(t);
+  LabelId a = labels.Find("a");
+  LabelId c = labels.Find("c");
+  EXPECT_EQ(index.Count(Digram{a, 1, c}), 1);
+  RepairOptions opts;
+  opts.min_count = 2;  // nothing reaches the threshold
+  EXPECT_FALSE(index.MostFrequent(opts).has_value());
+  opts.min_count = 1;
+  EXPECT_TRUE(index.MostFrequent(opts).has_value());
+}
+
+TEST(BucketDigramIndexTest, MostFrequentTieBreakLexicographic) {
+  LabelTable labels;
+  // (f,1,a) and (f,2,b) both occur twice; the lexicographically
+  // smaller key — smaller child_index — must win, deterministically.
+  Tree t = ParseTerm("r(f(a,b),f(a,b))", &labels).take();
+  TreeDigramIndex index(&labels);
+  index.Build(t);
+  RepairOptions opts;
+  auto d = index.MostFrequent(opts);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->parent_label, labels.Find("f"));
+  EXPECT_EQ(d->child_index, 1);
+  EXPECT_EQ(d->child_label, labels.Find("a"));
+}
+
+TEST(BucketDigramIndexTest, MostFrequentSkipsHighRankInTopBucket) {
+  LabelTable labels;
+  // (f,1,g) has rank 1+3-1 = 3 and count 2; every other digram has
+  // count 1 (the g subtrees use distinct leaves), so the top bucket
+  // holds only the rank-ineligible digram.
+  Tree t = ParseTerm("r(f(g(x,y,z)),f(g(u,v,w)))", &labels).take();
+  TreeDigramIndex index(&labels);
+  index.Build(t);
+  RepairOptions opts;
+  opts.max_rank = 2;
+  opts.min_count = 1;
+  // The count-2 bucket holds only the rank-3 digram; selection must
+  // fall through to an eligible count-1 digram.
+  auto d = index.MostFrequent(opts);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_LE(DigramRank(*d, labels), 2);
+  EXPECT_EQ(index.Count(*d), 1);
+}
+
+TEST(BucketDigramIndexTest, TakeClearsAndSorts) {
+  LabelTable labels;
+  Tree t = ParseTerm("f(a(c,c),a(c,c),a(c,c))", &labels).take();
+  TreeDigramIndex index(&labels);
+  index.Build(t);
+  LabelId a = labels.Find("a");
+  LabelId c = labels.Find("c");
+  std::vector<NodeId> occs = index.Take(Digram{a, 1, c});
+  EXPECT_EQ(occs.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(occs.begin(), occs.end()));
+  EXPECT_EQ(index.Count(Digram{a, 1, c}), 0);
+  EXPECT_TRUE(index.Take(Digram{a, 1, c}).empty());
+  // The a,2,c occurrences are untouched.
+  EXPECT_EQ(index.Count(Digram{a, 2, c}), 3);
+}
+
+// ---------------------------------------------------------------------
+// Cross-check: both indexes must drive the TreeRePair loop to the
+// exact same grammar (same rules, same fresh-label assignment, same
+// replacement order) on corpus-shaped inputs.
+
+class IndexCrossCheckTest : public ::testing::TestWithParam<Corpus> {};
+
+TEST_P(IndexCrossCheckTest, IdenticalGrammars) {
+  XmlTree xml = GenerateCorpus(GetParam(), 0.02);
+  LabelTable labels;
+  Tree bin = EncodeBinary(xml, &labels);
+  for (int max_rank : {2, 4}) {
+    RepairOptions opts;
+    opts.max_rank = max_rank;
+    TreeRepairResult bucket =
+        internal::TreeRePairWithIndex<TreeDigramIndex>(Tree(bin), labels,
+                                                       opts);
+    TreeRepairResult legacy =
+        internal::TreeRePairWithIndex<LegacyTreeDigramIndex>(Tree(bin), labels,
+                                                             opts);
+    EXPECT_EQ(bucket.digrams_replaced, legacy.digrams_replaced);
+    EXPECT_EQ(FormatGrammar(bucket.grammar), FormatGrammar(legacy.grammar))
+        << "grammars diverge on corpus " << InfoFor(GetParam()).name
+        << " with max_rank " << max_rank;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpora, IndexCrossCheckTest,
+                         ::testing::Values(Corpus::kExiWeblog, Corpus::kXMark,
+                                           Corpus::kMedline, Corpus::kNcbi));
+
+}  // namespace
+}  // namespace slg
