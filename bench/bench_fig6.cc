@@ -20,7 +20,7 @@
 #include "src/grammar/stats.h"
 #include "src/grammar/value.h"
 #include "src/repair/tree_repair.h"
-#include "src/update/update_ops.h"
+#include "src/update/batch.h"
 #include "src/workload/update_workload.h"
 #include "src/xml/binary_encoding.h"
 
@@ -54,14 +54,17 @@ int Run(int argc, char** argv) {
         GrammarRePair(Grammar::ForTree(std::move(bin), labels), seed_opts)
             .grammar;
     {
-      // Apply the rename workload on the grammar (path isolation).
+      // Apply the rename workload on the grammar (path isolation,
+      // batched: one shared snapshot for all renames).
       Tree full = Value(g).take();
       std::vector<RenameOp> ops =
           MakeRenameWorkload(full, g.labels(), renames, seed);
+      BatchUpdater batch(&g);
       for (const RenameOp& op : ops) {
-        Status st = RenameNode(&g, op.preorder, op.label);
+        Status st = batch.Rename(op.preorder, op.label);
         SLG_CHECK(st.ok());
       }
+      batch.Finish();
     }
 
     // (1) udc: decompress + TreeRePair.

@@ -7,13 +7,16 @@
 
 #include "src/bench_util/reporting.h"
 #include "src/core/cursor.h"
+#include "src/core/grammar_repair.h"
 #include "src/core/retrieve_occs.h"
 #include "src/datasets/generators.h"
 #include "src/grammar/usage.h"
 #include "src/grammar/value.h"
 #include "src/repair/tree_repair.h"
+#include "src/update/batch.h"
 #include "src/update/path_isolation.h"
 #include "src/update/update_ops.h"
+#include "src/workload/update_workload.h"
 #include "src/xml/binary_encoding.h"
 
 namespace slg {
@@ -176,6 +179,55 @@ void BM_SingleRename(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SingleRename);
+
+// 50 renames through the batched engine (shared snapshot, one GC):
+// the per-operation cost BM_SingleRename pays 50 times over.
+void BM_BatchRenames(benchmark::State& state) {
+  CompressedFixture& f = CompressedFixture::Get();
+  std::vector<RenameOp> ops;
+  {
+    Tree full = Value(f.grammar).take();
+    ops = MakeRenameWorkload(full, f.grammar.labels(), 50, 5);
+  }
+  for (auto _ : state) {
+    Grammar g = f.grammar.Clone();
+    BatchUpdater batch(&g);
+    for (const RenameOp& op : ops) {
+      Status st = batch.Rename(op.preorder, op.label);
+      benchmark::DoNotOptimize(st.ok());
+    }
+    batch.Finish();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(ops.size()));
+}
+BENCHMARK(BM_BatchRenames);
+
+// Recompression of an update-damaged grammar: the GrammarRePair leg
+// the bucketed GrammarDigramIndex accelerates (delta add/remove in
+// pure-local rounds, bucketed MostFrequent, per-rule drop/rescan).
+void BM_GrammarRePairRecompress(benchmark::State& state) {
+  CompressedFixture& f = CompressedFixture::Get();
+  static Grammar* damaged = [] {
+    Grammar* g = new Grammar(CompressedFixture::Get().grammar.Clone());
+    Tree full = Value(*g).take();
+    std::vector<RenameOp> ops = MakeRenameWorkload(full, g->labels(), 50, 3);
+    BatchUpdater batch(g);
+    for (const RenameOp& op : ops) {
+      SLG_CHECK(batch.Rename(op.preorder, op.label).ok());
+    }
+    batch.Finish();
+    return g;
+  }();
+  GrammarRepairOptions opts;
+  opts.repair.require_positive_savings = true;
+  for (auto _ : state) {
+    GrammarRepairResult r = GrammarRePair(damaged->Clone(), opts);
+    benchmark::DoNotOptimize(r.rounds);
+  }
+  state.SetItemsProcessed(state.iterations() * f.nodes);
+}
+BENCHMARK(BM_GrammarRePairRecompress);
 
 }  // namespace
 }  // namespace slg

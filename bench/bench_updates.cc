@@ -1,0 +1,209 @@
+// Batched vs per-operation update engine (the fig5/fig6-style macro
+// loop, timed). For each corpus we replay the same §V-C workload (90%
+// inserts / 10% deletes) and the fig6 rename workload through both
+// engines:
+//
+//   per-op    isolate + edit (+ GC on delete) per operation — a fresh
+//             with-sizes RuleMeta snapshot and derived-size pass every
+//             single call (update_ops.h);
+//   batched   one BatchUpdater per recompression period — one shared
+//             snapshot, incremental derived sizes, one GC per period.
+//
+// Both pipelines recompress with GrammarRePair at the same checkpoints
+// (every --period operations), so the comparison isolates the engine
+// cost; an apply-only pair (no recompression at all) is reported too.
+// Writes BENCH_updates.json (override with --out=...) via the shared
+// JSON reporter; the committed copy at the repo root records the
+// numbers quoted in docs/PERF.md.
+//
+// Flags: --scale, --updates, --period, --renames, --seed, --out.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/bench_util/reporting.h"
+#include "src/common/timer.h"
+#include "src/core/grammar_repair.h"
+#include "src/datasets/generators.h"
+#include "src/grammar/stats.h"
+#include "src/grammar/value.h"
+#include "src/repair/tree_repair.h"
+#include "src/update/batch.h"
+#include "src/update/update_ops.h"
+#include "src/workload/update_workload.h"
+#include "src/xml/binary_encoding.h"
+
+namespace slg {
+namespace {
+
+Status ApplyPerOp(Grammar* g, const UpdateOp& op) {
+  return op.kind == UpdateOp::Kind::kInsert
+             ? InsertTreeBefore(g, op.preorder, op.fragment)
+             : DeleteSubtree(g, op.preorder);
+}
+
+int Run(int argc, char** argv) {
+  double scale = FlagDouble(argc, argv, "--scale", 0.05);
+  int updates = static_cast<int>(FlagInt(argc, argv, "--updates", 400));
+  int period = static_cast<int>(FlagInt(argc, argv, "--period", 100));
+  int renames = static_cast<int>(FlagInt(argc, argv, "--renames", 300));
+  uint64_t seed = static_cast<uint64_t>(FlagInt(argc, argv, "--seed", 7));
+
+  std::printf(
+      "Batched vs per-op update engine (scale %.3g, %d updates, "
+      "recompress every %d, %d renames)\n\n",
+      scale, updates, period, renames);
+  TablePrinter table({"dataset", "#edges", "perop(s)", "batch(s)", "speedup",
+                      "perop+rc(s)", "batch+rc(s)", "speedup", "ren/op(s)",
+                      "ren/bat(s)", "speedup"});
+  JsonBenchWriter json;
+
+  std::vector<Corpus> corpora = {Corpus::kExiWeblog, Corpus::kExiTelecomp,
+                                 Corpus::kMedline, Corpus::kNcbi};
+  for (Corpus c : corpora) {
+    const CorpusInfo& info = InfoFor(c);
+    XmlTree xml = GenerateCorpus(c, scale);
+    LabelTable labels;
+    Tree final_tree = EncodeBinary(xml, &labels);
+
+    WorkloadOptions wopts;
+    wopts.num_ops = updates;
+    wopts.seed = seed;
+    UpdateWorkload w = MakeUpdateWorkload(final_tree, labels, wopts);
+
+    GrammarRepairOptions recompress;
+    recompress.repair.require_positive_savings = true;
+    Grammar seed_grammar =
+        GrammarRePair(Grammar::ForTree(Tree(w.seed), labels), recompress)
+            .grammar;
+
+    // --- apply-only: the engine cost in isolation ---------------------
+    Timer timer;
+    Grammar perop = seed_grammar.Clone();
+    for (const UpdateOp& op : w.ops) {
+      SLG_CHECK(ApplyPerOp(&perop, op).ok());
+    }
+    CollectGarbageRules(&perop);
+    double perop_apply = timer.ElapsedSeconds();
+
+    timer.Reset();
+    Grammar batched = seed_grammar.Clone();
+    {
+      BatchUpdater batch(&batched);
+      for (const UpdateOp& op : w.ops) {
+        SLG_CHECK(batch.Apply(op).ok());
+      }
+      batch.Finish();
+    }
+    double batch_apply = timer.ElapsedSeconds();
+    SLG_CHECK(ComputeStats(perop).edge_count ==
+              ComputeStats(batched).edge_count);
+
+    // --- full pipeline: recompress at the same checkpoints ------------
+    timer.Reset();
+    Grammar perop_rc = seed_grammar.Clone();
+    {
+      int done = 0;
+      for (const UpdateOp& op : w.ops) {
+        SLG_CHECK(ApplyPerOp(&perop_rc, op).ok());
+        if (++done % period == 0 || done == static_cast<int>(w.ops.size())) {
+          perop_rc = GrammarRePair(std::move(perop_rc), recompress).grammar;
+        }
+      }
+    }
+    double perop_pipeline = timer.ElapsedSeconds();
+
+    timer.Reset();
+    Grammar batch_rc = seed_grammar.Clone();
+    {
+      size_t i = 0;
+      while (i < w.ops.size()) {
+        size_t end = std::min(i + static_cast<size_t>(period), w.ops.size());
+        BatchUpdater batch(&batch_rc);
+        for (; i < end; ++i) {
+          SLG_CHECK(batch.Apply(w.ops[i]).ok());
+        }
+        batch.Finish();
+        batch_rc = GrammarRePair(std::move(batch_rc), recompress).grammar;
+      }
+    }
+    double batch_pipeline = timer.ElapsedSeconds();
+    SLG_CHECK(ComputeStats(perop_rc).edge_count ==
+              ComputeStats(batch_rc).edge_count);
+
+    // --- fig6-style rename workload -----------------------------------
+    std::vector<RenameOp> rops;
+    {
+      Tree full = Value(seed_grammar).take();
+      rops = MakeRenameWorkload(full, seed_grammar.labels(), renames, seed);
+    }
+    timer.Reset();
+    Grammar ren_perop = seed_grammar.Clone();
+    for (const RenameOp& op : rops) {
+      SLG_CHECK(RenameNode(&ren_perop, op.preorder, op.label).ok());
+    }
+    double rename_perop = timer.ElapsedSeconds();
+
+    timer.Reset();
+    Grammar ren_batch = seed_grammar.Clone();
+    {
+      BatchUpdater batch(&ren_batch);
+      for (const RenameOp& op : rops) {
+        SLG_CHECK(batch.Rename(op.preorder, op.label).ok());
+      }
+      batch.Finish();
+    }
+    double rename_batch = timer.ElapsedSeconds();
+
+    double apply_speedup = batch_apply > 0 ? perop_apply / batch_apply : 0;
+    double pipeline_speedup =
+        batch_pipeline > 0 ? perop_pipeline / batch_pipeline : 0;
+    double rename_speedup = rename_batch > 0 ? rename_perop / rename_batch : 0;
+
+    table.AddRow({info.name, TablePrinter::Num(xml.EdgeCount()),
+                  TablePrinter::Fixed(perop_apply, 3),
+                  TablePrinter::Fixed(batch_apply, 3),
+                  TablePrinter::Fixed(apply_speedup, 2),
+                  TablePrinter::Fixed(perop_pipeline, 3),
+                  TablePrinter::Fixed(batch_pipeline, 3),
+                  TablePrinter::Fixed(pipeline_speedup, 2),
+                  TablePrinter::Fixed(rename_perop, 3),
+                  TablePrinter::Fixed(rename_batch, 3),
+                  TablePrinter::Fixed(rename_speedup, 2)});
+    json.Add(std::string("updates/") + info.name,
+             {{"edges", static_cast<double>(xml.EdgeCount())},
+              {"ops", static_cast<double>(updates)},
+              {"period", static_cast<double>(period)},
+              {"renames", static_cast<double>(renames)},
+              {"perop_apply_s", perop_apply},
+              {"batch_apply_s", batch_apply},
+              {"apply_speedup", apply_speedup},
+              {"perop_pipeline_s", perop_pipeline},
+              {"batch_pipeline_s", batch_pipeline},
+              {"pipeline_speedup", pipeline_speedup},
+              {"perop_rename_s", rename_perop},
+              {"batch_rename_s", rename_batch},
+              {"rename_speedup", rename_speedup}});
+  }
+  table.Print();
+
+  std::string out = "BENCH_updates.json";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) out = arg.substr(6);
+  }
+  if (json.WriteTo(out)) {
+    std::printf("\nwrote %s\n", out.c_str());
+  } else {
+    std::printf("\nfailed to write %s\n", out.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace slg
+
+int main(int argc, char** argv) { return slg::Run(argc, argv); }

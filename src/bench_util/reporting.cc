@@ -1,5 +1,6 @@
 #include "src/bench_util/reporting.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -53,6 +54,62 @@ std::vector<char*> BenchmarkArgsWithJsonDefault(int argc, char** argv,
   owned->push_back("--benchmark_out_format=json");
   for (std::string& s : *owned) out.push_back(s.data());
   return out;
+}
+
+void JsonBenchWriter::Add(
+    const std::string& name,
+    const std::vector<std::pair<std::string, double>>& metrics) {
+  records_.push_back(Record{name, metrics});
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool JsonBenchWriter::WriteTo(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n  \"benchmarks\": [\n");
+  for (size_t i = 0; i < records_.size(); ++i) {
+    const Record& r = records_[i];
+    std::fprintf(f, "    {\"name\": \"%s\"", JsonEscape(r.name).c_str());
+    for (const auto& [key, value] : r.metrics) {
+      // JSON has no NaN/inf literals; null keeps the file parseable.
+      if (std::isfinite(value)) {
+        std::fprintf(f, ", \"%s\": %.17g", JsonEscape(key).c_str(), value);
+      } else {
+        std::fprintf(f, ", \"%s\": null", JsonEscape(key).c_str());
+      }
+    }
+    std::fprintf(f, "}%s\n", i + 1 < records_.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  return std::fclose(f) == 0;
 }
 
 TablePrinter::TablePrinter(std::vector<std::string> headers)

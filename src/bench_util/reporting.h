@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace slg {
@@ -24,6 +25,27 @@ bool FlagBool(int argc, char** argv, const std::string& name);
 // machine-readable BENCH_*.json trail by default.
 std::vector<char*> BenchmarkArgsWithJsonDefault(int argc, char** argv,
                                                 const std::string& default_path);
+
+// Machine-readable bench trail for the plain (non-google-benchmark)
+// bench binaries, loosely mirroring the google-benchmark JSON shape:
+//   {"benchmarks": [{"name": "...", "<metric>": <number>, ...}, ...]}
+// Metric values are written with enough precision to round-trip.
+class JsonBenchWriter {
+ public:
+  void Add(const std::string& name,
+           const std::vector<std::pair<std::string, double>>& metrics);
+
+  // Writes the collected records to `path`; returns false on I/O
+  // failure (the bench keeps its stdout table either way).
+  bool WriteTo(const std::string& path) const;
+
+ private:
+  struct Record {
+    std::string name;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+  std::vector<Record> records_;
+};
 
 // Aligned table printing.
 class TablePrinter {

@@ -1,172 +1,16 @@
 #include "src/core/grammar_repair.h"
 
-#include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
 #include <utility>
-#include <vector>
 
-#include "src/core/call_graph_cache.h"
-#include "src/core/replacement.h"
+#include "src/core/grammar_repair_impl.h"
 #include "src/core/retrieve_occs.h"
-#include "src/core/tree_links.h"
-#include "src/grammar/stats.h"
-#include "src/repair/digram.h"
-#include "src/repair/pruning.h"
 
 namespace slg {
 
 GrammarRepairResult GrammarRePair(Grammar g,
                                   const GrammarRepairOptions& options) {
-  GrammarRepairResult result{Grammar(), 0, 0, {}, 0};
-
-  CallGraphCache cache;
-  cache.Build(g);
-  auto usage = cache.Usage(g);
-  GrammarDigramIndex index;
-  index.Build(g, usage, cache.AntiSl(g));
-  auto interfaces = cache.Interfaces(g);
-
-  struct PendingRule {
-    LabelId lhs;
-    Tree pattern;
-  };
-  std::vector<PendingRule> pending;
-  int64_t pending_edges = 0;
-
-  auto record_size = [&]() {
-    if (!options.track_sizes) return;
-    int64_t size = ComputeStats(g).edge_count + pending_edges;
-    result.size_trace.push_back(size);
-    result.max_intermediate_size =
-        std::max(result.max_intermediate_size, size);
-  };
-  record_size();
-
-  while (auto d = index.MostFrequent(g.labels(), options.repair)) {
-    LabelId x = g.labels().Fresh("X", DigramRank(*d, g.labels()));
-    std::vector<RuleNode> gens = index.Take(*d);
-
-    // ---- pure-local fast path (paper §IV-C neighbourhood updates) ----
-    // Start-rule occurrences with terminal endpoints are replaced with
-    // per-occurrence index deltas: no whole-rule rescan. This is the
-    // hot path both for tree inputs (one giant start rule) and for
-    // recompression after updates (the isolated path lives in the
-    // start rule). usage(start) == 1 always, so weights are exact.
-    const LabelId start = g.start();
-    Tree& ts = g.rhs(start);
-    std::vector<RuleNode> engine_gens;
-    std::vector<NodeId> local_gens;
-    for (const RuleNode& gen : gens) {
-      if (gen.rule == start && !g.IsNonterminal(ts.label(gen.node)) &&
-          !g.IsNonterminal(ts.label(ts.parent(gen.node)))) {
-        local_gens.push_back(gen.node);
-      } else {
-        engine_gens.push_back(gen);
-      }
-    }
-    bool start_root_changed = false;
-    for (NodeId w : local_gens) {
-      NodeId v = ts.parent(w);
-      // Remove the stored occurrences adjacent to (v, w): the edge into
-      // v, v's other child edges, and w's child edges.
-      auto remove_computed = [&](NodeId gen_node) {
-        RuleNode rn{start, gen_node};
-        TreeParentResult tp = TreeParentOf(g, rn);
-        RuleNode tc = TreeChildOf(g, rn);
-        Digram dig{g.rhs(tp.parent.rule).label(tp.parent.node),
-                   tp.child_index, g.rhs(tc.rule).label(tc.node)};
-        index.RemoveGenerator(dig, rn);
-      };
-      if (ts.parent(v) != kNilNode) remove_computed(v);
-      int j = 0;
-      for (NodeId c = ts.first_child(v); c != kNilNode;
-           c = ts.next_sibling(c)) {
-        ++j;
-        if (j == d->child_index) continue;
-        remove_computed(c);
-      }
-      for (NodeId c = ts.first_child(w); c != kNilNode;
-           c = ts.next_sibling(c)) {
-        remove_computed(c);
-      }
-      bool was_root = v == ts.root();
-      NodeId x_node = ReplaceDigramNodes(&ts, v, d->child_index, x);
-      if (was_root) start_root_changed = true;
-      ++result.replacements;
-      if (ts.parent(x_node) != kNilNode) {
-        index.AddGenerator(g, RuleNode{start, x_node}, 1);
-      }
-      for (NodeId c = ts.first_child(x_node); c != kNilNode;
-           c = ts.next_sibling(c)) {
-        index.AddGenerator(g, RuleNode{start, c}, 1);
-      }
-    }
-    if (start_root_changed) {
-      cache.NoteRootLabel(start, ts.label(ts.root()));
-    }
-
-    ReplacementResult rr;
-    if (!engine_gens.empty()) {
-      rr = ReplaceAllOccurrences(&g, *d, x, engine_gens, options.optimize);
-    }
-    Tree pattern = MakePattern(*d, &g.labels());
-    pending_edges += pattern.LiveCount() - 1;
-    pending.push_back(PendingRule{x, std::move(pattern)});
-    ++result.rounds;
-    result.replacements += rr.replacements;
-
-    if (engine_gens.empty() && options.counting == CountingMode::kIncremental) {
-      // Pure-local round: no rule other than the start rule changed, no
-      // call edge changed, usage(start) == 1 stays put — the index
-      // deltas above are the complete refresh.
-      record_size();
-      continue;
-    }
-
-    // ---- refresh (O(#rules + #call edges + |changed|)) ----------------
-    std::vector<LabelId> touched = rr.changed_rules;
-    for (LabelId r : rr.added_rules) touched.push_back(r);
-    cache.Update(g, touched, rr.removed_rules);
-    auto new_usage = cache.Usage(g);
-    std::vector<LabelId> anti_sl = cache.AntiSl(g);
-
-    if (options.counting == CountingMode::kRecount) {
-      index.Build(g, new_usage, anti_sl);
-    } else {
-      // Rules whose trees changed must be rescanned; so must rules
-      // that call a rule whose interface (derived root label /
-      // parameter-parent labels) changed, since their generators'
-      // digrams may differ now.
-      auto new_interfaces = cache.Interfaces(g);
-      std::unordered_set<LabelId> rescan(rr.changed_rules.begin(),
-                                         rr.changed_rules.end());
-      for (LabelId r : rr.added_rules) rescan.insert(r);
-      auto callers = cache.Callers();
-      for (const auto& [rule, iface] : new_interfaces) {
-        auto old = interfaces.find(rule);
-        if (old != interfaces.end() && old->second == iface) continue;
-        for (LabelId c : callers[rule]) rescan.insert(c);
-      }
-      for (LabelId r : rr.removed_rules) index.DropRule(r);
-      for (LabelId r : rescan) index.DropRule(r);
-      // Weight-only adjustments for untouched rules.
-      for (const auto& [rule, u] : new_usage) {
-        if (rescan.count(rule) == 0) index.AdjustWeight(rule, u);
-      }
-      std::vector<LabelId> rescan_list(rescan.begin(), rescan.end());
-      index.RescanRules(g, new_usage, rescan_list, anti_sl);
-      interfaces = std::move(new_interfaces);
-    }
-    usage = std::move(new_usage);
-    record_size();
-  }
-
-  for (PendingRule& p : pending) g.AddRule(p.lhs, std::move(p.pattern));
-  if (options.repair.prune) Prune(&g);
-
-  result.grammar = std::move(g);
-  return result;
+  return internal::GrammarRePairWithIndex<GrammarDigramIndex>(std::move(g),
+                                                              options);
 }
 
 }  // namespace slg

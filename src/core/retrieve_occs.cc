@@ -1,6 +1,7 @@
 #include "src/core/retrieve_occs.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "src/grammar/orders.h"
 
@@ -14,9 +15,16 @@ void GrammarDigramIndex::Build(
 void GrammarDigramIndex::Build(
     const Grammar& g, const std::unordered_map<LabelId, uint64_t>& usage,
     const std::vector<LabelId>& anti_sl_order) {
-  table_.clear();
-  by_rule_.clear();
-  heap_ = {};
+  digrams_.clear();
+  slots_.clear();
+  slot_count_ = 0;
+  occs_.clear();
+  occ_free_.clear();
+  books_.clear();
+  books_.resize(static_cast<size_t>(g.labels().size()));
+  buckets_.clear();
+  overflow_head_ = kNil;
+  max_count_ = 0;
   total_ = 0;
   for (LabelId r : anti_sl_order) {
     ScanRule(g, r, usage.at(r));
@@ -35,6 +43,131 @@ void GrammarDigramIndex::RescanRules(
   }
 }
 
+GrammarDigramIndex::DigramId GrammarDigramIndex::Find(const Digram& d) const {
+  if (slots_.empty()) return kNil;
+  size_t mask = slots_.size() - 1;
+  size_t pos = DigramHash()(d) & mask;
+  for (;;) {
+    int32_t s = slots_[pos];
+    if (s == 0) return kNil;
+    DigramId id = s - 1;
+    if (digrams_[static_cast<size_t>(id)].key == d) return id;
+    pos = (pos + 1) & mask;
+  }
+}
+
+void GrammarDigramIndex::GrowSlots() {
+  size_t cap = slots_.empty() ? 64 : slots_.size() * 2;
+  slots_.assign(cap, 0);
+  size_t mask = cap - 1;
+  for (size_t id = 0; id < digrams_.size(); ++id) {
+    size_t pos = DigramHash()(digrams_[id].key) & mask;
+    while (slots_[pos] != 0) pos = (pos + 1) & mask;
+    slots_[pos] = static_cast<int32_t>(id) + 1;
+  }
+}
+
+GrammarDigramIndex::DigramId GrammarDigramIndex::Intern(
+    const Digram& d, const LabelTable& labels) {
+  if (slots_.empty() || slot_count_ * 10 >= slots_.size() * 7) GrowSlots();
+  size_t mask = slots_.size() - 1;
+  size_t pos = DigramHash()(d) & mask;
+  for (;;) {
+    int32_t s = slots_[pos];
+    if (s == 0) break;
+    DigramId id = s - 1;
+    if (digrams_[static_cast<size_t>(id)].key == d) return id;
+    pos = (pos + 1) & mask;
+  }
+  DigramId id = static_cast<DigramId>(digrams_.size());
+  DigramInfo info;
+  info.key = d;
+  info.rank = DigramRank(d, labels);
+  digrams_.push_back(info);
+  slots_[pos] = id + 1;
+  ++slot_count_;
+  return id;
+}
+
+GrammarDigramIndex::RuleBook& GrammarDigramIndex::BookFor(LabelId rule) {
+  if (static_cast<size_t>(rule) >= books_.size()) {
+    books_.resize(static_cast<size_t>(rule) + 1);
+  }
+  return books_[static_cast<size_t>(rule)];
+}
+
+GrammarDigramIndex::OccId GrammarDigramIndex::OccOf(RuleNode rn) const {
+  if (static_cast<size_t>(rn.rule) >= books_.size()) return kNil;
+  const RuleBook& book = books_[static_cast<size_t>(rn.rule)];
+  if (static_cast<size_t>(rn.node) >= book.node_occ.size()) return kNil;
+  return book.node_occ[static_cast<size_t>(rn.node)];
+}
+
+void GrammarDigramIndex::UnlinkDigram(OccId o) {
+  const Occ& occ = occs_[static_cast<size_t>(o)];
+  if (occ.dprev != kNil) {
+    occs_[static_cast<size_t>(occ.dprev)].dnext = occ.dnext;
+  } else {
+    digrams_[static_cast<size_t>(occ.digram)].occ_head = occ.dnext;
+  }
+  if (occ.dnext != kNil) occs_[static_cast<size_t>(occ.dnext)].dprev = occ.dprev;
+}
+
+void GrammarDigramIndex::UnlinkRule(OccId o) {
+  const Occ& occ = occs_[static_cast<size_t>(o)];
+  RuleBook& book = books_[static_cast<size_t>(occ.rule)];
+  if (occ.rprev != kNil) {
+    occs_[static_cast<size_t>(occ.rprev)].rnext = occ.rnext;
+  } else {
+    book.head = occ.rnext;
+  }
+  if (occ.rnext != kNil) occs_[static_cast<size_t>(occ.rnext)].rprev = occ.rprev;
+  book.node_occ[static_cast<size_t>(occ.node)] = kNil;
+}
+
+void GrammarDigramIndex::FreeOcc(OccId o) {
+  occs_[static_cast<size_t>(o)] = Occ{};
+  occ_free_.push_back(o);
+}
+
+void GrammarDigramIndex::SetCount(DigramId id, uint64_t count) {
+  DigramInfo& info = digrams_[static_cast<size_t>(id)];
+  if (info.count > 0) {
+    // Unlink from the old bucket / overflow list.
+    if (info.bucket_prev != kNil) {
+      digrams_[static_cast<size_t>(info.bucket_prev)].bucket_next =
+          info.bucket_next;
+    } else if (info.count > kBucketCap) {
+      overflow_head_ = info.bucket_next;
+    } else {
+      buckets_[static_cast<size_t>(info.count)] = info.bucket_next;
+    }
+    if (info.bucket_next != kNil) {
+      digrams_[static_cast<size_t>(info.bucket_next)].bucket_prev =
+          info.bucket_prev;
+    }
+    info.bucket_prev = info.bucket_next = kNil;
+  }
+  info.count = count;
+  if (count == 0) return;
+  if (count > kBucketCap) {
+    info.bucket_next = overflow_head_;
+    if (overflow_head_ != kNil) {
+      digrams_[static_cast<size_t>(overflow_head_)].bucket_prev = id;
+    }
+    overflow_head_ = id;
+    return;
+  }
+  if (static_cast<size_t>(count) >= buckets_.size()) {
+    buckets_.resize(static_cast<size_t>(count) + 1, kNil);
+  }
+  DigramId head = buckets_[static_cast<size_t>(count)];
+  info.bucket_next = head;
+  if (head != kNil) digrams_[static_cast<size_t>(head)].bucket_prev = id;
+  buckets_[static_cast<size_t>(count)] = id;
+  if (count > max_count_) max_count_ = count;
+}
+
 void GrammarDigramIndex::AddGenerator(const Grammar& g, RuleNode gen,
                                       uint64_t usage) {
   const Tree& t = g.rhs(gen.rule);
@@ -46,87 +179,83 @@ void GrammarDigramIndex::AddGenerator(const Grammar& g, RuleNode gen,
   LabelId a = g.rhs(tp.parent.rule).label(tp.parent.node);
   LabelId b = g.rhs(tc.rule).label(tc.node);
   Digram alpha{a, tp.child_index, b};
-  bool add;
-  if (a != b) {
-    add = true;
-  } else {
+  DigramId id = Intern(alpha, g.labels());
+  if (a == b) {
     // Equal labels: only terminal generators, and only if the tree
-    // parent is not already the tree child of a stored occurrence
-    // (which, for equal-label digrams, is the same as being a stored
-    // generator).
-    if (g.IsNonterminal(l)) {
-      add = false;
-    } else {
-      auto it = table_.find(alpha);
-      add = it == table_.end() || it->second.generators.count(tp.parent) == 0;
-      // Downward overlap: the occurrence below (this node as tree
-      // parent) may already be stored — possible only for
-      // out-of-preorder delta additions (§IV-C), never during a scan.
-      if (add && it != table_.end()) {
-        NodeId ci = t.Child(gen.node, alpha.child_index);
-        if (ci != kNilNode && t.label(ci) == b &&
-            it->second.generators.count(RuleNode{gen.rule, ci}) > 0) {
-          add = false;
-        }
+    // parent is not already a stored generator of the same digram.
+    if (g.IsNonterminal(l)) return;
+    OccId up = OccOf(tp.parent);
+    if (up != kNil && occs_[static_cast<size_t>(up)].digram == id) return;
+    // Downward overlap: the occurrence below (this node as tree
+    // parent) may already be stored — possible only for
+    // out-of-preorder delta additions (§IV-C), never during a scan.
+    NodeId ci = t.Child(gen.node, alpha.child_index);
+    if (ci != kNilNode && t.label(ci) == b) {
+      OccId down = OccOf(RuleNode{gen.rule, ci});
+      if (down != kNil && occs_[static_cast<size_t>(down)].digram == id) {
+        return;
       }
     }
   }
-  if (!add) return;
-  DigramEntry& e = table_[alpha];
-  if (e.generators.insert(gen).second) {
-    e.weighted_count = UsageSatAdd(e.weighted_count, usage);
-    RuleEntry& re = by_rule_[gen.rule];
-    re.occs.emplace_back(alpha, gen.node);
-    ++re.live;
-    ++total_;
-    PushHeap(alpha, e.weighted_count);
+  RuleBook& book = BookFor(gen.rule);
+  if (static_cast<size_t>(gen.node) >= book.node_occ.size()) {
+    book.node_occ.resize(static_cast<size_t>(gen.node) + 1, kNil);
   }
+  OccId& slot = book.node_occ[static_cast<size_t>(gen.node)];
+  if (slot != kNil) {
+    // A generator stores at most one occurrence; re-adding it is a
+    // no-op (and the remove-before-restructure protocol guarantees a
+    // stored occurrence always matches the current structure).
+    SLG_DCHECK(occs_[static_cast<size_t>(slot)].digram == id);
+    return;
+  }
+  OccId o;
+  if (!occ_free_.empty()) {
+    o = occ_free_.back();
+    occ_free_.pop_back();
+  } else {
+    o = static_cast<OccId>(occs_.size());
+    occs_.emplace_back();
+  }
+  Occ& occ = occs_[static_cast<size_t>(o)];
+  occ.digram = id;
+  occ.rule = gen.rule;
+  occ.node = gen.node;
+  DigramInfo& info = digrams_[static_cast<size_t>(id)];
+  occ.dprev = kNil;
+  occ.dnext = info.occ_head;
+  if (info.occ_head != kNil) {
+    occs_[static_cast<size_t>(info.occ_head)].dprev = o;
+  }
+  info.occ_head = o;
+  occ.rprev = kNil;
+  occ.rnext = book.head;
+  if (book.head != kNil) occs_[static_cast<size_t>(book.head)].rprev = o;
+  book.head = o;
+  slot = o;
+  ++total_;
+  SetCount(id, UsageSatAdd(info.count, usage));
 }
 
 void GrammarDigramIndex::RemoveGenerator(const Digram& d, RuleNode gen) {
-  auto dit = table_.find(d);
-  if (dit == table_.end()) return;
-  if (dit->second.generators.erase(gen) == 0) return;
-  auto rit = by_rule_.find(gen.rule);
-  uint64_t w = rit != by_rule_.end() ? rit->second.scan_usage : 0;
-  uint64_t& c = dit->second.weighted_count;
-  c = c >= w ? c - w : 0;
+  DigramId id = Find(d);
+  if (id == kNil) return;
+  OccId o = OccOf(gen);
+  if (o == kNil || occs_[static_cast<size_t>(o)].digram != id) return;
+  UnlinkDigram(o);
+  UnlinkRule(o);
+  FreeOcc(o);
+  uint64_t w = books_[static_cast<size_t>(gen.rule)].scan_usage;
+  uint64_t c = digrams_[static_cast<size_t>(id)].count;
+  SetCount(id, c >= w ? c - w : 0);
   --total_;
-  PushHeap(d, c);
-  if (dit->second.generators.empty()) table_.erase(dit);
-  // The by_rule_ occs vector keeps a stale entry; DropRule and
-  // AdjustWeight tolerate entries whose generator is no longer stored.
-  // Compact when staleness dominates.
-  if (rit != by_rule_.end()) {
-    --rit->second.live;
-    if (rit->second.occs.size() > 64 &&
-        static_cast<int64_t>(rit->second.occs.size()) >
-            4 * rit->second.live) {
-      Compact(&rit->second, gen.rule);
-    }
-  }
-}
-
-void GrammarDigramIndex::Compact(RuleEntry* re, LabelId rule) {
-  std::vector<std::pair<Digram, NodeId>> keep;
-  keep.reserve(re->occs.size() / 2);
-  for (const auto& [d, node] : re->occs) {
-    auto dit = table_.find(d);
-    if (dit != table_.end() &&
-        dit->second.generators.count(RuleNode{rule, node}) > 0) {
-      keep.emplace_back(d, node);
-    }
-  }
-  re->occs = std::move(keep);
-  re->live = static_cast<int64_t>(re->occs.size());
 }
 
 void GrammarDigramIndex::ScanRule(const Grammar& g, LabelId rule,
                                   uint64_t usage) {
-  SLG_DCHECK(by_rule_.find(rule) == by_rule_.end() ||
-             by_rule_[rule].occs.empty());
-  RuleEntry& re = by_rule_[rule];
-  re.scan_usage = usage;
+  RuleBook& book = BookFor(rule);
+  SLG_DCHECK(book.head == kNil);
+  book.scan_usage = usage;
   const Tree& t = g.rhs(rule);
   t.VisitPreorder(t.root(), [&](NodeId n) {
     AddGenerator(g, RuleNode{rule, n}, usage);
@@ -134,116 +263,113 @@ void GrammarDigramIndex::ScanRule(const Grammar& g, LabelId rule,
 }
 
 void GrammarDigramIndex::DropRule(LabelId rule) {
-  auto it = by_rule_.find(rule);
-  if (it == by_rule_.end()) return;
-  for (const auto& [d, node] : it->second.occs) {
-    auto dit = table_.find(d);
-    if (dit == table_.end()) continue;
-    if (dit->second.generators.erase(RuleNode{rule, node}) > 0) {
-      uint64_t w = it->second.scan_usage;
-      dit->second.weighted_count =
-          dit->second.weighted_count >= w ? dit->second.weighted_count - w : 0;
-      --total_;
-      PushHeap(d, dit->second.weighted_count);
-      if (dit->second.generators.empty()) table_.erase(dit);
-    }
+  if (static_cast<size_t>(rule) >= books_.size()) return;
+  RuleBook& book = books_[static_cast<size_t>(rule)];
+  uint64_t w = book.scan_usage;
+  for (OccId o = book.head; o != kNil;) {
+    const Occ& occ = occs_[static_cast<size_t>(o)];
+    OccId next = occ.rnext;
+    UnlinkDigram(o);
+    book.node_occ[static_cast<size_t>(occ.node)] = kNil;
+    uint64_t c = digrams_[static_cast<size_t>(occ.digram)].count;
+    SetCount(occ.digram, c >= w ? c - w : 0);
+    FreeOcc(o);
+    --total_;
+    o = next;
   }
-  by_rule_.erase(it);
+  book = RuleBook{};
 }
 
 void GrammarDigramIndex::AdjustWeight(LabelId rule, uint64_t new_usage) {
-  auto it = by_rule_.find(rule);
-  if (it == by_rule_.end()) return;
-  uint64_t old_usage = it->second.scan_usage;
+  if (static_cast<size_t>(rule) >= books_.size()) return;
+  RuleBook& book = books_[static_cast<size_t>(rule)];
+  uint64_t old_usage = book.scan_usage;
   if (old_usage == new_usage) return;
-  for (const auto& [d, node] : it->second.occs) {
-    auto dit = table_.find(d);
-    if (dit == table_.end()) continue;
-    if (dit->second.generators.count(RuleNode{rule, node}) == 0) continue;
-    uint64_t& c = dit->second.weighted_count;
+  for (OccId o = book.head; o != kNil;
+       o = occs_[static_cast<size_t>(o)].rnext) {
+    DigramId id = occs_[static_cast<size_t>(o)].digram;
+    uint64_t c = digrams_[static_cast<size_t>(id)].count;
     c = c >= old_usage ? c - old_usage : 0;
-    c = UsageSatAdd(c, new_usage);
-    PushHeap(d, c);
+    SetCount(id, UsageSatAdd(c, new_usage));
   }
-  it->second.scan_usage = new_usage;
+  book.scan_usage = new_usage;
 }
 
 std::vector<RuleNode> GrammarDigramIndex::Take(const Digram& d) {
-  auto it = table_.find(d);
-  if (it == table_.end()) return {};
-  std::vector<RuleNode> out(it->second.generators.begin(),
-                            it->second.generators.end());
+  DigramId id = Find(d);
+  if (id == kNil) return {};
+  DigramInfo& info = digrams_[static_cast<size_t>(id)];
+  std::vector<RuleNode> out;
+  for (OccId o = info.occ_head; o != kNil;) {
+    const Occ& occ = occs_[static_cast<size_t>(o)];
+    OccId next = occ.dnext;
+    out.push_back(RuleNode{occ.rule, occ.node});
+    UnlinkRule(o);
+    FreeOcc(o);
+    o = next;
+  }
+  info.occ_head = kNil;
+  SetCount(id, 0);
+  total_ -= static_cast<int64_t>(out.size());
   std::sort(out.begin(), out.end(), [](const RuleNode& x, const RuleNode& y) {
     return x.rule != y.rule ? x.rule < y.rule : x.node < y.node;
   });
-  for (const RuleNode& rn : out) {
-    auto rit = by_rule_.find(rn.rule);
-    if (rit != by_rule_.end()) --rit->second.live;
-  }
-  total_ -= static_cast<int64_t>(out.size());
-  table_.erase(it);
-  // by_rule_ entries become stale; DropRule tolerates missing digram
-  // entries, and the generators' rules are structurally rebuilt (and
-  // thus dropped + rescanned) by every replacement round.
   return out;
 }
 
 uint64_t GrammarDigramIndex::WeightedCount(const Digram& d) const {
-  auto it = table_.find(d);
-  return it == table_.end() ? 0 : it->second.weighted_count;
-}
-
-void GrammarDigramIndex::PushHeap(const Digram& d, uint64_t count) {
-  if (count > 0) heap_.push(HeapItem{count, d});
-}
-
-// A digram whose weighted count c satisfies c <= rank(α) + 1 yields a
-// rule X with sav(X) <= 0 even in the best case (every occurrence a
-// distinct reference), so pruning would remove it again: pure
-// replace-then-prune churn on repeated recompression.
-bool GrammarDigramIndex::HasPositiveSavings(const Digram& d, int rank) const {
-  return WeightedCount(d) > static_cast<uint64_t>(rank) + 1;
+  DigramId id = Find(d);
+  return id == kNil ? 0 : digrams_[static_cast<size_t>(id)].count;
 }
 
 std::optional<Digram> GrammarDigramIndex::MostFrequent(
     const LabelTable& labels, const RepairOptions& options) {
-  // Deterministic selection: among all digrams with the maximal count,
-  // return the lexicographically smallest. This makes the chosen
-  // digram a pure function of the current count table, so the
-  // incremental and recount modes (whose heaps contain different
-  // stale snapshots) pick identical digrams whenever their counts
-  // agree — which the mode-equivalence tests assert.
-  while (!heap_.empty()) {
-    HeapItem top = heap_.top();
-    heap_.pop();
-    if (WeightedCount(top.d) != top.count) continue;  // stale
-    if (top.count < static_cast<uint64_t>(options.min_count)) continue;
-    int rank = DigramRank(top.d, labels);
-    if (rank > options.max_rank) continue;
-    if (options.require_positive_savings && !HasPositiveSavings(top.d, rank)) {
+  (void)labels;  // ranks are cached at interning time
+  uint64_t floor =
+      options.min_count > 1 ? static_cast<uint64_t>(options.min_count) : 1;
+  auto eligible = [&](const DigramInfo& info) {
+    if (info.count < floor) return false;
+    if (info.rank > options.max_rank) return false;
+    // A digram whose weighted count c satisfies c <= rank(α) + 1
+    // yields a rule X with sav(X) <= 0 even in the best case, so
+    // pruning would remove it again: pure replace-then-prune churn.
+    if (options.require_positive_savings &&
+        info.count <= static_cast<uint64_t>(info.rank) + 1) {
+      return false;
+    }
+    return true;
+  };
+  // Overflow list first: every count there exceeds every bucketed one.
+  DigramId best = kNil;
+  for (DigramId id = overflow_head_; id != kNil;
+       id = digrams_[static_cast<size_t>(id)].bucket_next) {
+    const DigramInfo& info = digrams_[static_cast<size_t>(id)];
+    if (!eligible(info)) continue;
+    if (best == kNil) {
+      best = id;
       continue;
     }
-    // Collect every valid candidate tied at this count.
-    Digram best = top.d;
-    std::vector<Digram> requeue;
-    while (!heap_.empty() && heap_.top().count == top.count) {
-      HeapItem other = heap_.top();
-      heap_.pop();
-      if (WeightedCount(other.d) != other.count) continue;
-      int orank = DigramRank(other.d, labels);
-      if (orank > options.max_rank) continue;
-      if (options.require_positive_savings &&
-          !HasPositiveSavings(other.d, orank)) {
-        continue;
+    const DigramInfo& b = digrams_[static_cast<size_t>(best)];
+    if (info.count > b.count ||
+        (info.count == b.count && DigramLess(info.key, b.key))) {
+      best = id;
+    }
+  }
+  if (best != kNil) return digrams_[static_cast<size_t>(best)].key;
+  while (max_count_ > 0 && buckets_[static_cast<size_t>(max_count_)] == kNil) {
+    --max_count_;
+  }
+  for (uint64_t c = max_count_; c >= floor && c > 0; --c) {
+    for (DigramId id = buckets_[static_cast<size_t>(c)]; id != kNil;
+         id = digrams_[static_cast<size_t>(id)].bucket_next) {
+      const DigramInfo& info = digrams_[static_cast<size_t>(id)];
+      if (!eligible(info)) continue;
+      if (best == kNil || DigramLess(info.key,
+                                     digrams_[static_cast<size_t>(best)].key)) {
+        best = id;
       }
-      requeue.push_back(other.d);
-      if (DigramLess(other.d, best)) best = other.d;
     }
-    requeue.push_back(top.d);
-    for (const Digram& d : requeue) {
-      if (!(d == best)) PushHeap(d, top.count);
-    }
-    return best;
+    if (best != kNil) return digrams_[static_cast<size_t>(best)].key;
   }
   return std::nullopt;
 }

@@ -8,6 +8,23 @@
 
 namespace slg {
 
+void RuleMeta::ExtendForNewLabels(const Grammar& g) {
+  const LabelTable& labels = g.labels();
+  size_t n = static_cast<size_t>(labels.size());
+  for (size_t l = rank_.size(); l < n; ++l) {
+    LabelId id = static_cast<LabelId>(l);
+    SLG_CHECK_MSG(!g.HasRule(id),
+                  "ExtendForNewLabels: new label has a rule; rebuild instead");
+    rank_.push_back(labels.Rank(id));
+    param_index_.push_back(labels.ParamIndex(id));
+    rhs_.push_back(nullptr);
+    rhs_root_.push_back(kNilNode);
+    param_offset_.push_back(-1);
+    seg_offset_.push_back(-1);
+    seg_total_.push_back(labels.ParamIndex(id) > 0 ? 0 : 1);
+  }
+}
+
 RuleMeta RuleMeta::Build(const Grammar& g, bool with_sizes) {
   const LabelTable& labels = g.labels();
   size_t n = static_cast<size_t>(labels.size());

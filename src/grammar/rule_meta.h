@@ -36,6 +36,13 @@ class RuleMeta {
   // sizes).
   static RuleMeta Build(const Grammar& g, bool with_sizes);
 
+  // Appends entries for labels interned after this snapshot was built.
+  // Only valid while the rule set is unchanged — every new label must
+  // be a terminal (or parameter), e.g. fresh rename targets during a
+  // batched update run. Keeps the snapshot usable without the full
+  // O(|G|) rebuild.
+  void ExtendForNewLabels(const Grammar& g);
+
   int num_labels() const { return static_cast<int>(rank_.size()); }
 
   bool IsNonterminal(LabelId l) const {

@@ -164,8 +164,8 @@ int Tree::PreorderIndexOf(NodeId v) const {
   return found;
 }
 
-NodeId Tree::AtPreorderIndex(int n) const {
-  int idx = 0;
+NodeId Tree::AtPreorderIndex(int64_t n) const {
+  int64_t idx = 0;
   NodeId found = kNilNode;
   VisitPreorder(root_, [&](NodeId v) {
     ++idx;

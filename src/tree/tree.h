@@ -115,7 +115,9 @@ class Tree {
   int PreorderIndexOf(NodeId v) const;
 
   // Node at 1-based preorder position n, or kNilNode if out of range.
-  NodeId AtPreorderIndex(int n) const;
+  // Takes int64_t because callers address positions in val(G), whose
+  // preorder space outgrows int even when this tree itself does not.
+  NodeId AtPreorderIndex(int64_t n) const;
 
   // Calls fn(NodeId) for every node of the subtree rooted at v in
   // preorder, without materializing a vector.

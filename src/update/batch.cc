@@ -1,0 +1,238 @@
+#include "src/update/batch.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "src/grammar/inliner.h"
+#include "src/grammar/value.h"
+#include "src/update/navigation.h"
+#include "src/update/update_ops.h"
+
+namespace slg {
+
+void BatchUpdater::EnsureSnapshot() {
+  if (!have_snapshot_) {
+    meta_ = RuleMeta::Build(*g_, /*with_sizes=*/true);
+    derived_ = DerivedSubtreeSizes(g_->rhs(g_->start()), meta_);
+    have_snapshot_ = true;
+  } else if (meta_.num_labels() < g_->labels().size()) {
+    meta_.ExtendForNewLabels(*g_);
+  }
+}
+
+void BatchUpdater::ComputeDerivedFresh(NodeId subtree_root) {
+  Tree& t = g_->rhs(g_->start());
+  std::vector<NodeId> fresh = t.Preorder(subtree_root);
+  NodeId max_id = static_cast<NodeId>(derived_.size()) - 1;
+  for (NodeId f : fresh) max_id = std::max(max_id, f);
+  derived_.resize(static_cast<size_t>(max_id) + 1, 0);
+  for (auto it = fresh.rbegin(); it != fresh.rend(); ++it) {
+    NodeId u = *it;
+    int64_t n = meta_.SegTotal(t.label(u));
+    for (NodeId c = t.first_child(u); c != kNilNode; c = t.next_sibling(c)) {
+      n = SizeSatAdd(n, derived_of(c));
+    }
+    derived_[static_cast<size_t>(u)] = n;
+  }
+}
+
+void BatchUpdater::RecomputeUpward(NodeId from) {
+  Tree& t = g_->rhs(g_->start());
+  for (NodeId p = from; p != kNilNode; p = t.parent(p)) {
+    int64_t n = meta_.SegTotal(t.label(p));
+    for (NodeId c = t.first_child(p); c != kNilNode; c = t.next_sibling(c)) {
+      n = SizeSatAdd(n, derived_of(c));
+    }
+    derived_[static_cast<size_t>(p)] = n;
+  }
+}
+
+StatusOr<NodeId> BatchUpdater::Isolate(int64_t preorder) {
+  if (preorder < 1) {
+    return Status::OutOfRange("preorder positions are 1-based");
+  }
+  EnsureSnapshot();
+  Tree& t = g_->rhs(g_->start());
+  if (preorder > derived_of(t.root())) {
+    return Status::OutOfRange("preorder position " + std::to_string(preorder) +
+                              " beyond val(G) size " +
+                              std::to_string(derived_of(t.root())));
+  }
+
+  // Same descent as IsolateNode (path_isolation.cc), against the
+  // batch-shared snapshot and size table instead of per-call rebuilds.
+  NodeId v = t.root();
+  int64_t k = preorder;  // target is the k-th node of v's derived subtree
+  for (;;) {
+    LabelId l = t.label(v);
+    SLG_CHECK(meta_.ParamIndex(l) == 0);
+    if (!meta_.IsNonterminal(l)) {
+      if (k == 1) return v;
+      k -= 1;
+      NodeId c = t.first_child(v);
+      for (; c != kNilNode; c = t.next_sibling(c)) {
+        int64_t n = derived_of(c);
+        if (k <= n) break;
+        k -= n;
+      }
+      SLG_CHECK(c != kNilNode);
+      v = c;
+      continue;
+    }
+    int rank = meta_.Rank(l);
+    int64_t k2 = k;
+    NodeId arg = t.first_child(v);
+    NodeId descend = kNilNode;
+    for (int i = 0; i < rank && arg != kNilNode;
+         ++i, arg = t.next_sibling(arg)) {
+      int64_t body_seg = meta_.SegSize(l, i);
+      if (k2 <= body_seg) break;  // inside the body: inline
+      k2 -= body_seg;
+      int64_t n = derived_of(arg);
+      if (k2 <= n) {
+        descend = arg;
+        break;
+      }
+      k2 -= n;
+    }
+    if (descend != kNilNode) {
+      v = arg;
+      k = k2;
+      continue;
+    }
+    NodeId copy_root = InlineCall(*g_, &t, v, g_->rhs(l));
+    ComputeDerivedFresh(copy_root);
+    v = copy_root;
+  }
+}
+
+Status BatchUpdater::Rename(int64_t preorder, std::string_view new_label) {
+  StatusOr<NodeId> u = Isolate(preorder);
+  if (!u.ok()) return u.status();
+  Tree& t = g_->rhs(g_->start());
+  if (t.label(u.value()) == kNullLabel) {
+    return Status::InvalidArgument("rename target is the empty node ⊥");
+  }
+  LabelId existing = g_->labels().Find(new_label);
+  if (existing == kNullLabel) {
+    return Status::InvalidArgument("cannot rename to ⊥");
+  }
+  if (existing != kNoLabel && g_->labels().Rank(existing) != 2) {
+    return Status::InvalidArgument(
+        "rename label exists with a rank other than 2");
+  }
+  LabelId nl =
+      existing != kNoLabel ? existing : g_->labels().Intern(new_label, 2);
+  meta_.ExtendForNewLabels(*g_);
+  // Old and new labels are both rank-2 terminals (SegTotal 1): no
+  // derived size changes.
+  t.set_label(u.value(), nl);
+  return Status::Ok();
+}
+
+Status BatchUpdater::InsertBefore(int64_t preorder, const Tree& s) {
+  if (s.empty()) return Status::InvalidArgument("empty insert fragment");
+  StatusOr<NodeId> u_or = Isolate(preorder);
+  if (!u_or.ok()) return u_or.status();
+  NodeId u = u_or.value();
+  Tree& t = g_->rhs(g_->start());
+
+  NodeId copy = t.CopySubtreeFrom(s, s.root());
+  NodeId hole = RightmostLeaf(t, copy);
+  if (t.label(hole) != kNullLabel) {
+    t.DetachAndFree(copy);
+    return Status::InvalidArgument(
+        "insert fragment's rightmost leaf is not ⊥");
+  }
+  // The fragment may carry labels interned after the snapshot.
+  meta_.ExtendForNewLabels(*g_);
+  // Sizes of the copy, with the ⊥ hole still in place; the splice
+  // below is repaired by one upward pass.
+  ComputeDerivedFresh(copy);
+
+  if (t.label(u) == kNullLabel) {
+    // Insert into an empty position: t[u/s].
+    NodeId parent = t.parent(u);
+    t.ReplaceWith(u, copy);
+    t.FreeSubtree(u);
+    RecomputeUpward(parent);
+    return Status::Ok();
+  }
+  // t[u/s'] with s' = s[rightmost ⊥ / t_u].
+  NodeId after = t.next_sibling(u);
+  NodeId parent = t.parent(u);
+  t.Detach(u);
+  if (parent == kNilNode) {
+    t.SetRoot(copy);
+  } else if (after != kNilNode) {
+    t.InsertBefore(after, copy);
+  } else {
+    t.AppendChild(parent, copy);
+  }
+  t.ReplaceWith(hole, u);
+  t.FreeSubtree(hole);
+  // u kept its derived size; everything above it (through the copy's
+  // spine into the old ancestors) changed.
+  RecomputeUpward(t.parent(u));
+  return Status::Ok();
+}
+
+Status BatchUpdater::Delete(int64_t preorder) {
+  StatusOr<NodeId> u_or = Isolate(preorder);
+  if (!u_or.ok()) return u_or.status();
+  NodeId u = u_or.value();
+  Tree& t = g_->rhs(g_->start());
+  if (t.label(u) == kNullLabel) {
+    return Status::InvalidArgument("delete target is the empty node ⊥");
+  }
+  if (t.NumChildren(u) != 2) {
+    return Status::FailedPrecondition(
+        "delete target is not a binary element node");
+  }
+  NodeId next_sib = t.Child(u, 2);
+  NodeId parent = t.parent(u);
+  t.Detach(next_sib);
+  t.ReplaceWith(u, next_sib);
+  t.FreeSubtree(u);  // frees u and its first-child subtree
+  RecomputeUpward(parent);
+  // Rules stranded by the freed subtree are collected in Finish().
+  return Status::Ok();
+}
+
+Status BatchUpdater::Apply(const UpdateOp& op) {
+  return op.kind == UpdateOp::Kind::kInsert
+             ? InsertBefore(op.preorder, op.fragment)
+             : Delete(op.preorder);
+}
+
+int BatchUpdater::Finish() {
+  // Drop the snapshot first: it borrows rhs trees that garbage
+  // collection may remove.
+  have_snapshot_ = false;
+  meta_ = RuleMeta();
+  derived_.clear();
+  derived_.shrink_to_fit();
+  return CollectGarbageRules(g_);
+}
+
+StatusOr<BatchResult> ApplyWorkloadBatched(Grammar g,
+                                           const std::vector<UpdateOp>& ops,
+                                           const BatchApplyOptions& options) {
+  BatchResult result;
+  BatchUpdater batch(&g);
+  for (const UpdateOp& op : ops) {
+    Status st = batch.Apply(op);
+    if (!st.ok()) return st;
+  }
+  result.rules_collected = batch.Finish();
+  if (options.recompress) {
+    GrammarRepairResult r = GrammarRePair(std::move(g), options.repair);
+    result.repair_rounds = r.rounds;
+    g = std::move(r.grammar);
+  }
+  result.grammar = std::move(g);
+  return result;
+}
+
+}  // namespace slg

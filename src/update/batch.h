@@ -1,0 +1,112 @@
+// Batched update engine (paper §V-C macro loop, amortized).
+//
+// The atomic operations in update_ops.h pay a full with-sizes RuleMeta
+// snapshot + derived-size pass per call, and DeleteSubtree garbage
+// collects after every single delete. Applying a workload through a
+// BatchUpdater instead amortizes all of that across the batch:
+//
+//  * one shared with-sizes RuleMeta snapshot, built lazily on the
+//    first operation and kept for the whole batch — rule-set shape
+//    never changes between operations (isolation only inlines into the
+//    start rule's interior; garbage collection is deferred), so the
+//    snapshot only ever needs cheap appends when a rename interns a
+//    fresh label (RuleMeta::ExtendForNewLabels);
+//  * the derived-subtree-size table of the start rule is maintained
+//    incrementally: an edit recomputes the sizes of the fresh nodes it
+//    introduces plus the root-to-edit-point spine, O(depth) instead of
+//    O(|rhs|) per operation;
+//  * CollectGarbageRules runs once, in Finish(), instead of per
+//    delete.
+//
+// The sequence of tree edits is identical to applying the operations
+// one at a time — only snapshot reuse and garbage-collection timing
+// are amortized — so the resulting grammar derives the same document
+// (tests assert the grammars are in fact identical).
+
+#ifndef SLG_UPDATE_BATCH_H_
+#define SLG_UPDATE_BATCH_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/grammar_repair.h"
+#include "src/grammar/grammar.h"
+#include "src/grammar/rule_meta.h"
+#include "src/workload/update_workload.h"
+
+namespace slg {
+
+class BatchUpdater {
+ public:
+  // Borrows g for the lifetime of the batch. Between the first
+  // operation and Finish(), the grammar must not be mutated except
+  // through this updater.
+  explicit BatchUpdater(Grammar* g) : g_(g) {}
+
+  // Same semantics (and same edit sequence on the start rule) as
+  // RenameNode / InsertTreeBefore / DeleteSubtree in update_ops.h,
+  // minus the per-operation snapshot and garbage-collection costs.
+  Status Rename(int64_t preorder, std::string_view new_label);
+  Status InsertBefore(int64_t preorder, const Tree& fragment);
+  Status Delete(int64_t preorder);
+
+  // Dispatches a workload operation (insert or delete).
+  Status Apply(const UpdateOp& op);
+
+  // Makes the node at `preorder` of val(G) terminally available in
+  // the start rule and returns its NodeId there — path isolation
+  // against the shared snapshot. Also the batched counterpart of
+  // ReadLabel-style inspection; the atomic operations in update_ops.cc
+  // are thin one-op batches over this and the edit methods above.
+  StatusOr<NodeId> Isolate(int64_t preorder);
+
+  // Ends the batch: drops the shared snapshot and garbage-collects
+  // rules stranded by deletes. Returns the number of rules removed.
+  // The updater is reusable afterwards (a new snapshot is built on the
+  // next operation).
+  int Finish();
+
+ private:
+  void EnsureSnapshot();
+  // Bottom-up derived sizes for a freshly created subtree (inlined
+  // rule body or copied insert fragment).
+  void ComputeDerivedFresh(NodeId subtree_root);
+  // Re-derives sizes along the spine from `from` to the root after an
+  // edit below `from` changed subtree sizes.
+  void RecomputeUpward(NodeId from);
+
+  int64_t derived_of(NodeId v) const {
+    return derived_[static_cast<size_t>(v)];
+  }
+
+  Grammar* g_;
+  bool have_snapshot_ = false;
+  RuleMeta meta_;
+  std::vector<int64_t> derived_;  // by NodeId of the start rule's rhs
+};
+
+struct BatchApplyOptions {
+  // Run one GrammarRePair pass after the batch (the paper's
+  // recompress-every-R-updates checkpoint).
+  bool recompress = true;
+  GrammarRepairOptions repair;
+};
+
+struct BatchResult {
+  Grammar grammar;
+  int rules_collected = 0;
+  int repair_rounds = 0;
+};
+
+// Applies every operation of `ops` through one BatchUpdater, then
+// garbage-collects once and (optionally) recompresses once. Fails on
+// the first inapplicable operation.
+StatusOr<BatchResult> ApplyWorkloadBatched(Grammar g,
+                                           const std::vector<UpdateOp>& ops,
+                                           const BatchApplyOptions& options = {});
+
+}  // namespace slg
+
+#endif  // SLG_UPDATE_BATCH_H_

@@ -1,96 +1,15 @@
 #include "src/update/path_isolation.h"
 
-#include <algorithm>
-#include <string>
-#include <vector>
-
-#include "src/grammar/inliner.h"
-#include "src/grammar/rule_meta.h"
-#include "src/grammar/value.h"
-#include "src/update/navigation.h"
+#include "src/update/batch.h"
 
 namespace slg {
 
 StatusOr<NodeId> IsolateNode(Grammar* g, int64_t preorder) {
-  if (preorder < 1) {
-    return Status::OutOfRange("preorder positions are 1-based");
-  }
-  // Flat per-label snapshot: segment sizes, ranks, nonterminal flags.
-  // Inlining below mutates only the interior of the start rule's rhs,
-  // which keeps the snapshot valid (see rule_meta.h).
-  RuleMeta meta = RuleMeta::Build(*g, /*with_sizes=*/true);
-  Tree& t = g->rhs(g->start());
-  std::vector<int64_t> derived = DerivedSubtreeSizes(t, meta);
-  auto derived_of = [&](NodeId v) {
-    return derived[static_cast<size_t>(v)];
-  };
-  if (preorder > derived_of(t.root())) {
-    return Status::OutOfRange("preorder position " + std::to_string(preorder) +
-                              " beyond val(G) size " +
-                              std::to_string(derived_of(t.root())));
-  }
-
-  NodeId v = t.root();
-  int64_t k = preorder;  // target is the k-th node of v's derived subtree
-  for (;;) {
-    LabelId l = t.label(v);
-    SLG_CHECK(meta.ParamIndex(l) == 0);
-    if (!meta.IsNonterminal(l)) {
-      if (k == 1) return v;
-      k -= 1;
-      NodeId c = t.first_child(v);
-      for (; c != kNilNode; c = t.next_sibling(c)) {
-        int64_t n = derived_of(c);
-        if (k <= n) break;
-        k -= n;
-      }
-      SLG_CHECK(c != kNilNode);
-      v = c;
-      continue;
-    }
-    // Nonterminal call: decide whether the target lies in an argument
-    // subtree (descend without inlining) or in the rule body (inline).
-    int rank = meta.Rank(l);
-    int64_t k2 = k;
-    NodeId arg = t.first_child(v);
-    NodeId descend = kNilNode;
-    for (int i = 0; i < rank && arg != kNilNode;
-         ++i, arg = t.next_sibling(arg)) {
-      int64_t body_seg = meta.SegSize(l, i);
-      if (k2 <= body_seg) break;  // inside the body: inline
-      k2 -= body_seg;
-      int64_t n = derived_of(arg);
-      if (k2 <= n) {
-        descend = arg;
-        break;
-      }
-      k2 -= n;
-    }
-    if (descend != kNilNode) {
-      v = arg;
-      k = k2;
-      continue;
-    }
-    // Target is produced by the rule body: inline one derivation step
-    // and continue from the copy (same k: the derived subtree of the
-    // position is unchanged).
-    NodeId copy_root = InlineCall(*g, &t, v, g->rhs(l));
-    // Derived sizes for the copied region are recomputed locally.
-    std::vector<NodeId> fresh = t.Preorder(copy_root);
-    NodeId max_id = static_cast<NodeId>(derived.size()) - 1;
-    for (NodeId f : fresh) max_id = std::max(max_id, f);
-    derived.resize(static_cast<size_t>(max_id) + 1, 0);
-    for (auto it = fresh.rbegin(); it != fresh.rend(); ++it) {
-      NodeId u = *it;
-      int64_t n = meta.SegTotal(t.label(u));
-      for (NodeId c = t.first_child(u); c != kNilNode;
-           c = t.next_sibling(c)) {
-        n = SizeSatAdd(n, derived[static_cast<size_t>(c)]);
-      }
-      derived[static_cast<size_t>(u)] = n;
-    }
-    v = copy_root;
-  }
+  // A one-shot batch: builds the with-sizes snapshot this call needs
+  // and discards it. Callers isolating many positions should hold a
+  // BatchUpdater instead and share the snapshot (src/update/batch.h).
+  BatchUpdater batch(g);
+  return batch.Isolate(preorder);
 }
 
 }  // namespace slg

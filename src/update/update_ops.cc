@@ -3,23 +3,35 @@
 #include <string>
 
 #include "src/grammar/orders.h"
+#include "src/update/batch.h"
 #include "src/update/path_isolation.h"
 
 namespace slg {
 
 int CollectGarbageRules(Grammar* g) {
+  // Single-pass worklist: count references once, then cascade — when a
+  // dead rule is removed, decrement the counts of its callees and
+  // enqueue the ones that hit zero. The removed set is the same
+  // fixpoint the old recompute-everything loop reached (the call graph
+  // is acyclic), at O(|G|) total instead of O(passes · |G|).
+  auto refs = ComputeRefCounts(*g);
+  std::vector<LabelId> dead;
+  for (LabelId r : g->Nonterminals()) {
+    if (r != g->start() && refs[r] == 0) dead.push_back(r);
+  }
   int removed = 0;
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    auto refs = ComputeRefCounts(*g);
-    for (LabelId r : g->Nonterminals()) {
-      if (r != g->start() && refs[r] == 0) {
-        g->RemoveRule(r);
-        ++removed;
-        changed = true;
+  while (!dead.empty()) {
+    LabelId r = dead.back();
+    dead.pop_back();
+    const Tree& rhs = g->rhs(r);
+    rhs.VisitPreorder(rhs.root(), [&](NodeId v) {
+      LabelId l = rhs.label(v);
+      if (g->IsNonterminal(l) && --refs[l] == 0 && l != g->start()) {
+        dead.push_back(l);
       }
-    }
+    });
+    g->RemoveRule(r);
+    ++removed;
   }
   return removed;
 }
@@ -33,87 +45,31 @@ NodeId RightmostLeaf(const Tree& t, NodeId v) {
   }
 }
 
+// The atomic operations are one-op batches (src/update/batch.h): each
+// builds a fresh snapshot, applies the single edit, and — for deletes,
+// matching the historical contract — garbage-collects immediately.
+// Callers applying sequences should hold a BatchUpdater themselves.
+
 Status RenameNode(Grammar* g, int64_t preorder, std::string_view new_label) {
-  StatusOr<NodeId> u = IsolateNode(g, preorder);
-  if (!u.ok()) return u.status();
-  Tree& t = g->rhs(g->start());
-  if (t.label(u.value()) == kNullLabel) {
-    return Status::InvalidArgument("rename target is the empty node ⊥");
-  }
-  LabelId existing = g->labels().Find(new_label);
-  if (existing == kNullLabel) {
-    return Status::InvalidArgument("cannot rename to ⊥");
-  }
-  if (existing != kNoLabel && g->labels().Rank(existing) != 2) {
-    return Status::InvalidArgument(
-        "rename label exists with a rank other than 2");
-  }
-  LabelId nl =
-      existing != kNoLabel ? existing : g->labels().Intern(new_label, 2);
-  t.set_label(u.value(), nl);
-  return Status::Ok();
+  BatchUpdater batch(g);
+  return batch.Rename(preorder, new_label);
 }
 
 Status InsertTreeBefore(Grammar* g, int64_t preorder, const Tree& s) {
-  if (s.empty()) return Status::InvalidArgument("empty insert fragment");
-  StatusOr<NodeId> u_or = IsolateNode(g, preorder);
-  if (!u_or.ok()) return u_or.status();
-  NodeId u = u_or.value();
-  Tree& t = g->rhs(g->start());
-
-  NodeId copy = t.CopySubtreeFrom(s, s.root());
-  NodeId hole = RightmostLeaf(t, copy);
-  if (t.label(hole) != kNullLabel) {
-    t.DetachAndFree(copy);
-    return Status::InvalidArgument(
-        "insert fragment's rightmost leaf is not ⊥");
-  }
-
-  if (t.label(u) == kNullLabel) {
-    // Insert into an empty position: t[u/s].
-    t.ReplaceWith(u, copy);
-    t.FreeSubtree(u);
-    return Status::Ok();
-  }
-  // t[u/s'] with s' = s[rightmost ⊥ / t_u].
-  // Splice the copy where u was, then hang u's subtree at the hole.
-  NodeId after = t.next_sibling(u);
-  NodeId parent = t.parent(u);
-  t.Detach(u);
-  if (parent == kNilNode) {
-    t.SetRoot(copy);
-  } else if (after != kNilNode) {
-    t.InsertBefore(after, copy);
-  } else {
-    t.AppendChild(parent, copy);
-  }
-  t.ReplaceWith(hole, u);
-  t.FreeSubtree(hole);
-  return Status::Ok();
+  BatchUpdater batch(g);
+  return batch.InsertBefore(preorder, s);
 }
 
 Status DeleteSubtree(Grammar* g, int64_t preorder) {
-  StatusOr<NodeId> u_or = IsolateNode(g, preorder);
-  if (!u_or.ok()) return u_or.status();
-  NodeId u = u_or.value();
-  Tree& t = g->rhs(g->start());
-  if (t.label(u) == kNullLabel) {
-    return Status::InvalidArgument("delete target is the empty node ⊥");
-  }
-  if (t.NumChildren(u) != 2) {
-    return Status::FailedPrecondition(
-        "delete target is not a binary element node");
-  }
-  NodeId next_sib = t.Child(u, 2);
-  t.Detach(next_sib);
-  t.ReplaceWith(u, next_sib);
-  t.FreeSubtree(u);  // frees u and its first-child subtree
-  CollectGarbageRules(g);
+  BatchUpdater batch(g);
+  Status st = batch.Delete(preorder);
+  if (!st.ok()) return st;
+  batch.Finish();  // drops the snapshot, then garbage-collects
   return Status::Ok();
 }
 
 void ApplyInsertToTree(Tree* t, int64_t preorder, const Tree& s) {
-  NodeId u = t->AtPreorderIndex(static_cast<int>(preorder));
+  NodeId u = t->AtPreorderIndex(preorder);
   SLG_CHECK(u != kNilNode);
   NodeId copy = t->CopySubtreeFrom(s, s.root());
   NodeId hole = RightmostLeaf(*t, copy);
@@ -138,7 +94,7 @@ void ApplyInsertToTree(Tree* t, int64_t preorder, const Tree& s) {
 }
 
 void ApplyDeleteToTree(Tree* t, int64_t preorder) {
-  NodeId u = t->AtPreorderIndex(static_cast<int>(preorder));
+  NodeId u = t->AtPreorderIndex(preorder);
   SLG_CHECK(u != kNilNode && t->label(u) != kNullLabel);
   NodeId ns = t->Child(u, 2);
   t->Detach(ns);
@@ -147,7 +103,7 @@ void ApplyDeleteToTree(Tree* t, int64_t preorder) {
 }
 
 void ApplyRenameToTree(Tree* t, int64_t preorder, LabelId label) {
-  NodeId u = t->AtPreorderIndex(static_cast<int>(preorder));
+  NodeId u = t->AtPreorderIndex(preorder);
   SLG_CHECK(u != kNilNode);
   t->set_label(u, label);
 }

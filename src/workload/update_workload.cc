@@ -95,6 +95,14 @@ UpdateWorkload MakeUpdateWorkload(const Tree& final_tree,
   return w;
 }
 
+void ApplyOpToTree(Tree* t, const UpdateOp& op) {
+  if (op.kind == UpdateOp::Kind::kInsert) {
+    ApplyInsertToTree(t, op.preorder, op.fragment);
+  } else {
+    ApplyDeleteToTree(t, op.preorder);
+  }
+}
+
 std::vector<RenameOp> MakeRenameWorkload(const Tree& tree,
                                          const LabelTable& labels, int count,
                                          uint64_t seed) {

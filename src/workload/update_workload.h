@@ -53,6 +53,11 @@ UpdateWorkload MakeUpdateWorkload(const Tree& final_tree,
                                   const LabelTable& labels,
                                   const WorkloadOptions& options);
 
+// Applies `op` to a plain binary tree — the reference semantics tests
+// and benches replay workloads against (the grammar-side counterpart
+// is BatchUpdater::Apply / the atomic ops in update_ops.h).
+void ApplyOpToTree(Tree* t, const UpdateOp& op);
+
 // Random-rename workload for the runtime experiment (paper §V-C
 // "Runtime Comparison"): `count` renames of random non-⊥ nodes to
 // fresh labels not used in the document.

@@ -34,11 +34,7 @@ TEST(WorkloadTest, ReplayOnTreeReachesFinal) {
 
   Tree t = w.seed;
   for (const UpdateOp& op : w.ops) {
-    if (op.kind == UpdateOp::Kind::kInsert) {
-      ApplyInsertToTree(&t, op.preorder, op.fragment);
-    } else {
-      ApplyDeleteToTree(&t, op.preorder);
-    }
+    ApplyOpToTree(&t, op);
   }
   EXPECT_TRUE(TreeEquals(t, final_tree));
 }
