@@ -43,9 +43,7 @@ int Run(int argc, char** argv) {
 
     Grammar g = TreeRePair(Tree(w.seed), labels, {}).grammar;
     for (const UpdateOp& op : w.ops) {
-      Status st = op.kind == UpdateOp::Kind::kInsert
-                      ? InsertTreeBefore(&g, op.preorder, op.fragment)
-                      : DeleteSubtree(&g, op.preorder);
+      Status st = ApplyOpToGrammar(&g, op);
       SLG_CHECK(st.ok());
     }
     int64_t updated_size = ComputeStats(g).edge_count;

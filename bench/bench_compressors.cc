@@ -3,16 +3,26 @@
 // (here: to the minimal-DAG grammar). Paper: all three compress about
 // equally well; GrammarRePair wins on extremely compressing inputs.
 //
-// Flags: --scale, --seed.
+// Extended with the sharded parallel pipeline (src/pipeline/): each
+// corpus is also compressed with ShardedCompress on --threads threads
+// / --shards shards, timed against the single-threaded TreeRePair
+// baseline, and the wall-clock + grammar-size comparison is written to
+// BENCH_shard.json (override with --out=...).
+//
+// Flags: --scale, --seed, --threads, --shards, --out.
 
 #include <cstdio>
+#include <string>
 
 #include "src/bench_util/reporting.h"
+#include "src/common/timer.h"
 #include "src/core/grammar_repair.h"
 #include "src/dag/dag_builder.h"
 #include "src/datasets/generators.h"
 #include "src/grammar/stats.h"
 #include "src/grammar/validate.h"
+#include "src/pipeline/sharded_compressor.h"
+#include "src/pipeline/thread_pool.h"
 #include "src/repair/tree_repair.h"
 #include "src/xml/binary_encoding.h"
 
@@ -23,6 +33,9 @@ int Run(int argc, char** argv) {
   double scale = FlagDouble(argc, argv, "--scale", 0.3);
   uint64_t seed =
       static_cast<uint64_t>(FlagInt(argc, argv, "--seed", 20160516));
+  int threads = static_cast<int>(FlagInt(argc, argv, "--threads", 8));
+  if (threads <= 0) threads = ThreadPool::HardwareThreads();
+  int shards = static_cast<int>(FlagInt(argc, argv, "--shards", 0));
 
   std::printf(
       "Compression ratio comparison (non-null grammar edges / XML "
@@ -31,15 +44,57 @@ int Run(int argc, char** argv) {
   TablePrinter table({"dataset", "#edges", "TreeRePair(%)",
                       "GrammarRePair-tree(%)", "GrammarRePair-dag(%)"});
 
+  ShardedCompressorOptions sharded_opts;
+  sharded_opts.num_threads = threads;
+  sharded_opts.num_shards = shards;
+  ShardedCompressorOptions deep_opts = sharded_opts;
+  deep_opts.final_repair = FinalRepairMode::kFull;
+  int effective_shards = shards > 0 ? shards : threads;
+  std::printf("sharded pipeline: %d shards, %d threads (%d hardware)\n\n",
+              effective_shards, threads, ThreadPool::HardwareThreads());
+  TablePrinter shard_table({"dataset", "#edges", "TreeRePair(ms)",
+                            "sharded(ms)", "speedup", "crit-path(ms)",
+                            "par-speedup", "size-ratio", "full(ms)",
+                            "full-ratio"});
+  JsonBenchWriter json;
+
+  // One explicitly seeded RNG threads through the whole corpus sweep,
+  // so the sweep reproduces from this single seed.
+  Rng rng(seed);
   for (const CorpusInfo& info : AllCorpora()) {
-    XmlTree xml = GenerateCorpus(info.id, scale, seed);
+    XmlTree xml = GenerateCorpus(info.id, scale, rng);
     LabelTable labels;
     Tree bin = EncodeBinary(xml, &labels);
     int64_t edges = xml.EdgeCount();
 
+    Timer timer;
     TreeRepairResult tr = TreeRePair(Tree(bin), labels, {});
+    double tr_ms = timer.ElapsedMillis();
     SLG_CHECK(Validate(tr.grammar).ok());
     int64_t tr_size = ComputeStats(tr.grammar).non_null_edge_count;
+
+    timer.Reset();
+    ShardedCompressResult sh = ShardedCompress(Tree(bin), labels, sharded_opts);
+    double sh_ms = timer.ElapsedMillis();
+    SLG_CHECK(Validate(sh.grammar).ok());
+    int64_t sh_size = ComputeStats(sh.grammar).non_null_edge_count;
+
+    timer.Reset();
+    ShardedCompressResult dp = ShardedCompress(Tree(bin), labels, deep_opts);
+    double dp_ms = timer.ElapsedMillis();
+    SLG_CHECK(Validate(dp.grammar).ok());
+    int64_t dp_size = ComputeStats(dp.grammar).non_null_edge_count;
+
+    // Clean per-shard timings (no scheduler interleaving) for the
+    // critical-path estimate: what the wall-clock becomes with one
+    // core per shard. Pin the shard count — num_shards == 0 would
+    // re-derive it from the now-single thread.
+    ShardedCompressorOptions serial_opts = sharded_opts;
+    serial_opts.num_shards = effective_shards;
+    serial_opts.num_threads = 1;
+    ShardedCompressResult cp = ShardedCompress(Tree(bin), labels, serial_opts);
+    double est_parallel_ms =
+        cp.partition_ms + cp.shard_max_ms + cp.merge_ms + cp.final_ms;
 
     Grammar for_tree = Grammar::ForTree(Tree(bin), labels);
     GrammarRepairResult gt = GrammarRePair(std::move(for_tree), {});
@@ -57,8 +112,62 @@ int Run(int argc, char** argv) {
     };
     table.AddRow({info.name, TablePrinter::Num(edges), pct(tr_size),
                   pct(gt_size), pct(gd_size)});
+
+    double speedup = sh_ms > 0 ? tr_ms / sh_ms : 0;
+    double size_ratio = tr_size > 0
+                            ? static_cast<double>(sh_size) /
+                                  static_cast<double>(tr_size)
+                            : 0;
+    double dp_ratio = tr_size > 0
+                          ? static_cast<double>(dp_size) /
+                                static_cast<double>(tr_size)
+                          : 0;
+    double par_speedup = est_parallel_ms > 0 ? tr_ms / est_parallel_ms : 0;
+    shard_table.AddRow({info.name, TablePrinter::Num(edges),
+                        TablePrinter::Fixed(tr_ms, 1),
+                        TablePrinter::Fixed(sh_ms, 1),
+                        TablePrinter::Fixed(speedup, 2),
+                        TablePrinter::Fixed(est_parallel_ms, 1),
+                        TablePrinter::Fixed(par_speedup, 2),
+                        TablePrinter::Fixed(size_ratio, 3),
+                        TablePrinter::Fixed(dp_ms, 1),
+                        TablePrinter::Fixed(dp_ratio, 3)});
+    json.Add(std::string("shard/") + info.name,
+             {{"edges", static_cast<double>(edges)},
+              {"shards", static_cast<double>(sh.shards_used)},
+              {"threads", static_cast<double>(sh.threads_used)},
+              {"hardware_threads",
+               static_cast<double>(ThreadPool::HardwareThreads())},
+              {"tree_repair_ms", tr_ms},
+              {"sharded_ms", sh_ms},
+              {"speedup", speedup},
+              {"tree_repair_edges", static_cast<double>(tr_size)},
+              {"sharded_edges", static_cast<double>(sh_size)},
+              {"sharded_vs_single", size_ratio},
+              {"full_tier_ms", dp_ms},
+              {"full_tier_edges", static_cast<double>(dp_size)},
+              {"full_tier_vs_single", dp_ratio},
+              {"partition_ms", cp.partition_ms},
+              {"shard_sum_ms", cp.shard_sum_ms},
+              {"shard_max_ms", cp.shard_max_ms},
+              {"merge_ms", cp.merge_ms},
+              {"final_ms", cp.final_ms},
+              {"critical_path_ms", est_parallel_ms},
+              {"critical_path_speedup", par_speedup},
+              {"merged_edges_before_final",
+               static_cast<double>(sh.merged_edges_before_final)}});
   }
   table.Print();
+  std::printf("\n");
+  shard_table.Print();
+
+  std::string out = FlagString(argc, argv, "--out", "BENCH_shard.json");
+  if (json.WriteTo(out)) {
+    std::printf("\nwrote %s\n", out.c_str());
+  } else {
+    std::printf("\nfailed to write %s\n", out.c_str());
+    return 1;
+  }
   return 0;
 }
 

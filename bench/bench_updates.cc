@@ -38,12 +38,6 @@
 namespace slg {
 namespace {
 
-Status ApplyPerOp(Grammar* g, const UpdateOp& op) {
-  return op.kind == UpdateOp::Kind::kInsert
-             ? InsertTreeBefore(g, op.preorder, op.fragment)
-             : DeleteSubtree(g, op.preorder);
-}
-
 int Run(int argc, char** argv) {
   double scale = FlagDouble(argc, argv, "--scale", 0.05);
   int updates = static_cast<int>(FlagInt(argc, argv, "--updates", 400));
@@ -83,7 +77,7 @@ int Run(int argc, char** argv) {
     Timer timer;
     Grammar perop = seed_grammar.Clone();
     for (const UpdateOp& op : w.ops) {
-      SLG_CHECK(ApplyPerOp(&perop, op).ok());
+      SLG_CHECK(ApplyOpToGrammar(&perop, op).ok());
     }
     CollectGarbageRules(&perop);
     double perop_apply = timer.ElapsedSeconds();
@@ -107,7 +101,7 @@ int Run(int argc, char** argv) {
     {
       int done = 0;
       for (const UpdateOp& op : w.ops) {
-        SLG_CHECK(ApplyPerOp(&perop_rc, op).ok());
+        SLG_CHECK(ApplyOpToGrammar(&perop_rc, op).ok());
         if (++done % period == 0 || done == static_cast<int>(w.ops.size())) {
           perop_rc = GrammarRePair(std::move(perop_rc), recompress).grammar;
         }
@@ -189,11 +183,7 @@ int Run(int argc, char** argv) {
   }
   table.Print();
 
-  std::string out = "BENCH_updates.json";
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    if (arg.rfind("--out=", 0) == 0) out = arg.substr(6);
-  }
+  std::string out = FlagString(argc, argv, "--out", "BENCH_updates.json");
   if (json.WriteTo(out)) {
     std::printf("\nwrote %s\n", out.c_str());
   } else {

@@ -1,6 +1,7 @@
 // Shared driver for the Figure 4 / Figure 5 reproduction: update
-// sequences (90% inserts / 10% deletes) replayed on a compressed
-// grammar, measuring
+// sequences (by default 10% renames, the rest split 90% inserts /
+// 10% deletes as in the paper) replayed on a compressed grammar,
+// measuring
 //   top plot:    |grammar after naive updates| / |recompress-from-scratch|
 //   bottom plot: |grammar after GrammarRePair every R updates| /
 //                |recompress-from-scratch|
@@ -43,14 +44,16 @@ inline void RunUpdateOverheadBench(const std::vector<Corpus>& corpora,
   double scale = FlagDouble(argc, argv, "--scale", 0.2);
   int updates = static_cast<int>(FlagInt(argc, argv, "--updates", 1000));
   int period = static_cast<int>(FlagInt(argc, argv, "--period", 100));
+  double renames = FlagDouble(argc, argv, "--renames", 0.1);
   uint64_t seed = static_cast<uint64_t>(FlagInt(argc, argv, "--seed", 7));
 
   std::printf(
-      "%s: grammar size under update sequences (90%% insert / 10%% "
-      "delete),\nscale %.3g, %d updates, recompression every %d\n"
+      "%s: grammar size under update sequences (%.0f%% renames, rest "
+      "90%% insert / 10%% delete),\nscale %.3g, %d updates, "
+      "recompression every %d\n"
       "overheads are vs recompress-from-scratch (udc) at the same "
       "checkpoint\n\n",
-      figure_name, scale, updates, period);
+      figure_name, renames * 100, scale, updates, period);
 
   for (Corpus c : corpora) {
     const CorpusInfo& info = InfoFor(c);
@@ -61,6 +64,9 @@ inline void RunUpdateOverheadBench(const std::vector<Corpus>& corpora,
     WorkloadOptions wopts;
     wopts.num_ops = updates;
     wopts.seed = seed;
+    // Mixed sequences: renames flow through BatchUpdater::Rename at
+    // every checkpoint period alongside the paper's inserts/deletes.
+    wopts.rename_fraction = renames;
     UpdateWorkload w = MakeUpdateWorkload(final_tree, labels, wopts);
 
     GrammarRepairOptions recompress;

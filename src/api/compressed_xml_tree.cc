@@ -6,6 +6,8 @@
 #include "src/grammar/stats.h"
 #include "src/grammar/validate.h"
 #include "src/grammar/value.h"
+#include "src/pipeline/sharded_compressor.h"
+#include "src/pipeline/thread_pool.h"
 #include "src/update/update_ops.h"
 #include "src/xml/binary_encoding.h"
 #include "src/xml/xml_parser.h"
@@ -19,6 +21,28 @@ StatusOr<CompressedXmlTree> CompressedXmlTree::FromXml(
   if (!parsed.ok()) return parsed.status();
   LabelTable labels;
   Tree bin = EncodeBinary(parsed.value(), &labels);
+  // Dispatch on the *shard* count — the documented determinism knob.
+  // num_shards == 1 takes the sequential path whatever the thread
+  // count; num_shards == 0 follows the (resolved) thread count.
+  int resolved_threads = options.num_threads == 0
+                             ? ThreadPool::HardwareThreads()
+                             : options.num_threads;
+  bool use_sharded = options.num_shards > 1 ||
+                     (options.num_shards == 0 && resolved_threads > 1);
+  if (use_sharded) {
+    ShardedCompressorOptions sharded;
+    sharded.num_threads = options.num_threads;
+    sharded.num_shards = options.num_shards;
+    // options.repair governs every repair the pipeline runs: the
+    // shard runs and the top-level pass take the RepairOptions (the
+    // pipeline re-disables per-shard pruning — a pipeline invariant,
+    // see ShardedCompressorOptions), the kFull tier the whole struct.
+    sharded.shard_repair = options.repair.repair;
+    sharded.shard_repair.prune = false;
+    sharded.merge_repair = options.repair;
+    ShardedCompressResult r = ShardedCompress(std::move(bin), labels, sharded);
+    return CompressedXmlTree(std::move(r.grammar), options);
+  }
   Grammar g = Grammar::ForTree(std::move(bin), std::move(labels));
   GrammarRepairResult r = GrammarRePair(std::move(g), options.repair);
   return CompressedXmlTree(std::move(r.grammar), options);

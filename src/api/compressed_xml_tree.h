@@ -40,6 +40,20 @@ struct CompressedXmlTreeOptions {
   // If > 0, Rename/Insert/Delete trigger Recompress() automatically
   // after this many updates.
   int auto_recompress_every = 0;
+  // Initial compression (FromXml): values > 1 route through the
+  // sharded parallel pipeline (src/pipeline/sharded_compressor.h) —
+  // partition, per-shard TreeRePair on num_threads threads, merge,
+  // final boundary repair — with `repair` governing the repair runs
+  // (its RepairOptions drive the shard and top-level passes).
+  // num_threads == 0 uses all hardware threads; num_shards == 0 means
+  // one shard per thread. The output grammar depends on the shard
+  // count, never on the thread count: num_shards == 1 keeps the
+  // sequential GrammarRePair path whatever num_threads says, and
+  // num_shards == 0 ties the shard count to the (resolved) thread
+  // count — pin num_shards for machine-independent output. The
+  // default (1 thread, 0 shards) is the sequential path.
+  int num_threads = 1;
+  int num_shards = 0;
 };
 
 class CompressedXmlTree {

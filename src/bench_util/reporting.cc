@@ -32,6 +32,12 @@ int64_t FlagInt(int argc, char** argv, const std::string& name, int64_t def) {
   return (v == nullptr || *v == '\0') ? def : std::atoll(v);
 }
 
+std::string FlagString(int argc, char** argv, const std::string& name,
+                       const std::string& def) {
+  const char* v = FindFlag(argc, argv, name);
+  return (v == nullptr || *v == '\0') ? def : std::string(v);
+}
+
 bool FlagBool(int argc, char** argv, const std::string& name) {
   return FindFlag(argc, argv, name) != nullptr;
 }

@@ -16,6 +16,8 @@ namespace slg {
 double FlagDouble(int argc, char** argv, const std::string& name, double def);
 int64_t FlagInt(int argc, char** argv, const std::string& name, int64_t def);
 bool FlagBool(int argc, char** argv, const std::string& name);
+std::string FlagString(int argc, char** argv, const std::string& name,
+                       const std::string& def);
 
 // Builds an argv for a google-benchmark binary that appends
 // --benchmark_out=<default_path> (JSON format) unless the caller

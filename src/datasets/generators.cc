@@ -15,7 +15,9 @@ int Scaled(double scale, int base) {
 }
 
 // EXI-Weblog: a flat list of identical access-log records, depth 2.
-XmlTree GenWeblog(double scale, uint64_t) {
+// Fully regular — takes the pipeline RNG for signature uniformity but
+// never draws from it.
+XmlTree GenWeblog(double scale, Rng&) {
   XmlTree t;
   XmlNodeId root = t.AddNode("log", kXmlNil);
   const int n = Scaled(scale, 6000);
@@ -33,7 +35,7 @@ XmlTree GenWeblog(double scale, uint64_t) {
 }
 
 // NCBI: an even larger, flatter list of tiny identical SNP records.
-XmlTree GenNcbi(double scale, uint64_t) {
+XmlTree GenNcbi(double scale, Rng&) {
   XmlTree t;
   XmlNodeId root = t.AddNode("ExchangeSet", kXmlNil);
   const int n = Scaled(scale, 20000);
@@ -46,7 +48,7 @@ XmlTree GenNcbi(double scale, uint64_t) {
 }
 
 // EXI-Telecomp: identical records with a fixed 6-deep nesting.
-XmlTree GenTelecomp(double scale, uint64_t) {
+XmlTree GenTelecomp(double scale, Rng&) {
   XmlTree t;
   XmlNodeId root = t.AddNode("telemetry", kXmlNil);
   const int n = Scaled(scale, 4000);
@@ -71,7 +73,7 @@ XmlTree GenTelecomp(double scale, uint64_t) {
 // and a recursive parlist/listitem description structure (depth ~11).
 class XMarkGen {
  public:
-  XMarkGen(double scale, uint64_t seed) : rng_(seed), scale_(scale) {}
+  XMarkGen(double scale, Rng& rng) : rng_(rng), scale_(scale) {}
 
   XmlTree Run() {
     XmlNodeId site = t_.AddNode("site", kXmlNil);
@@ -211,14 +213,14 @@ class XMarkGen {
   }
 
   XmlTree t_;
-  Rng rng_;
+  Rng& rng_;
   double scale_;
 };
 
 // Treebank: deep, irregular parse trees over a POS-tag alphabet.
 class TreebankGen {
  public:
-  TreebankGen(double scale, uint64_t seed) : rng_(seed), scale_(scale) {}
+  TreebankGen(double scale, Rng& rng) : rng_(rng), scale_(scale) {}
 
   XmlTree Run() {
     XmlNodeId root = t_.AddNode("FILE", kXmlNil);
@@ -291,13 +293,12 @@ class TreebankGen {
   }
 
   XmlTree t_;
-  Rng rng_;
+  Rng& rng_;
   double scale_;
 };
 
 // Medline: bibliographic records, regular backbone with optional parts.
-XmlTree GenMedline(double scale, uint64_t seed) {
-  Rng rng(seed);
+XmlTree GenMedline(double scale, Rng& rng) {
   XmlTree t;
   XmlNodeId root = t.AddNode("MedlineCitationSet", kXmlNil);
   const int n = Scaled(scale, 2500);
@@ -368,19 +369,24 @@ const CorpusInfo& InfoFor(Corpus c) {
 }
 
 XmlTree GenerateCorpus(Corpus c, double scale, uint64_t seed) {
+  Rng rng(seed);
+  return GenerateCorpus(c, scale, rng);
+}
+
+XmlTree GenerateCorpus(Corpus c, double scale, Rng& rng) {
   switch (c) {
     case Corpus::kExiWeblog:
-      return GenWeblog(scale, seed);
+      return GenWeblog(scale, rng);
     case Corpus::kXMark:
-      return XMarkGen(scale, seed).Run();
+      return XMarkGen(scale, rng).Run();
     case Corpus::kExiTelecomp:
-      return GenTelecomp(scale, seed);
+      return GenTelecomp(scale, rng);
     case Corpus::kTreebank:
-      return TreebankGen(scale, seed).Run();
+      return TreebankGen(scale, rng).Run();
     case Corpus::kMedline:
-      return GenMedline(scale, seed);
+      return GenMedline(scale, rng);
     case Corpus::kNcbi:
-      return GenNcbi(scale, seed);
+      return GenNcbi(scale, rng);
   }
   SLG_CHECK_MSG(false, "unknown corpus");
   return XmlTree();

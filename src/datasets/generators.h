@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/rng.h"
 #include "src/xml/xml_tree.h"
 
 namespace slg {
@@ -51,8 +52,18 @@ const std::vector<CorpusInfo>& AllCorpora();
 const CorpusInfo& InfoFor(Corpus c);
 
 // Generates the synthetic stand-in. scale = 1.0 produces the default
-// laptop-sized document (tens of thousands of edges).
+// laptop-sized document (tens of thousands of edges). Seeds a fresh
+// RNG and delegates to the Rng& overload, so a fixed (scale, seed)
+// always produces the same document.
 XmlTree GenerateCorpus(Corpus c, double scale = 1.0, uint64_t seed = 20160516);
+
+// Same, drawing every random decision from `rng` — no generator keeps
+// function-local RNG state. Callers running sweeps (e.g. the shard
+// benches generating one corpus per configuration) pass one explicitly
+// seeded RNG so the whole sweep is reproducible from a single seed.
+// (A reference, not a pointer: a pointer overload would make a
+// literal-0 seed argument ambiguous against the uint64_t overload.)
+XmlTree GenerateCorpus(Corpus c, double scale, Rng& rng);
 
 }  // namespace slg
 

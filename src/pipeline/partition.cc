@@ -1,0 +1,176 @@
+#include "src/pipeline/partition.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace slg {
+
+namespace {
+
+// Subtree sizes for every live node, indexed by NodeId. Iterative —
+// binary-encoded record lists are next-sibling chains, so recursion
+// depth would be proportional to the document.
+std::vector<int64_t> SubtreeSizes(const Tree& t,
+                                  const std::vector<NodeId>& preorder) {
+  std::vector<int64_t> size(static_cast<size_t>(0));
+  NodeId max_id = 0;
+  for (NodeId v : preorder) max_id = std::max(max_id, v);
+  size.assign(static_cast<size_t>(max_id) + 1, 0);
+  // A node's descendants all follow it in preorder, so a reverse scan
+  // sees every child total before the parent.
+  for (auto it = preorder.rbegin(); it != preorder.rend(); ++it) {
+    NodeId v = *it;
+    int64_t s = 1;
+    for (NodeId c = t.first_child(v); c != kNilNode; c = t.next_sibling(c)) {
+      s += size[static_cast<size_t>(c)];
+    }
+    size[static_cast<size_t>(v)] = s;
+  }
+  return size;
+}
+
+LabelId IdentityLabel(LabelId l) { return l; }
+
+// The segment copy: cut at `stop`, labels unchanged.
+Tree CopySegment(const Tree& src, NodeId from, NodeId stop, LabelId hole) {
+  return CopySubtreeMapped(src, from, stop, hole, IdentityLabel);
+}
+
+NodeId FindLabel(const Tree& t, LabelId l) {
+  NodeId found = kNilNode;
+  t.VisitPreorder(t.root(), [&](NodeId v) {
+    if (found == kNilNode && t.label(v) == l) found = v;
+  });
+  return found;
+}
+
+}  // namespace
+
+Tree CopySubtreeMapped(const Tree& src, NodeId from, NodeId stop,
+                       LabelId stop_label,
+                       const std::function<LabelId(LabelId)>& map_label) {
+  Tree out;
+  struct Item {
+    NodeId src;
+    NodeId dst_parent;
+  };
+  std::vector<Item> stack;
+  stack.push_back({from, kNilNode});
+  std::vector<NodeId> kids;
+  while (!stack.empty()) {
+    Item it = stack.back();
+    stack.pop_back();
+    bool is_stop = it.src == stop;
+    NodeId d = out.NewNode(is_stop ? stop_label : map_label(src.label(it.src)));
+    if (it.dst_parent == kNilNode) {
+      out.SetRoot(d);
+    } else {
+      out.AppendChild(it.dst_parent, d);
+    }
+    if (is_stop) continue;
+    kids.clear();
+    for (NodeId c = src.first_child(it.src); c != kNilNode;
+         c = src.next_sibling(c)) {
+      kids.push_back(c);
+    }
+    // Reversed push: LIFO pop then recreates the original child order.
+    for (auto k = kids.rbegin(); k != kids.rend(); ++k) {
+      stack.push_back({*k, d});
+    }
+  }
+  return out;
+}
+
+TreePartition PartitionTree(const Tree& t, const LabelTable& labels,
+                            const PartitionOptions& options) {
+  TreePartition p;
+  p.labels = labels;
+  p.hole = p.labels.Fresh("hole", 0);
+  SLG_CHECK_MSG(!t.empty(), "cannot partition an empty tree");
+  p.total_nodes = t.LiveCount();
+
+  int want = std::max(1, options.num_shards);
+  if (p.total_nodes < options.min_shard_nodes) want = 1;
+  if (want == 1) {
+    p.segments.push_back(CopySegment(t, t.root(), kNilNode, p.hole));
+    return p;
+  }
+
+  std::vector<NodeId> preorder = t.Preorder();
+  std::vector<int64_t> size = SubtreeSizes(t, preorder);
+
+  // Heavy path: from the root, always descend into the largest child
+  // (ties: first). For record-list documents this follows the
+  // next-sibling chain, so cuts land between records.
+  std::vector<NodeId> spine;
+  for (NodeId v = t.root(); v != kNilNode;) {
+    spine.push_back(v);
+    NodeId heavy = kNilNode;
+    int64_t heavy_size = 0;
+    for (NodeId c = t.first_child(v); c != kNilNode; c = t.next_sibling(c)) {
+      if (size[static_cast<size_t>(c)] > heavy_size) {
+        heavy = c;
+        heavy_size = size[static_cast<size_t>(c)];
+      }
+    }
+    v = heavy;
+  }
+
+  // Greedy segmentation of the spine by cumulative off-spine weight.
+  int64_t target = (p.total_nodes + want - 1) / want;
+  std::vector<NodeId> cuts;  // spine nodes that start segment i+1
+  int64_t acc = 0;
+  for (size_t j = 0; j + 1 < spine.size(); ++j) {
+    acc += size[static_cast<size_t>(spine[j])] -
+           size[static_cast<size_t>(spine[j + 1])];
+    if (acc >= target && static_cast<int>(cuts.size()) + 1 < want) {
+      cuts.push_back(spine[j + 1]);
+      acc = 0;
+    }
+  }
+
+  NodeId from = t.root();
+  for (NodeId cut : cuts) {
+    p.segments.push_back(CopySegment(t, from, cut, p.hole));
+    from = cut;
+  }
+  p.segments.push_back(CopySegment(t, from, kNilNode, p.hole));
+  return p;
+}
+
+Tree ReassemblePartition(const TreePartition& p) {
+  SLG_CHECK(!p.segments.empty());
+  Tree acc = p.segments.back();
+  for (size_t i = p.segments.size() - 1; i-- > 0;) {
+    Tree seg = p.segments[i];
+    NodeId hole_node = FindLabel(seg, p.hole);
+    SLG_CHECK_MSG(hole_node != kNilNode, "segment lost its hole");
+    NodeId copied = seg.CopySubtreeFrom(acc, acc.root());
+    seg.ReplaceWith(hole_node, copied);
+    seg.FreeSubtree(hole_node);
+    acc = std::move(seg);
+  }
+  SLG_CHECK_MSG(FindLabel(acc, p.hole) == kNilNode,
+                "reassembled tree still contains a hole");
+  return acc;
+}
+
+Tree ChainDocuments(const std::vector<Tree>& docs) {
+  SLG_CHECK_MSG(!docs.empty(), "cannot chain an empty forest");
+  Tree out = docs[0];
+  NodeId tail_root = out.root();
+  for (size_t i = 1; i < docs.size(); ++i) {
+    NodeId slot = out.Child(tail_root, 2);
+    SLG_CHECK_MSG(slot != kNilNode && out.label(slot) == kNullLabel,
+                  "document root's next-sibling slot must be an empty ⊥ leaf");
+    NodeId copied = out.CopySubtreeFrom(docs[i], docs[i].root());
+    out.ReplaceWith(slot, copied);
+    out.FreeSubtree(slot);
+    tail_root = copied;
+  }
+  return out;
+}
+
+}  // namespace slg

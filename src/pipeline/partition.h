@@ -1,0 +1,82 @@
+// Tree partitioner for the sharded compression pipeline.
+//
+// A binary-encoded document is mostly a long next-sibling chain with
+// record subtrees hanging off it, so naive "cut whole subtrees of
+// bounded size" either leaves the entire chain in the skeleton or
+// produces thousands of record-sized crumbs. Instead we partition
+// along the tree's *heavy path* (from the root, always descending into
+// the child with the largest subtree): cutting that spine at k-1
+// points yields k contiguous segments, each a tree with at most one
+// "hole" — the position where the next segment attaches. A hole is a
+// reserved rank-0 leaf label; at merge time it becomes the single
+// parameter of the segment's rank-1 rule, and the start rule composes
+// the segments back: S -> P1(P2(...Pk)). See docs/PIPELINE.md.
+//
+// Invariants (asserted by tests via ReassemblePartition):
+//  * segment 0 contains the original root; segment i+1's root is the
+//    node that the hole of segment i replaced;
+//  * every segment except the last contains exactly one hole leaf, the
+//    last contains none; no segment is a bare hole;
+//  * substituting segment i+1 for segment i's hole, right to left,
+//    rebuilds the input tree node for node.
+
+#ifndef SLG_PIPELINE_PARTITION_H_
+#define SLG_PIPELINE_PARTITION_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/tree/label_table.h"
+#include "src/tree/tree.h"
+
+namespace slg {
+
+struct TreePartition {
+  // Spine segments in root-to-leaf order.
+  std::vector<Tree> segments;
+  // The source table plus the hole label; the table every per-shard
+  // TreeRePair run starts from, so terminal LabelIds agree across all
+  // shard grammars.
+  LabelTable labels;
+  LabelId hole = kNoLabel;
+  int64_t total_nodes = 0;
+};
+
+struct PartitionOptions {
+  int num_shards = 1;
+  // Trees smaller than this are not worth splitting: one segment.
+  int min_shard_nodes = 2048;
+};
+
+// Splits `t` into at most options.num_shards balanced segments. May
+// return fewer segments than requested (short spine, lumpy off-spine
+// subtrees, tiny tree); callers read segments.size() back.
+TreePartition PartitionTree(const Tree& t, const LabelTable& labels,
+                            const PartitionOptions& options);
+
+// Rebuilds the original tree from the partition (test / verification
+// helper; the production path reassembles at the grammar level).
+Tree ReassemblePartition(const TreePartition& p);
+
+// Iterative subtree copy shared by the partitioner (cut-at-hole) and
+// the merge (label renumbering): copies the subtree at `from`,
+// relabeling every node through `map_label`; where `stop` would
+// appear it emits a `stop_label` leaf instead of descending (kNilNode
+// copies everything). Iterative because binary-encoded record lists
+// are next-sibling chains as deep as the document.
+Tree CopySubtreeMapped(const Tree& src, NodeId from, NodeId stop,
+                       LabelId stop_label,
+                       const std::function<LabelId(LabelId)>& map_label);
+
+// Chains binary-encoded documents into one tree by linking each
+// document root's next-sibling slot (which must be ⊥) to the next
+// document's root — the binary encoding of the sibling forest
+// d1 d2 ... dk. This is how a forest of documents enters the
+// partitioner: the chain is one long spine, so shards align with
+// document boundaries.
+Tree ChainDocuments(const std::vector<Tree>& docs);
+
+}  // namespace slg
+
+#endif  // SLG_PIPELINE_PARTITION_H_

@@ -1,0 +1,65 @@
+// Fixed-size thread pool for the sharded compression pipeline.
+//
+// The pool is deliberately minimal: a fixed set of workers draining one
+// FIFO queue. Tasks must not throw (the library reports errors through
+// Status and hard invariant violations through SLG_CHECK, which
+// aborts). Determinism of the pipeline does not depend on scheduling:
+// every parallel task writes only its own output slot, so results are
+// identical for any thread count — the tests assert exactly that.
+
+#ifndef SLG_PIPELINE_THREAD_POOL_H_
+#define SLG_PIPELINE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace slg {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  // Waits for all submitted work, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void Submit(std::function<void()> task);
+
+  // Blocks until the queue is empty and no task is running.
+  void Wait();
+
+  int size() const { return static_cast<int>(threads_.size()); }
+
+  // Threads the OS reports as available; >= 1 even when the runtime
+  // cannot tell (hardware_concurrency() == 0).
+  static int HardwareThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers: queue or stop
+  std::condition_variable idle_cv_;   // signals Wait(): all drained
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  int active_ = 0;
+  bool stop_ = false;
+};
+
+// Runs fn(0..n-1), distributing indexes over `num_threads` workers via
+// a shared atomic counter. Runs inline when n <= 1 or num_threads <= 1.
+// fn must be safe to call concurrently for distinct indexes.
+void ParallelFor(int64_t n, int num_threads,
+                 const std::function<void(int64_t)>& fn);
+
+}  // namespace slg
+
+#endif  // SLG_PIPELINE_THREAD_POOL_H_

@@ -201,9 +201,17 @@ Status BatchUpdater::Delete(int64_t preorder) {
 }
 
 Status BatchUpdater::Apply(const UpdateOp& op) {
-  return op.kind == UpdateOp::Kind::kInsert
-             ? InsertBefore(op.preorder, op.fragment)
-             : Delete(op.preorder);
+  switch (op.kind) {
+    case UpdateOp::Kind::kInsert:
+      return InsertBefore(op.preorder, op.fragment);
+    case UpdateOp::Kind::kDelete:
+      return Delete(op.preorder);
+    case UpdateOp::Kind::kRename:
+      SLG_CHECK(op.label >= 0 &&
+                op.label < static_cast<LabelId>(g_->labels().size()));
+      return Rename(op.preorder, g_->labels().Name(op.label));
+  }
+  return Status::InvalidArgument("unknown update kind");
 }
 
 int BatchUpdater::Finish() {

@@ -52,7 +52,7 @@ class BatchUpdater {
   Status InsertBefore(int64_t preorder, const Tree& fragment);
   Status Delete(int64_t preorder);
 
-  // Dispatches a workload operation (insert or delete).
+  // Dispatches a workload operation (insert, delete or rename).
   Status Apply(const UpdateOp& op);
 
   // Makes the node at `preorder` of val(G) terminally available in

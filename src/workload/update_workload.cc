@@ -54,13 +54,41 @@ NodeId PickElement(const Tree& t, Rng* rng, int max_nodes) {
 UpdateWorkload MakeUpdateWorkload(const Tree& final_tree,
                                   const LabelTable& labels,
                                   const WorkloadOptions& options) {
-  (void)labels;
   Rng rng(options.seed);
   Tree t = final_tree;  // working copy, walked backwards
   std::vector<UpdateOp> reverse_ops;
   reverse_ops.reserve(static_cast<size_t>(options.num_ops));
 
+  // Rename targets are drawn from the document's own (rank-2) element
+  // alphabet, so replaying never has to mutate a shared label table.
+  std::vector<LabelId> alphabet;
+  if (options.rename_fraction > 0) {
+    for (LabelId l = 0; l < static_cast<LabelId>(labels.size()); ++l) {
+      if (l != kNullLabel && labels.Rank(l) == 2 && !labels.IsParam(l)) {
+        alphabet.push_back(l);
+      }
+    }
+  }
+
   for (int i = 0; i < options.num_ops; ++i) {
+    if (options.rename_fraction > 0 && !alphabet.empty() &&
+        rng.Chance(options.rename_fraction)) {
+      // Inverse of rename(u, σ) is rename(u, old): the node currently
+      // carries the forward target σ; walk it back to a random other
+      // label and record the forward rename to σ.
+      NodeId v = PickElement(t, &rng, 0);
+      if (v == kNilNode) break;
+      LabelId forward = t.label(v);
+      LabelId old = forward;
+      for (int attempt = 0; attempt < 8 && old == forward; ++attempt) {
+        old = alphabet[rng.Below(alphabet.size())];
+      }
+      int64_t pre = t.PreorderIndexOf(v);
+      ApplyRenameToTree(&t, pre, old);
+      reverse_ops.push_back(
+          UpdateOp{UpdateOp::Kind::kRename, pre, Tree(), forward});
+      continue;
+    }
     bool forward_is_insert = !rng.Chance(options.delete_fraction);
     if (forward_is_insert) {
       // Inverse: delete a random XML subtree; forward op reinserts it
@@ -96,11 +124,31 @@ UpdateWorkload MakeUpdateWorkload(const Tree& final_tree,
 }
 
 void ApplyOpToTree(Tree* t, const UpdateOp& op) {
-  if (op.kind == UpdateOp::Kind::kInsert) {
-    ApplyInsertToTree(t, op.preorder, op.fragment);
-  } else {
-    ApplyDeleteToTree(t, op.preorder);
+  switch (op.kind) {
+    case UpdateOp::Kind::kInsert:
+      ApplyInsertToTree(t, op.preorder, op.fragment);
+      return;
+    case UpdateOp::Kind::kDelete:
+      ApplyDeleteToTree(t, op.preorder);
+      return;
+    case UpdateOp::Kind::kRename:
+      ApplyRenameToTree(t, op.preorder, op.label);
+      return;
   }
+}
+
+Status ApplyOpToGrammar(Grammar* g, const UpdateOp& op) {
+  switch (op.kind) {
+    case UpdateOp::Kind::kInsert:
+      return InsertTreeBefore(g, op.preorder, op.fragment);
+    case UpdateOp::Kind::kDelete:
+      return DeleteSubtree(g, op.preorder);
+    case UpdateOp::Kind::kRename:
+      SLG_CHECK(op.label >= 0 &&
+                op.label < static_cast<LabelId>(g->labels().size()));
+      return RenameNode(g, op.preorder, g->labels().Name(op.label));
+  }
+  return Status::InvalidArgument("unknown update kind");
 }
 
 std::vector<RenameOp> MakeRenameWorkload(const Tree& tree,

@@ -20,16 +20,23 @@
 #include <string>
 #include <vector>
 
+#include "src/common/status.h"
+#include "src/grammar/grammar.h"
 #include "src/tree/label_table.h"
 #include "src/tree/tree.h"
 
 namespace slg {
 
 struct UpdateOp {
-  enum class Kind { kInsert, kDelete };
+  enum class Kind { kInsert, kDelete, kRename };
   Kind kind;
   int64_t preorder;  // address in the binary tree at application time
   Tree fragment;     // only for kInsert
+  // Only for kRename: the target label, as an id in the label table the
+  // workload was generated from. Grammars in the benches and tests copy
+  // that table before appending fresh nonterminals, so the id (and its
+  // spelling) is valid in their tables too.
+  LabelId label = kNoLabel;
 };
 
 struct UpdateWorkload {
@@ -40,6 +47,12 @@ struct UpdateWorkload {
 struct WorkloadOptions {
   int num_ops = 1000;
   double delete_fraction = 0.1;  // paper: 10% deletes, 90% inserts
+  // Fraction of operations that rename a random non-⊥ node to another
+  // label of the document's alphabet. Drawn before the insert/delete
+  // split: with r renames, the rest stays at the paper's 90/10 insert/
+  // delete ratio. 0 reproduces the paper's insert/delete-only mix (and
+  // the exact op sequences of earlier versions).
+  double rename_fraction = 0.0;
   // Inserted fragments are sampled from the document's own subtrees,
   // capped at this many binary nodes (keeps document size stationary).
   int max_fragment_nodes = 60;
@@ -57,6 +70,12 @@ UpdateWorkload MakeUpdateWorkload(const Tree& final_tree,
 // and benches replay workloads against (the grammar-side counterpart
 // is BatchUpdater::Apply / the atomic ops in update_ops.h).
 void ApplyOpToTree(Tree* t, const UpdateOp& op);
+
+// Applies `op` through the one-at-a-time atomic operations of
+// update_ops.h — the per-op replay the drivers compare BatchUpdater
+// against. The grammar's label table must extend the workload's (see
+// UpdateOp::label).
+Status ApplyOpToGrammar(Grammar* g, const UpdateOp& op);
 
 // Random-rename workload for the runtime experiment (paper §V-C
 // "Runtime Comparison"): `count` renames of random non-⊥ nodes to

@@ -373,6 +373,9 @@ TEST_P(BatchEquivalenceTest, BatchMatchesSequential) {
   WorkloadOptions wopts;
   wopts.num_ops = c.ops;
   wopts.seed = c.seed;
+  // Mixed sequence: renames ride along with the inserts and deletes,
+  // so the equivalence covers BatchUpdater::Rename too.
+  wopts.rename_fraction = 0.2;
   UpdateWorkload w = MakeUpdateWorkload(final_tree, labels, wopts);
 
   Grammar seq = TreeRePair(Tree(w.seed), labels, {}).grammar;
@@ -380,9 +383,7 @@ TEST_P(BatchEquivalenceTest, BatchMatchesSequential) {
 
   // Sequential: one isolate + edit (+ GC on delete) per operation.
   for (const UpdateOp& op : w.ops) {
-    Status st = op.kind == UpdateOp::Kind::kInsert
-                    ? InsertTreeBefore(&seq, op.preorder, op.fragment)
-                    : DeleteSubtree(&seq, op.preorder);
+    Status st = ApplyOpToGrammar(&seq, op);
     ASSERT_TRUE(st.ok()) << st.ToString();
   }
 

@@ -35,9 +35,7 @@ TEST_P(PipelineTest, UpdateRecompressLoopMatchesUdc) {
   Grammar g = TreeRePair(Tree(w.seed), labels, {}).grammar;
   int i = 0;
   for (const UpdateOp& op : w.ops) {
-    Status st = op.kind == UpdateOp::Kind::kInsert
-                    ? InsertTreeBefore(&g, op.preorder, op.fragment)
-                    : DeleteSubtree(&g, op.preorder);
+    Status st = ApplyOpToGrammar(&g, op);
     ASSERT_TRUE(st.ok()) << st.ToString();
     if (++i % 20 == 0) {
       GrammarRepairResult r = GrammarRePair(std::move(g), {});

@@ -49,11 +49,7 @@ TEST(WorkloadTest, ReplayOnGrammarReachesFinal) {
 
   Grammar g = TreeRePair(Tree(w.seed), labels, {}).grammar;
   for (const UpdateOp& op : w.ops) {
-    if (op.kind == UpdateOp::Kind::kInsert) {
-      ASSERT_TRUE(InsertTreeBefore(&g, op.preorder, op.fragment).ok());
-    } else {
-      ASSERT_TRUE(DeleteSubtree(&g, op.preorder).ok());
-    }
+    ASSERT_TRUE(ApplyOpToGrammar(&g, op).ok());
   }
   ASSERT_TRUE(Validate(g).ok());
   EXPECT_TRUE(TreeEquals(Value(g).take(), final_tree));
@@ -62,17 +58,58 @@ TEST(WorkloadTest, ReplayOnGrammarReachesFinal) {
   Grammar g2 = TreeRePair(Tree(w.seed), labels, {}).grammar;
   int i = 0;
   for (const UpdateOp& op : w.ops) {
-    if (op.kind == UpdateOp::Kind::kInsert) {
-      ASSERT_TRUE(InsertTreeBefore(&g2, op.preorder, op.fragment).ok());
-    } else {
-      ASSERT_TRUE(DeleteSubtree(&g2, op.preorder).ok());
-    }
+    ASSERT_TRUE(ApplyOpToGrammar(&g2, op).ok());
     if (++i % 20 == 0) {
       GrammarRepairResult r = GrammarRePair(std::move(g2), {});
       g2 = std::move(r.grammar);
     }
   }
   EXPECT_TRUE(TreeEquals(Value(g2).take(), final_tree));
+}
+
+TEST(WorkloadTest, MixedSequenceWithRenamesReplaysOnTreeAndGrammar) {
+  LabelTable labels;
+  Tree final_tree = SmallCorpus(&labels, Corpus::kExiWeblog);
+  WorkloadOptions opts;
+  opts.num_ops = 150;
+  opts.seed = 11;
+  opts.rename_fraction = 0.3;
+  UpdateWorkload w = MakeUpdateWorkload(final_tree, labels, opts);
+
+  int renames = 0;
+  for (const UpdateOp& op : w.ops) {
+    if (op.kind == UpdateOp::Kind::kRename) {
+      ++renames;
+      ASSERT_NE(op.label, kNoLabel);
+      EXPECT_EQ(labels.Rank(op.label), 2);
+    }
+  }
+  EXPECT_GT(renames, 15);  // ~45 expected of 150
+  EXPECT_LT(renames, 90);
+
+  Tree t = w.seed;
+  for (const UpdateOp& op : w.ops) {
+    ApplyOpToTree(&t, op);
+  }
+  EXPECT_TRUE(TreeEquals(t, final_tree));
+
+  Grammar g = TreeRePair(Tree(w.seed), labels, {}).grammar;
+  for (const UpdateOp& op : w.ops) {
+    ASSERT_TRUE(ApplyOpToGrammar(&g, op).ok());
+  }
+  ASSERT_TRUE(Validate(g).ok());
+  EXPECT_TRUE(TreeEquals(Value(g).take(), final_tree));
+}
+
+TEST(WorkloadTest, RenameFractionZeroEmitsNoRenames) {
+  LabelTable labels;
+  Tree final_tree = SmallCorpus(&labels);
+  WorkloadOptions opts;
+  opts.num_ops = 100;
+  UpdateWorkload w = MakeUpdateWorkload(final_tree, labels, opts);
+  for (const UpdateOp& op : w.ops) {
+    EXPECT_NE(op.kind, UpdateOp::Kind::kRename);
+  }
 }
 
 TEST(WorkloadTest, DeleteFractionApproximatelyRespected) {
