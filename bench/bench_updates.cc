@@ -16,7 +16,18 @@
 // JSON reporter; the committed copy at the repo root records the
 // numbers quoted in docs/PERF.md.
 //
-// Flags: --scale, --updates, --period, --renames, --seed, --out.
+// A second section measures the damage-localized checkpoint engine on
+// all six fig4/fig5 corpora (at --lscale, default 0.5): the same
+// workload is replayed with a GrammarRePair checkpoint every --period
+// ops and with a LocalizedGrammarRePair checkpoint at the identical
+// ops, timing only the repair legs; an adaptive-trigger run
+// (ApplyWorkloadBatched, growth_trigger --growth) reports its
+// checkpoint count and final size. Grammar sizes and checkpoint
+// counts are deterministic — tools/bench_compare.py gates CI on them;
+// timings are advisory (1-core runners are noisy).
+//
+// Flags: --scale, --lscale, --updates, --lupdates, --period,
+// --renames, --growth, --seed, --out.
 
 #include <algorithm>
 #include <cstdio>
@@ -182,6 +193,99 @@ int Run(int argc, char** argv) {
               {"rename_speedup", rename_speedup}});
   }
   table.Print();
+
+  // --- localized vs full checkpoint recompression (fig4/fig5 corpora) --
+  double lscale = FlagDouble(argc, argv, "--lscale", 0.5);
+  int lupdates = static_cast<int>(FlagInt(argc, argv, "--lupdates", 400));
+  double growth = FlagDouble(argc, argv, "--growth", 0.25);
+  std::printf(
+      "\nLocalized vs full checkpoint recompression (scale %.3g, %d "
+      "updates,\ncheckpoint every %d ops, 10%% renames; adaptive trigger "
+      "%.2f)\n\n",
+      lscale, lupdates, period, growth);
+  TablePrinter ltable({"dataset", "full-rc(s)", "local-rc(s)", "speedup",
+                       "full-edges", "local-edges", "ratio", "adapt(s)",
+                       "adapt-ckpts", "adapt-edges"});
+  for (const CorpusInfo& info : AllCorpora()) {
+    XmlTree xml = GenerateCorpus(info.id, lscale);
+    LabelTable labels;
+    Tree final_tree = EncodeBinary(xml, &labels);
+    WorkloadOptions wopts;
+    wopts.num_ops = lupdates;
+    wopts.seed = seed;
+    wopts.rename_fraction = 0.1;
+    UpdateWorkload w = MakeUpdateWorkload(final_tree, labels, wopts);
+    GrammarRepairOptions recompress;
+    recompress.repair.require_positive_savings = true;
+    Grammar seed_grammar =
+        GrammarRePair(Grammar::ForTree(Tree(w.seed), labels), recompress)
+            .grammar;
+
+    // Identical checkpoints, repair engine the only variable; only the
+    // repair legs are timed.
+    auto replay = [&](bool localized, double* repair_s) {
+      Grammar g = seed_grammar.Clone();
+      size_t i = 0;
+      while (i < w.ops.size()) {
+        size_t end = std::min(i + static_cast<size_t>(period), w.ops.size());
+        BatchUpdater batch(&g);
+        for (; i < end; ++i) {
+          SLG_CHECK(batch.Apply(w.ops[i]).ok());
+        }
+        batch.Finish();
+        std::vector<LabelId> damage = batch.DamagedRules();
+        Timer t;
+        g = localized
+                ? LocalizedGrammarRePair(std::move(g), damage, recompress)
+                      .grammar
+                : GrammarRePair(std::move(g), recompress).grammar;
+        *repair_s += t.ElapsedSeconds();
+      }
+      return ComputeStats(g).edge_count;
+    };
+    double full_rc = 0, local_rc = 0;
+    int64_t full_edges = replay(false, &full_rc);
+    int64_t local_edges = replay(true, &local_rc);
+
+    Timer adapt_timer;
+    BatchApplyOptions aopts;
+    aopts.repair = recompress;
+    aopts.growth_trigger = growth;
+    auto adaptive =
+        ApplyWorkloadBatched(seed_grammar.Clone(), w.ops, aopts);
+    SLG_CHECK(adaptive.ok());
+    double adapt_s = adapt_timer.ElapsedSeconds();
+    int64_t adapt_edges = ComputeStats(adaptive.value().grammar).edge_count;
+    int adapt_ckpts =
+        static_cast<int>(adaptive.value().checkpoint_schedule.size());
+
+    double local_speedup = local_rc > 0 ? full_rc / local_rc : 0;
+    double size_ratio = full_edges > 0 ? static_cast<double>(local_edges) /
+                                             static_cast<double>(full_edges)
+                                       : 0;
+    ltable.AddRow({info.name, TablePrinter::Fixed(full_rc, 3),
+                   TablePrinter::Fixed(local_rc, 3),
+                   TablePrinter::Fixed(local_speedup, 2),
+                   TablePrinter::Num(full_edges), TablePrinter::Num(local_edges),
+                   TablePrinter::Fixed(size_ratio, 4),
+                   TablePrinter::Fixed(adapt_s, 3),
+                   TablePrinter::Num(adapt_ckpts),
+                   TablePrinter::Num(adapt_edges)});
+    json.Add(std::string("localized/") + info.name,
+             {{"edges", static_cast<double>(xml.EdgeCount())},
+              {"ops", static_cast<double>(lupdates)},
+              {"period", static_cast<double>(period)},
+              {"full_checkpoint_s", full_rc},
+              {"localized_checkpoint_s", local_rc},
+              {"localized_speedup", local_speedup},
+              {"full_final_edges", static_cast<double>(full_edges)},
+              {"localized_final_edges", static_cast<double>(local_edges)},
+              {"localized_vs_full_edges", size_ratio},
+              {"adaptive_s", adapt_s},
+              {"adaptive_checkpoint_count", static_cast<double>(adapt_ckpts)},
+              {"adaptive_final_edges", static_cast<double>(adapt_edges)}});
+  }
+  ltable.Print();
 
   std::string out = FlagString(argc, argv, "--out", "BENCH_updates.json");
   if (json.WriteTo(out)) {

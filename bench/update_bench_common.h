@@ -7,6 +7,12 @@
 //                |recompress-from-scratch|
 // with checkpoints every R = 100 updates (paper §V-C).
 //
+// The recompression leg runs the damage-localized engine by default
+// (LocalizedGrammarRePair seeded from the batch's damage set — the
+// measured overhead columns then describe the shipping checkpoint
+// path); --full=1 switches it back to the paper's whole-grammar
+// GrammarRePair.
+//
 // Both legs apply each checkpoint period through the batched update
 // engine (one shared isolation snapshot + one garbage-collection pass
 // per period — see src/update/batch.h). The edit sequences are
@@ -45,15 +51,17 @@ inline void RunUpdateOverheadBench(const std::vector<Corpus>& corpora,
   int updates = static_cast<int>(FlagInt(argc, argv, "--updates", 1000));
   int period = static_cast<int>(FlagInt(argc, argv, "--period", 100));
   double renames = FlagDouble(argc, argv, "--renames", 0.1);
+  bool full = FlagInt(argc, argv, "--full", 0) != 0;
   uint64_t seed = static_cast<uint64_t>(FlagInt(argc, argv, "--seed", 7));
 
   std::printf(
       "%s: grammar size under update sequences (%.0f%% renames, rest "
-      "90%% insert / 10%% delete),\nscale %.3g, %d updates, "
+      "90%% insert / 10%% delete),\nscale %.3g, %d updates, %s "
       "recompression every %d\n"
       "overheads are vs recompress-from-scratch (udc) at the same "
       "checkpoint\n\n",
-      figure_name, renames * 100, scale, updates, period);
+      figure_name, renames * 100, scale, updates,
+      full ? "full" : "localized", period);
 
   for (Corpus c : corpora) {
     const CorpusInfo& info = InfoFor(c);
@@ -86,6 +94,7 @@ inline void RunUpdateOverheadBench(const std::vector<Corpus>& corpora,
     size_t done = 0;
     while (done < w.ops.size()) {
       size_t end = std::min(done + static_cast<size_t>(period), w.ops.size());
+      std::vector<LabelId> damage;
       {
         BatchUpdater naive_batch(&naive);
         BatchUpdater incr_batch(&incremental);
@@ -97,9 +106,13 @@ inline void RunUpdateOverheadBench(const std::vector<Corpus>& corpora,
         }
         naive_batch.Finish();
         incr_batch.Finish();
+        damage = incr_batch.DamagedRules();
       }
       done = end;
-      GrammarRepairResult r = GrammarRePair(std::move(incremental), recompress);
+      GrammarRepairResult r =
+          full ? GrammarRePair(std::move(incremental), recompress)
+               : LocalizedGrammarRePair(std::move(incremental), damage,
+                                        recompress);
       incremental = std::move(r.grammar);
       auto udc = UpdateDecompressCompress(incremental);
       SLG_CHECK(udc.ok());

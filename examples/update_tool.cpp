@@ -3,8 +3,8 @@
 // library as the "compressed DOM with updates" the paper's conclusion
 // proposes.
 //
-//   ./build/examples/example_update_tool doc.xml \
-//       rename 3 newtag  insert 5 '<x/>'  delete 9  print
+//   ./build/examples/example_update_tool doc.xml rename 3 newtag
+//       insert 5 '<x/>'  delete 9  print  (one argv stream)
 //
 // Commands: rename <pre> <tag> | insert <pre> <xml> | delete <pre> |
 //           stats | recompress | print

@@ -8,6 +8,7 @@
 #include "src/grammar/value.h"
 #include "src/pipeline/sharded_compressor.h"
 #include "src/pipeline/thread_pool.h"
+#include "src/update/batch.h"
 #include "src/update/update_ops.h"
 #include "src/xml/binary_encoding.h"
 #include "src/xml/xml_parser.h"
@@ -67,7 +68,16 @@ int64_t CompressedXmlTree::CompressedSize() const {
 }
 
 StatusOr<std::string> CompressedXmlTree::LabelAt(int64_t preorder) {
-  return ReadLabel(&grammar_, preorder);
+  // Isolation partially decompresses into the start rule even for a
+  // read, so it damages the grammar like an update does — harvest the
+  // set, or Recompress() could never fold the inlined copies back.
+  BatchUpdater batch(&grammar_);
+  StatusOr<NodeId> u = batch.Isolate(preorder);
+  if (!u.ok()) return u.status();
+  std::string name(
+      grammar_.labels().Name(grammar_.rhs(grammar_.start()).label(u.value())));
+  NoteDamage(batch.DamagedRules());
+  return name;
 }
 
 StatusOr<int64_t> CompressedXmlTree::FindElement(std::string_view tag,
@@ -91,7 +101,12 @@ StatusOr<int64_t> CompressedXmlTree::FindElement(std::string_view tag,
 }
 
 Status CompressedXmlTree::Rename(int64_t preorder, std::string_view new_tag) {
-  SLG_RETURN_IF_ERROR(RenameNode(&grammar_, preorder, new_tag));
+  // One-op batches, exactly like the atomic operations in
+  // update_ops.cc — except the damage set is harvested so Recompress()
+  // can seed the localized repair with the inlined-rule frontier.
+  BatchUpdater batch(&grammar_);
+  SLG_RETURN_IF_ERROR(batch.Rename(preorder, new_tag));
+  NoteDamage(batch.DamagedRules());
   ++updates_since_recompress_;
   MaybeAutoRecompress();
   return Status::Ok();
@@ -103,23 +118,47 @@ Status CompressedXmlTree::InsertXmlBefore(int64_t preorder,
   if (!parsed.ok()) return parsed.status();
   LabelTable& labels = grammar_.labels();
   Tree frag = EncodeBinary(parsed.value(), &labels);
-  SLG_RETURN_IF_ERROR(InsertTreeBefore(&grammar_, preorder, frag));
+  BatchUpdater batch(&grammar_);
+  SLG_RETURN_IF_ERROR(batch.InsertBefore(preorder, frag));
+  NoteDamage(batch.DamagedRules());
   ++updates_since_recompress_;
   MaybeAutoRecompress();
   return Status::Ok();
 }
 
 Status CompressedXmlTree::Delete(int64_t preorder) {
-  SLG_RETURN_IF_ERROR(DeleteSubtree(&grammar_, preorder));
+  BatchUpdater batch(&grammar_);
+  SLG_RETURN_IF_ERROR(batch.Delete(preorder));
+  batch.Finish();  // drops the snapshot, then garbage-collects
+  NoteDamage(batch.DamagedRules());
   ++updates_since_recompress_;
   MaybeAutoRecompress();
   return Status::Ok();
 }
 
 void CompressedXmlTree::Recompress() {
-  GrammarRepairResult r = GrammarRePair(std::move(grammar_), options_.repair);
+  // The damage accumulated since the last recompression: the start
+  // rule (every update isolates its path there) plus the rules whose
+  // bodies those isolations inlined — without the frontier the copies
+  // in the start rule could never be folded back (see
+  // BatchUpdater::DamagedRules). (Move the set out before the move
+  // consumes grammar_.)
+  std::vector<LabelId> damage = std::move(pending_damage_);
+  pending_damage_.clear();
+  pending_damage_seen_.clear();
+  GrammarRepairResult r =
+      options_.localized_recompress && updates_since_recompress_ > 0
+          ? LocalizedGrammarRePair(std::move(grammar_), damage,
+                                   options_.repair)
+          : GrammarRePair(std::move(grammar_), options_.repair);
   grammar_ = std::move(r.grammar);
   updates_since_recompress_ = 0;
+}
+
+void CompressedXmlTree::NoteDamage(const std::vector<LabelId>& rules) {
+  for (LabelId r : rules) {
+    if (pending_damage_seen_.insert(r).second) pending_damage_.push_back(r);
+  }
 }
 
 void CompressedXmlTree::MaybeAutoRecompress() {

@@ -22,6 +22,8 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <unordered_set>
+#include <vector>
 
 #include "src/common/status.h"
 #include "src/core/grammar_repair.h"
@@ -40,6 +42,13 @@ struct CompressedXmlTreeOptions {
   // If > 0, Rename/Insert/Delete trigger Recompress() automatically
   // after this many updates.
   int auto_recompress_every = 0;
+  // Recompress() after updates runs the damage-localized repair seeded
+  // at the start rule (updates isolate every edited path there) —
+  // checkpoint cost proportional to the damage, final size within a
+  // few percent of a full GrammarRePair (see LocalizedGrammarRePair).
+  // Off, or when no update happened since the last recompression,
+  // Recompress() runs the full paper pipeline.
+  bool localized_recompress = true;
   // Initial compression (FromXml): values > 1 route through the
   // sharded parallel pipeline (src/pipeline/sharded_compressor.h) —
   // partition, per-shard TreeRePair on num_threads threads, merge,
@@ -110,10 +119,17 @@ class CompressedXmlTree {
       : grammar_(std::move(g)), options_(options) {}
 
   void MaybeAutoRecompress();
+  void NoteDamage(const std::vector<LabelId>& rules);
 
   Grammar grammar_;
   CompressedXmlTreeOptions options_;
   int updates_since_recompress_ = 0;
+  // Damage accumulated by the updates since the last recompression —
+  // the start rule plus every rule whose body isolation inlined there
+  // (see BatchUpdater::DamagedRules); Recompress() seeds the localized
+  // repair from it so the inlined copies can be folded back.
+  std::vector<LabelId> pending_damage_;
+  std::unordered_set<LabelId> pending_damage_seen_;
 };
 
 }  // namespace slg

@@ -34,39 +34,79 @@ void CallGraphCache::Build(const Grammar& g) {
   for (LabelId r : g.Nonterminals()) Extract(g, r);
 }
 
-void CallGraphCache::Update(const Grammar& g,
+bool CallGraphCache::Update(const Grammar& g,
                             const std::vector<LabelId>& changed_or_added,
                             const std::vector<LabelId>& removed) {
+  bool calls_changed = !removed.empty();
   for (LabelId r : removed) skeletons_.erase(r);
   for (LabelId r : changed_or_added) {
-    if (g.HasRule(r)) Extract(g, r);
+    if (!g.HasRule(r)) continue;
+    auto it = skeletons_.find(r);
+    if (it == skeletons_.end()) {
+      calls_changed = true;  // fresh rule
+      Extract(g, r);
+      continue;
+    }
+    std::vector<std::pair<LabelId, int>> old_callees =
+        std::move(it->second.callees);
+    Extract(g, r);
+    if (skeletons_.at(r).callees != old_callees) calls_changed = true;
   }
+  return calls_changed;
 }
 
 void CallGraphCache::NoteRootLabel(LabelId rule, LabelId root_label) {
   skeletons_.at(rule).root_label = root_label;
 }
 
+void CallGraphCache::SetCallees(
+    LabelId rule, std::vector<std::pair<LabelId, int>> callees) {
+  std::sort(callees.begin(), callees.end());
+  skeletons_.at(rule).callees = std::move(callees);
+}
+
 std::vector<LabelId> CallGraphCache::AntiSl(const Grammar& g) const {
+  // Dense work arrays by LabelId — this runs (up to three times) per
+  // repair round, so no hashing. The push order is identical to the
+  // original hash-map version: seeds in Nonterminals() order, then
+  // BFS in caller-list construction order.
   std::vector<LabelId> rules = g.Nonterminals();
-  std::unordered_map<LabelId, int> pending;
-  std::unordered_map<LabelId, std::vector<LabelId>> callers;
+  size_t n_labels = g.labels().size();
+  std::vector<int> pending(n_labels, 0);
+  // CSR caller adjacency (two counting passes instead of one vector
+  // per label): fill order matches the per-label push_back order of
+  // the original construction, so the BFS below — and therefore the
+  // scan order of every index rebuild — is byte-identical to it.
+  std::vector<int32_t> caller_off(n_labels + 1, 0);
+  size_t n_edges = 0;
   for (LabelId r : rules) {
     const Skeleton& sk = skeletons_.at(r);
-    pending[r] = static_cast<int>(sk.callees.size());
+    pending[static_cast<size_t>(r)] = static_cast<int>(sk.callees.size());
+    n_edges += sk.callees.size();
     for (const auto& [q, n] : sk.callees) {
       (void)n;
-      callers[q].push_back(r);
+      ++caller_off[static_cast<size_t>(q) + 1];
+    }
+  }
+  for (size_t i = 0; i < n_labels; ++i) caller_off[i + 1] += caller_off[i];
+  std::vector<LabelId> caller_edges(n_edges);
+  std::vector<int32_t> fill(caller_off.begin(), caller_off.end() - 1);
+  for (LabelId r : rules) {
+    for (const auto& [q, n] : skeletons_.at(r).callees) {
+      (void)n;
+      caller_edges[static_cast<size_t>(fill[static_cast<size_t>(q)]++)] = r;
     }
   }
   std::vector<LabelId> order;
   order.reserve(rules.size());
   for (LabelId r : rules) {
-    if (pending[r] == 0) order.push_back(r);
+    if (pending[static_cast<size_t>(r)] == 0) order.push_back(r);
   }
   for (size_t i = 0; i < order.size(); ++i) {
-    for (LabelId caller : callers[order[i]]) {
-      if (--pending[caller] == 0) order.push_back(caller);
+    size_t q = static_cast<size_t>(order[i]);
+    for (int32_t e = caller_off[q]; e < caller_off[q + 1]; ++e) {
+      LabelId caller = caller_edges[static_cast<size_t>(e)];
+      if (--pending[static_cast<size_t>(caller)] == 0) order.push_back(caller);
     }
   }
   SLG_CHECK_MSG(order.size() == rules.size(), "recursive grammar");
@@ -75,21 +115,43 @@ std::vector<LabelId> CallGraphCache::AntiSl(const Grammar& g) const {
 
 std::unordered_map<LabelId, uint64_t> CallGraphCache::Usage(
     const Grammar& g) const {
-  std::unordered_map<LabelId, uint64_t> usage;
-  std::vector<LabelId> order = AntiSl(g);
-  for (LabelId r : order) usage[r] = 0;
-  usage[g.start()] = 1;
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    uint64_t u = usage[*it];
+  return Usage(g, AntiSl(g));
+}
+
+std::unordered_map<LabelId, uint64_t> CallGraphCache::Usage(
+    const Grammar& g, const std::vector<LabelId>& anti_sl) const {
+  std::vector<uint64_t> dense(g.labels().size(), 0);
+  dense[static_cast<size_t>(g.start())] = 1;
+  for (auto it = anti_sl.rbegin(); it != anti_sl.rend(); ++it) {
+    uint64_t u = dense[static_cast<size_t>(*it)];
     if (u == 0) continue;
     for (const auto& [q, n] : skeletons_.at(*it).callees) {
       uint64_t total = (u > kUsageCap / static_cast<uint64_t>(n))
                            ? kUsageCap
                            : u * static_cast<uint64_t>(n);
-      usage[q] = UsageSatAdd(usage[q], total);
+      uint64_t& uq = dense[static_cast<size_t>(q)];
+      uq = UsageSatAdd(uq, total);
     }
   }
+  std::unordered_map<LabelId, uint64_t> usage;
+  usage.reserve(anti_sl.size());
+  for (LabelId r : anti_sl) usage[r] = dense[static_cast<size_t>(r)];
   return usage;
+}
+
+void CallGraphCache::AppendCallersOf(
+    const std::unordered_set<LabelId>& callees,
+    std::vector<LabelId>* out) const {
+  if (callees.empty()) return;
+  for (const auto& [rule, sk] : skeletons_) {
+    for (const auto& [q, n] : sk.callees) {
+      (void)n;
+      if (callees.count(q) > 0) {
+        out->push_back(rule);
+        break;
+      }
+    }
+  }
 }
 
 std::unordered_map<LabelId, std::vector<LabelId>> CallGraphCache::Callers()
@@ -104,28 +166,52 @@ std::unordered_map<LabelId, std::vector<LabelId>> CallGraphCache::Callers()
   return callers;
 }
 
+std::unordered_map<LabelId, int> CallGraphCache::RefCounts(
+    const Grammar& g) const {
+  std::unordered_map<LabelId, int> counts;
+  counts.reserve(skeletons_.size());
+  for (LabelId r : g.Nonterminals()) counts[r] = 0;
+  for (const auto& [rule, sk] : skeletons_) {
+    (void)rule;
+    for (const auto& [q, n] : sk.callees) counts[q] += n;
+  }
+  return counts;
+}
+
 std::unordered_map<LabelId, RuleInterface> CallGraphCache::Interfaces(
     const Grammar& g) const {
+  return Interfaces(g, AntiSl(g));
+}
+
+std::unordered_map<LabelId, RuleInterface> CallGraphCache::Interfaces(
+    const Grammar& g, const std::vector<LabelId>& anti_sl) const {
   std::unordered_map<LabelId, RuleInterface> out;
-  for (LabelId r : AntiSl(g)) {
-    const Skeleton& sk = skeletons_.at(r);
-    RuleInterface iface;
-    iface.root_label = g.IsNonterminal(sk.root_label)
-                           ? out[sk.root_label].root_label
-                           : sk.root_label;
-    iface.param_parent.resize(sk.param_parent.size());
-    for (size_t i = 0; i < sk.param_parent.size(); ++i) {
-      auto [pl, idx] = sk.param_parent[i];
-      if (g.IsNonterminal(pl)) {
-        iface.param_parent[i] =
-            out[pl].param_parent[static_cast<size_t>(idx - 1)];
-      } else {
-        iface.param_parent[i] = {pl, idx};
-      }
-    }
-    out[r] = std::move(iface);
+  out.reserve(anti_sl.size());
+  for (LabelId r : anti_sl) {
+    out[r] = InterfaceOf(g, r, out);
   }
   return out;
+}
+
+RuleInterface CallGraphCache::InterfaceOf(
+    const Grammar& g, LabelId rule,
+    const std::unordered_map<LabelId, RuleInterface>& resolved) const {
+  const Skeleton& sk = skeletons_.at(rule);
+  RuleInterface iface;
+  iface.root_label = g.IsNonterminal(sk.root_label)
+                         ? resolved.at(sk.root_label).root_label
+                         : sk.root_label;
+  iface.param_parent.resize(sk.param_parent.size());
+  for (size_t i = 0; i < sk.param_parent.size(); ++i) {
+    auto [pl, idx] = sk.param_parent[i];
+    if (g.IsNonterminal(pl)) {
+      iface.param_parent[i] =
+          resolved.at(pl).param_parent[static_cast<size_t>(idx - 1)];
+    } else {
+      iface.param_parent[i] = {pl, idx};
+    }
+  }
+  return iface;
 }
 
 }  // namespace slg

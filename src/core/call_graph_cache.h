@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -29,8 +30,12 @@ class CallGraphCache {
   void Build(const Grammar& g);
 
   // Re-extracts the per-rule facts for the given rules; forgets the
-  // removed ones.
-  void Update(const Grammar& g, const std::vector<LabelId>& changed_or_added,
+  // removed ones. Returns true if any re-extracted rule's callee
+  // multiset changed (or any rule was removed) — i.e. if the call
+  // graph, and with it usage and the anti-SL order, may have moved.
+  // Rounds that only restructure terminal material return false, and
+  // the localized driver skips the global usage/order refresh then.
+  bool Update(const Grammar& g, const std::vector<LabelId>& changed_or_added,
               const std::vector<LabelId>& removed);
 
   // Patches a rule's cached root label without re-scanning it (used by
@@ -38,8 +43,19 @@ class CallGraphCache {
   // root label of the rule it operates on, never its callee multiset).
   void NoteRootLabel(LabelId rule, LabelId root_label);
 
-  // usage_G per rule (saturating), from the cached call multiset.
+  // Patches a rule's cached callee multiset without re-scanning its
+  // body (used by the localized driver, which tracks the start rule's
+  // call sites explicitly and so knows the multiset exactly). The rule
+  // must already be cached; `callees` is (callee, call-site count),
+  // unsorted.
+  void SetCallees(LabelId rule, std::vector<std::pair<LabelId, int>> callees);
+
+  // usage_G per rule (saturating), from the cached call multiset. The
+  // anti-SL-order overloads skip the internal AntiSl() recomputation —
+  // the refresh step computes the order once and threads it through.
   std::unordered_map<LabelId, uint64_t> Usage(const Grammar& g) const;
+  std::unordered_map<LabelId, uint64_t> Usage(
+      const Grammar& g, const std::vector<LabelId>& anti_sl) const;
 
   // Callees-first topological order (the anti-SL order).
   std::vector<LabelId> AntiSl(const Grammar& g) const;
@@ -47,10 +63,34 @@ class CallGraphCache {
   // callee -> distinct callers.
   std::unordered_map<LabelId, std::vector<LabelId>> Callers() const;
 
+  // Appends every rule that calls a member of `callees` to `out`
+  // (each caller once, even if it calls several members). One sweep
+  // over the cached skeletons, no map materialization — the refresh
+  // step only ever needs the callers of the few rules whose interface
+  // changed this round.
+  void AppendCallersOf(const std::unordered_set<LabelId>& callees,
+                       std::vector<LabelId>* out) const;
+
+  // Reference counts (call sites per callee) summed from the cached
+  // skeletons — equals ComputeRefCounts(g) at O(#rules + #call edges)
+  // instead of O(|G|). The repair drivers feed this to the replacement
+  // engine every round.
+  std::unordered_map<LabelId, int> RefCounts(const Grammar& g) const;
+
   // Transitively resolved rule interfaces (see tree_links.h), from the
   // cached skeletons.
   std::unordered_map<LabelId, RuleInterface> Interfaces(
       const Grammar& g) const;
+  std::unordered_map<LabelId, RuleInterface> Interfaces(
+      const Grammar& g, const std::vector<LabelId>& anti_sl) const;
+
+  // Resolves one rule's interface from its skeleton, reading callee
+  // interfaces out of `resolved` (which must be current for every
+  // callee). Lets the localized driver maintain its interface map by
+  // a damage-proportional worklist instead of a full sweep per round.
+  RuleInterface InterfaceOf(
+      const Grammar& g, LabelId rule,
+      const std::unordered_map<LabelId, RuleInterface>& resolved) const;
 
  private:
   struct Skeleton {

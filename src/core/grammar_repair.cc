@@ -13,4 +13,11 @@ GrammarRepairResult GrammarRePair(Grammar g,
                                                               options);
 }
 
+GrammarRepairResult LocalizedGrammarRePair(Grammar g,
+                                           const std::vector<LabelId>& damage,
+                                           const GrammarRepairOptions& options) {
+  return internal::LocalizedGrammarRePairWithIndex<GrammarDigramIndex>(
+      std::move(g), damage, options);
+}
+
 }  // namespace slg

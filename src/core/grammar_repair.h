@@ -60,6 +60,23 @@ struct GrammarRepairResult {
 GrammarRepairResult GrammarRePair(Grammar g,
                                   const GrammarRepairOptions& options = {});
 
+// Damage-localized recompression (consumed; val preserved): the digram
+// index is seeded only from the rules in `damage` (plus their one-hop
+// caller frontier) instead of the whole grammar, and grows lazily to
+// whatever the replacements actually touch. After a batch of updates
+// the damage set is the start rule (isolation inlines every edited
+// path there — see BatchUpdater::DamagedRules); after a shard merge it
+// is the P-chain boundary. Cost is proportional to the damaged region,
+// not |G|; the result is a valid grammar deriving the same document,
+// but need not be byte-identical to a full GrammarRePair — digrams
+// confined to untouched rules stay as they were (those rules were
+// already compressed by the last full run). Counting is per
+// CountingMode, restricted to the covered region. Rules in `damage`
+// without a grammar rule are ignored, so callers may pass stale ids.
+GrammarRepairResult LocalizedGrammarRePair(
+    Grammar g, const std::vector<LabelId>& damage,
+    const GrammarRepairOptions& options = {});
+
 }  // namespace slg
 
 #endif  // SLG_CORE_GRAMMAR_REPAIR_H_

@@ -1,11 +1,33 @@
-// GrammarRePair driver loop, templated over the weighted digram-index
+// GrammarRePair driver loops, templated over the weighted digram-index
 // implementation — the same seam style as tree_repair_impl.h.
-// Production code instantiates it with the bucketed GrammarDigramIndex
-// (grammar_repair.cc); tests instantiate it with the legacy hash-set +
-// lazy-heap index to cross-check that both produce byte-identical
-// grammars on identical inputs. The index contract is the
-// GrammarDigramIndex API: Build / DropRule / RescanRules /
-// AdjustWeight / AddGenerator / RemoveGenerator / Take / MostFrequent.
+// Production code instantiates them with the bucketed
+// GrammarDigramIndex (grammar_repair.cc); tests instantiate them with
+// the legacy hash-set + lazy-heap index to cross-check that both
+// produce byte-identical grammars on identical inputs. The index
+// contract is the GrammarDigramIndex API: Build / DropRule /
+// RescanRules / AdjustWeight / AddGenerator / RemoveGenerator /
+// RemoveGeneratorAt / Take / MostFrequent.
+//
+// Two drivers share the pure-local fast path but differ in refresh
+// strategy:
+//
+//  * GrammarRePairWithIndex — the paper's Algorithm 1 with §IV-C
+//    incremental counting: the index covers every rule; after a round,
+//    changed rules and the callers of interface-changed rules are
+//    rescanned wholesale. This is the byte-stable reference every
+//    committed baseline depends on; its behavior must not drift.
+//
+//  * LocalizedGrammarRePairWithIndex — the damage-localized engine. The index
+//    is seeded only from the damaged rules (plus their one-hop caller
+//    frontier) and grows lazily to whatever the replacements actually
+//    touch. The start rule — the damaged region's host, and by far the
+//    largest tree after a batch of updates — is *never rescanned*:
+//    the replacement engine brackets every mutation of it with
+//    TrackedRuleHooks, and the driver keeps the index current by
+//    per-occurrence deltas, keeps a call-site book for the start
+//    rule's skeleton patch, and re-resolves exactly the call-site
+//    digrams invalidated when a callee's interface changes. That turns
+//    the per-round cost from O(|start| + damage) into O(damage).
 
 #ifndef SLG_CORE_GRAMMAR_REPAIR_IMPL_H_
 #define SLG_CORE_GRAMMAR_REPAIR_IMPL_H_
@@ -18,6 +40,7 @@
 
 #include "src/core/call_graph_cache.h"
 #include "src/core/grammar_repair.h"
+#include "src/core/repair_hooks.h"
 #include "src/core/replacement.h"
 #include "src/core/tree_links.h"
 #include "src/grammar/stats.h"
@@ -27,6 +50,62 @@
 namespace slg {
 namespace internal {
 
+// ---- pure-local fast path (paper §IV-C neighbourhood updates) --------
+// Start-rule occurrences with terminal endpoints are replaced with
+// per-occurrence index deltas: no whole-rule rescan. This is the hot
+// path both for tree inputs (one giant start rule) and for
+// recompression after updates (the isolated path lives in the start
+// rule). usage(start) == 1 always, so weights are exact. Returns the
+// number of replacements; patches the cached root label if the start
+// rule's root was replaced.
+template <typename Index>
+int64_t ReplacePureLocalGens(Grammar& g, Index& index, CallGraphCache& cache,
+                             const Digram& d, LabelId x,
+                             const std::vector<NodeId>& local_gens) {
+  const LabelId start = g.start();
+  Tree& ts = g.rhs(start);
+  int64_t replacements = 0;
+  bool start_root_changed = false;
+  for (NodeId w : local_gens) {
+    NodeId v = ts.parent(w);
+    // Remove the stored occurrences adjacent to (v, w): the edge into
+    // v, v's other child edges, and w's child edges.
+    auto remove_computed = [&](NodeId gen_node) {
+      RuleNode rn{start, gen_node};
+      TreeParentResult tp = TreeParentOf(g, rn);
+      RuleNode tc = TreeChildOf(g, rn);
+      Digram dig{g.rhs(tp.parent.rule).label(tp.parent.node), tp.child_index,
+                 g.rhs(tc.rule).label(tc.node)};
+      index.RemoveGenerator(dig, rn);
+    };
+    if (ts.parent(v) != kNilNode) remove_computed(v);
+    int j = 0;
+    for (NodeId c = ts.first_child(v); c != kNilNode; c = ts.next_sibling(c)) {
+      ++j;
+      if (j == d.child_index) continue;
+      remove_computed(c);
+    }
+    for (NodeId c = ts.first_child(w); c != kNilNode; c = ts.next_sibling(c)) {
+      remove_computed(c);
+    }
+    bool was_root = v == ts.root();
+    NodeId x_node = ReplaceDigramNodes(&ts, v, d.child_index, x);
+    if (was_root) start_root_changed = true;
+    ++replacements;
+    if (ts.parent(x_node) != kNilNode) {
+      index.AddGenerator(g, RuleNode{start, x_node}, 1);
+    }
+    for (NodeId c = ts.first_child(x_node); c != kNilNode;
+         c = ts.next_sibling(c)) {
+      index.AddGenerator(g, RuleNode{start, c}, 1);
+    }
+  }
+  if (start_root_changed) {
+    cache.NoteRootLabel(start, ts.label(ts.root()));
+  }
+  return replacements;
+}
+
 template <typename Index>
 GrammarRepairResult GrammarRePairWithIndex(Grammar g,
                                            const GrammarRepairOptions& options) {
@@ -34,10 +113,11 @@ GrammarRepairResult GrammarRePairWithIndex(Grammar g,
 
   CallGraphCache cache;
   cache.Build(g);
-  auto usage = cache.Usage(g);
+  std::vector<LabelId> anti_sl0 = cache.AntiSl(g);
+  auto usage = cache.Usage(g, anti_sl0);
   Index index;
-  index.Build(g, usage, cache.AntiSl(g));
-  auto interfaces = cache.Interfaces(g);
+  index.Build(g, usage, anti_sl0);
+  auto interfaces = cache.Interfaces(g, anti_sl0);
 
   struct PendingRule {
     LabelId lhs;
@@ -59,12 +139,6 @@ GrammarRepairResult GrammarRePairWithIndex(Grammar g,
     LabelId x = g.labels().Fresh("X", DigramRank(*d, g.labels()));
     std::vector<RuleNode> gens = index.Take(*d);
 
-    // ---- pure-local fast path (paper §IV-C neighbourhood updates) ----
-    // Start-rule occurrences with terminal endpoints are replaced with
-    // per-occurrence index deltas: no whole-rule rescan. This is the
-    // hot path both for tree inputs (one giant start rule) and for
-    // recompression after updates (the isolated path lives in the
-    // start rule). usage(start) == 1 always, so weights are exact.
     const LabelId start = g.start();
     Tree& ts = g.rhs(start);
     std::vector<RuleNode> engine_gens;
@@ -77,50 +151,17 @@ GrammarRepairResult GrammarRePairWithIndex(Grammar g,
         engine_gens.push_back(gen);
       }
     }
-    bool start_root_changed = false;
-    for (NodeId w : local_gens) {
-      NodeId v = ts.parent(w);
-      // Remove the stored occurrences adjacent to (v, w): the edge into
-      // v, v's other child edges, and w's child edges.
-      auto remove_computed = [&](NodeId gen_node) {
-        RuleNode rn{start, gen_node};
-        TreeParentResult tp = TreeParentOf(g, rn);
-        RuleNode tc = TreeChildOf(g, rn);
-        Digram dig{g.rhs(tp.parent.rule).label(tp.parent.node),
-                   tp.child_index, g.rhs(tc.rule).label(tc.node)};
-        index.RemoveGenerator(dig, rn);
-      };
-      if (ts.parent(v) != kNilNode) remove_computed(v);
-      int j = 0;
-      for (NodeId c = ts.first_child(v); c != kNilNode;
-           c = ts.next_sibling(c)) {
-        ++j;
-        if (j == d->child_index) continue;
-        remove_computed(c);
-      }
-      for (NodeId c = ts.first_child(w); c != kNilNode;
-           c = ts.next_sibling(c)) {
-        remove_computed(c);
-      }
-      bool was_root = v == ts.root();
-      NodeId x_node = ReplaceDigramNodes(&ts, v, d->child_index, x);
-      if (was_root) start_root_changed = true;
-      ++result.replacements;
-      if (ts.parent(x_node) != kNilNode) {
-        index.AddGenerator(g, RuleNode{start, x_node}, 1);
-      }
-      for (NodeId c = ts.first_child(x_node); c != kNilNode;
-           c = ts.next_sibling(c)) {
-        index.AddGenerator(g, RuleNode{start, c}, 1);
-      }
-    }
-    if (start_root_changed) {
-      cache.NoteRootLabel(start, ts.label(ts.root()));
-    }
+    result.replacements +=
+        ReplacePureLocalGens(g, index, cache, *d, x, local_gens);
 
     ReplacementResult rr;
     if (!engine_gens.empty()) {
-      rr = ReplaceAllOccurrences(&g, *d, x, engine_gens, options.optimize);
+      // The cache reflects the grammar as of the last refresh; the
+      // pure-local block above only merged terminal nodes, so the
+      // cached call counts are still exact.
+      auto refs0 = cache.RefCounts(g);
+      rr = ReplaceAllOccurrences(&g, *d, x, engine_gens, options.optimize,
+                                 nullptr, &refs0);
     }
     Tree pattern = MakePattern(*d, &g.labels());
     pending_edges += pattern.LiveCount() - 1;
@@ -140,8 +181,8 @@ GrammarRepairResult GrammarRePairWithIndex(Grammar g,
     std::vector<LabelId> touched = rr.changed_rules;
     for (LabelId r : rr.added_rules) touched.push_back(r);
     cache.Update(g, touched, rr.removed_rules);
-    auto new_usage = cache.Usage(g);
     std::vector<LabelId> anti_sl = cache.AntiSl(g);
+    auto new_usage = cache.Usage(g, anti_sl);
 
     if (options.counting == CountingMode::kRecount) {
       index.Build(g, new_usage, anti_sl);
@@ -150,16 +191,19 @@ GrammarRepairResult GrammarRePairWithIndex(Grammar g,
       // that call a rule whose interface (derived root label /
       // parameter-parent labels) changed, since their generators'
       // digrams may differ now.
-      auto new_interfaces = cache.Interfaces(g);
+      auto new_interfaces = cache.Interfaces(g, anti_sl);
       std::unordered_set<LabelId> rescan(rr.changed_rules.begin(),
                                          rr.changed_rules.end());
       for (LabelId r : rr.added_rules) rescan.insert(r);
-      auto callers = cache.Callers();
+      std::unordered_set<LabelId> iface_changed;
       for (const auto& [rule, iface] : new_interfaces) {
         auto old = interfaces.find(rule);
         if (old != interfaces.end() && old->second == iface) continue;
-        for (LabelId c : callers[rule]) rescan.insert(c);
+        iface_changed.insert(rule);
       }
+      std::vector<LabelId> stale_callers;
+      cache.AppendCallersOf(iface_changed, &stale_callers);
+      for (LabelId c : stale_callers) rescan.insert(c);
       for (LabelId r : rr.removed_rules) index.DropRule(r);
       for (LabelId r : rescan) index.DropRule(r);
       // Weight-only adjustments for untouched rules.
@@ -171,6 +215,339 @@ GrammarRepairResult GrammarRePairWithIndex(Grammar g,
       interfaces = std::move(new_interfaces);
     }
     usage = std::move(new_usage);
+    record_size();
+  }
+
+  for (PendingRule& p : pending) g.AddRule(p.lhs, std::move(p.pattern));
+  if (options.repair.prune) Prune(&g);
+
+  result.grammar = std::move(g);
+  return result;
+}
+
+// ---- damage-localized driver -----------------------------------------
+
+// Driver-side TrackedRuleHooks: keeps the digram index and the
+// call-site book of the start rule current through every engine
+// mutation, so the start rule never needs a rescan. usage(start) == 1
+// always, so all delta weights are exact.
+template <typename Index>
+class StartDeltaHooks : public TrackedRuleHooks {
+ public:
+  using CallSiteBook = std::unordered_map<LabelId, std::unordered_set<NodeId>>;
+
+  StartDeltaHooks(Grammar* g, Index* index, LabelId start,
+                  CallSiteBook* callsites)
+      : TrackedRuleHooks(start), g_(g), index_(index), callsites_(callsites) {}
+
+  void BeforeInline(const Tree& t, NodeId call,
+                    const std::vector<NodeId>& args) override {
+    // The edge into the call and the edges to its arguments are about
+    // to be restructured; their stored occurrences go stale now.
+    ++inline_count_;
+    index_->RemoveGeneratorAt(RuleNode{rule(), call});
+    for (NodeId a : args) index_->RemoveGeneratorAt(RuleNode{rule(), a});
+    auto it = callsites_->find(t.label(call));
+    if (it != callsites_->end()) it->second.erase(call);
+  }
+
+  void AfterInline(const Tree& t, NodeId copy_root,
+                   const std::vector<NodeId>& args) override {
+    // Index the fresh region, in preorder — the same order ScanRule
+    // uses, so the equal-label overlap discipline stores the same
+    // alternation a rescan would. The walk stops at the re-attached
+    // argument roots: their interiors are untouched (only the parent
+    // edges changed, and those generators are the arg roots
+    // themselves).
+    std::unordered_set<NodeId> arg_set(args.begin(), args.end());
+    std::vector<NodeId> stack = {copy_root};
+    std::vector<NodeId> rev;
+    while (!stack.empty()) {
+      NodeId n = stack.back();
+      stack.pop_back();
+      index_->AddGenerator(*g_, RuleNode{rule(), n}, 1);
+      if (arg_set.count(n) > 0) continue;
+      LabelId l = t.label(n);
+      if (g_->IsNonterminal(l)) (*callsites_)[l].insert(n);
+      rev.clear();
+      for (NodeId c = t.first_child(n); c != kNilNode;
+           c = t.next_sibling(c)) {
+        rev.push_back(c);
+      }
+      for (auto it = rev.rbegin(); it != rev.rend(); ++it) {
+        stack.push_back(*it);
+      }
+    }
+  }
+
+  void BeforeReplace(const Tree& t, NodeId parent, int child_index) override {
+    index_->RemoveGeneratorAt(RuleNode{rule(), parent});
+    int j = 0;
+    NodeId w = kNilNode;
+    for (NodeId c = t.first_child(parent); c != kNilNode;
+         c = t.next_sibling(c)) {
+      ++j;
+      if (j == child_index) w = c;
+      index_->RemoveGeneratorAt(RuleNode{rule(), c});
+    }
+    for (NodeId c = t.first_child(w); c != kNilNode; c = t.next_sibling(c)) {
+      index_->RemoveGeneratorAt(RuleNode{rule(), c});
+    }
+  }
+
+  void AfterReplace(const Tree& t, NodeId x_node) override {
+    // The replaced pair was two terminal-labeled nodes, so the
+    // call-site book is unaffected; only the occurrences around the
+    // fresh X node change.
+    if (t.parent(x_node) != kNilNode) {
+      index_->AddGenerator(*g_, RuleNode{rule(), x_node}, 1);
+    }
+    for (NodeId c = t.first_child(x_node); c != kNilNode;
+         c = t.next_sibling(c)) {
+      index_->AddGenerator(*g_, RuleNode{rule(), c}, 1);
+    }
+  }
+
+  // Inlines performed since the last call — the driver's cheap "did
+  // the start rule's call multiset change this round" signal.
+  int TakeInlineCount() {
+    int n = inline_count_;
+    inline_count_ = 0;
+    return n;
+  }
+
+ private:
+  Grammar* g_;
+  Index* index_;
+  CallSiteBook* callsites_;
+  int inline_count_ = 0;
+};
+
+template <typename Index>
+GrammarRepairResult LocalizedGrammarRePairWithIndex(
+    Grammar g, const std::vector<LabelId>& damage,
+    const GrammarRepairOptions& options) {
+  GrammarRepairResult result{Grammar(), 0, 0, {}, 0};
+  const LabelId start = g.start();
+
+  CallGraphCache cache;
+  cache.Build(g);
+  std::vector<LabelId> anti_sl0 = cache.AntiSl(g);
+  auto usage = cache.Usage(g, anti_sl0);
+  Index index;
+  // Rules currently covered by the index. Seed: the start rule (always
+  // tracked), the damage set, and its one-hop caller frontier — a
+  // caller's stored digrams resolve through its callees' derived roots
+  // and parameter parents, so occurrences adjacent to the damage cross
+  // into the callers.
+  std::unordered_set<LabelId> scanned;
+  {
+    auto callers = cache.Callers();
+    std::vector<LabelId> seed;
+    auto add = [&](LabelId r) {
+      if (!g.HasRule(r)) return;  // stale damage ids are fine
+      if (scanned.insert(r).second) seed.push_back(r);
+    };
+    add(start);
+    for (LabelId r : damage) add(r);
+    for (LabelId r : damage) {
+      auto it = callers.find(r);
+      if (it == callers.end()) continue;
+      for (LabelId c : it->second) add(c);
+    }
+    // When the damage closure already covers a sizable share of the
+    // rule set, sparse seeding buys nothing (the one-time seed scan is
+    // a rounding error next to the replacement rounds) but its partial
+    // counts cost compression — digrams shared between the damage and
+    // the few unscanned rules never reach their true weights. Seed
+    // everything then; the per-round savings all come from the
+    // tracked-rule deltas and the damage-proportional refresh, which
+    // do not depend on how the index was seeded.
+    if (4 * seed.size() >= static_cast<size_t>(g.RuleCount())) {
+      for (LabelId r : g.Nonterminals()) add(r);
+    }
+    index.RescanRules(g, usage, seed, anti_sl0);
+  }
+  auto interfaces = cache.Interfaces(g, anti_sl0);
+  // usage and anti_sl persist across rounds and are recomputed only
+  // when the call graph actually moved (see calls_changed below).
+  std::vector<LabelId> anti_sl = std::move(anti_sl0);
+
+  // Call-site book of the start rule (callee -> call nodes), built
+  // once and maintained by the hooks; powers the skeleton patch
+  // (SetCallees) and the interface-ripple fix-ups below.
+  typename StartDeltaHooks<Index>::CallSiteBook callsites;
+  {
+    const Tree& ts = g.rhs(start);
+    ts.VisitPreorder(ts.root(), [&](NodeId n) {
+      LabelId l = ts.label(n);
+      if (g.IsNonterminal(l)) callsites[l].insert(n);
+    });
+  }
+  StartDeltaHooks<Index> hooks(&g, &index, start, &callsites);
+
+  struct PendingRule {
+    LabelId lhs;
+    Tree pattern;
+  };
+  std::vector<PendingRule> pending;
+  int64_t pending_edges = 0;
+
+  auto record_size = [&]() {
+    if (!options.track_sizes) return;
+    int64_t size = ComputeStats(g).edge_count + pending_edges;
+    result.size_trace.push_back(size);
+    result.max_intermediate_size =
+        std::max(result.max_intermediate_size, size);
+  };
+  record_size();
+
+  while (auto d = index.MostFrequent(g.labels(), options.repair)) {
+    LabelId x = g.labels().Fresh("X", DigramRank(*d, g.labels()));
+    std::vector<RuleNode> gens = index.Take(*d);
+
+    Tree& ts = g.rhs(start);
+    std::vector<RuleNode> engine_gens;
+    std::vector<NodeId> local_gens;
+    for (const RuleNode& gen : gens) {
+      if (gen.rule == start && !g.IsNonterminal(ts.label(gen.node)) &&
+          !g.IsNonterminal(ts.label(ts.parent(gen.node)))) {
+        local_gens.push_back(gen.node);
+      } else {
+        engine_gens.push_back(gen);
+      }
+    }
+    result.replacements +=
+        ReplacePureLocalGens(g, index, cache, *d, x, local_gens);
+
+    ReplacementResult rr;
+    if (!engine_gens.empty()) {
+      auto refs0 = cache.RefCounts(g);
+      rr = ReplaceAllOccurrences(&g, *d, x, engine_gens, options.optimize,
+                                 &hooks, &refs0);
+    }
+    Tree pattern = MakePattern(*d, &g.labels());
+    pending_edges += pattern.LiveCount() - 1;
+    pending.push_back(PendingRule{x, std::move(pattern)});
+    ++result.rounds;
+    result.replacements += rr.replacements;
+
+    if (engine_gens.empty() && options.counting == CountingMode::kIncremental) {
+      record_size();
+      continue;
+    }
+
+    // ---- refresh (O(damage), never O(|start|)) ------------------------
+    bool start_changed = false;
+    std::vector<LabelId> touched;
+    for (LabelId r : rr.changed_rules) {
+      if (r == start) {
+        start_changed = true;
+      } else {
+        touched.push_back(r);
+      }
+    }
+    for (LabelId r : rr.added_rules) touched.push_back(r);
+    if (start_changed) {
+      // The start rule's tree and index entries were delta-maintained
+      // by the hooks; patch its cached skeleton from the call-site
+      // book instead of re-extracting the whole body.
+      std::vector<std::pair<LabelId, int>> counts;
+      counts.reserve(callsites.size());
+      for (const auto& [l, sites] : callsites) {
+        if (!sites.empty()) {
+          counts.emplace_back(l, static_cast<int>(sites.size()));
+        }
+      }
+      cache.SetCallees(start, std::move(counts));
+      cache.NoteRootLabel(start, ts.label(ts.root()));
+    }
+    bool start_calls_changed = hooks.TakeInlineCount() > 0;
+    bool calls_changed = cache.Update(g, touched, rr.removed_rules) ||
+                         !rr.added_rules.empty() || start_calls_changed;
+    if (calls_changed) {
+      anti_sl = cache.AntiSl(g);
+      usage = cache.Usage(g, anti_sl);
+    }
+    for (LabelId r : rr.removed_rules) {
+      scanned.erase(r);
+      callsites.erase(r);
+    }
+
+    std::unordered_set<LabelId> rescan(touched.begin(), touched.end());
+    // Interface change detection mirrors the full driver: one sweep
+    // recomputing every rule's resolved interface from the (current)
+    // skeletons in anti-SL order. An incremental worklist looks
+    // cheaper, but resolved interfaces chain through arbitrarily long
+    // caller paths (an export rule's param parent resolving through
+    // three older rules into the region a replacement just rewrote),
+    // and change detection against a partially-stale map misses
+    // exactly the deep chains that matter; the sweep is O(#rules) and
+    // immune by construction.
+    auto new_interfaces = cache.Interfaces(g, anti_sl);
+    std::unordered_set<LabelId> iface_changed;
+    std::vector<NodeId> ripple;
+    for (const auto& [rule, iface] : new_interfaces) {
+      auto old = interfaces.find(rule);
+      if (old != interfaces.end() && old->second == iface) continue;
+      iface_changed.insert(rule);
+      auto sit = callsites.find(rule);
+      if (sit != callsites.end()) {
+        for (NodeId n : sit->second) ripple.push_back(n);
+      }
+    }
+    interfaces = std::move(new_interfaces);
+    // Callers of an interface-changed rule hold stale digrams. A
+    // non-start caller is (re)scanned wholesale — this doubles as the
+    // lazy index extension into previously untouched rules. The start
+    // rule is fixed up per call site (`ripple`) instead.
+    std::vector<LabelId> stale_callers;
+    cache.AppendCallersOf(iface_changed, &stale_callers);
+    for (LabelId c : stale_callers) {
+      if (c != start) rescan.insert(c);
+    }
+    for (LabelId r : rescan) scanned.insert(r);
+
+    if (options.counting == CountingMode::kRecount) {
+      // Recount the covered region only: fresh index over the scanned
+      // set (the localized counterpart of a full rebuild; start is
+      // rescanned here — reference mode trades speed for simplicity).
+      index = Index();
+      std::vector<LabelId> live(scanned.begin(), scanned.end());
+      index.RescanRules(g, usage, live, anti_sl);
+    } else {
+      // Re-resolve the start-rule occurrences invalidated by the
+      // interface changes: the call sites of each changed rule and
+      // their argument edges — the only way start entries go stale
+      // without its tree changing.
+      if (!ripple.empty()) {
+        std::unordered_set<NodeId> nodes;
+        for (NodeId n : ripple) {
+          nodes.insert(n);
+          for (NodeId c = ts.first_child(n); c != kNilNode;
+               c = ts.next_sibling(c)) {
+            nodes.insert(c);
+          }
+        }
+        std::vector<NodeId> ordered(nodes.begin(), nodes.end());
+        std::sort(ordered.begin(), ordered.end());
+        for (NodeId n : ordered) index.RemoveGeneratorAt(RuleNode{start, n});
+        for (NodeId n : ordered) index.AddGenerator(g, RuleNode{start, n}, 1);
+      }
+      for (LabelId r : rr.removed_rules) index.DropRule(r);
+      for (LabelId r : rescan) index.DropRule(r);
+      if (calls_changed) {
+        // Weight-only adjustments for covered-but-untouched rules;
+        // when the call graph did not move, no usage moved either.
+        for (LabelId r : scanned) {
+          if (r != start && rescan.count(r) == 0) {
+            index.AdjustWeight(r, usage.at(r));
+          }
+        }
+      }
+      std::vector<LabelId> rescan_list(rescan.begin(), rescan.end());
+      index.RescanRules(g, usage, rescan_list, anti_sl);
+    }
     record_size();
   }
 

@@ -1,0 +1,58 @@
+// Tracked-rule mutation hooks for the replacement engine.
+//
+// The localized GrammarRePair driver maintains the digram index of the
+// start rule purely by per-occurrence deltas (the start rule is by far
+// the largest tree after a batch of updates — isolation inlines every
+// edited path into it — and rescanning it each round is what makes
+// checkpoint recompression O(|start| * rounds)). The engine cannot do
+// those deltas itself: which index to update, and with what weights,
+// is the driver's business. Instead the driver passes a hooks object
+// naming one tracked rule; the engine calls the hooks around every
+// structural mutation of that rule's tree — version inlining and local
+// digram replacement — and the driver keeps its index (and its
+// call-site book-keeping) current without ever rescanning the tree.
+//
+// The engine's behavior is byte-identical with and without hooks; the
+// full GrammarRePair driver simply passes none.
+
+#ifndef SLG_CORE_REPAIR_HOOKS_H_
+#define SLG_CORE_REPAIR_HOOKS_H_
+
+#include <vector>
+
+#include "src/grammar/grammar.h"
+#include "src/tree/tree.h"
+
+namespace slg {
+
+class TrackedRuleHooks {
+ public:
+  explicit TrackedRuleHooks(LabelId rule) : rule_(rule) {}
+  virtual ~TrackedRuleHooks() = default;
+
+  LabelId rule() const { return rule_; }
+
+  // The engine is about to replace `call` (a flagged call site in the
+  // tracked rule's tree) with an inlined version body. `args` holds
+  // the roots of call's argument subtrees; they survive the inline
+  // with their NodeIds intact (arguments are moved, not copied).
+  virtual void BeforeInline(const Tree& t, NodeId call,
+                            const std::vector<NodeId>& args) = 0;
+  // The inline finished; `copy_root` roots the inlined region, `args`
+  // are the same nodes as in BeforeInline, now attached inside it.
+  virtual void AfterInline(const Tree& t, NodeId copy_root,
+                           const std::vector<NodeId>& args) = 0;
+
+  // Local digram replacement at (parent, child_index) in the tracked
+  // rule's tree; AfterReplace sees the fresh X node.
+  virtual void BeforeReplace(const Tree& t, NodeId parent,
+                             int child_index) = 0;
+  virtual void AfterReplace(const Tree& t, NodeId x_node) = 0;
+
+ private:
+  LabelId rule_;
+};
+
+}  // namespace slg
+
+#endif  // SLG_CORE_REPAIR_HOOKS_H_

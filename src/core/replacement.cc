@@ -14,7 +14,7 @@
 namespace slg {
 
 int64_t ReplaceLocalOccurrences(Tree* t, const Digram& alpha, LabelId x,
-                                const Grammar& g) {
+                                const Grammar& g, TrackedRuleHooks* hooks) {
   (void)g;
   // Top-down greedy preorder scan. The cursor walk is restarted from
   // the new X node after each replacement (its merged children can
@@ -29,7 +29,11 @@ int64_t ReplaceLocalOccurrences(Tree* t, const Digram& alpha, LabelId x,
     if (t->label(cur) == alpha.parent_label) {
       NodeId w = t->Child(cur, alpha.child_index);
       if (w != kNilNode && t->label(w) == alpha.child_label) {
+        if (hooks != nullptr) {
+          hooks->BeforeReplace(*t, cur, alpha.child_index);
+        }
         NodeId x_node = ReplaceDigramNodes(t, cur, alpha.child_index, x);
+        if (hooks != nullptr) hooks->AfterReplace(*t, x_node);
         ++replaced;
         cur = x_node;
         matched = true;
@@ -80,11 +84,17 @@ struct VersionKeyHash {
 
 class Engine {
  public:
-  Engine(Grammar* g, const Digram& alpha, LabelId x, bool optimize)
-      : g_(g), alpha_(alpha), x_(x), optimize_(optimize) {}
+  Engine(Grammar* g, const Digram& alpha, LabelId x, bool optimize,
+         TrackedRuleHooks* hooks,
+         const std::unordered_map<LabelId, int>* refs0)
+      : g_(g), alpha_(alpha), x_(x), optimize_(optimize), hooks_(hooks),
+        refs0_in_(refs0) {}
 
   ReplacementResult Run(const std::vector<RuleNode>& generators) {
-    refs0_ = ComputeRefCounts(*g_);
+    refs0_ = refs0_in_ != nullptr ? *refs0_in_ : ComputeRefCounts(*g_);
+    // Live reference counts, maintained through every grammar mutation
+    // below; RemoveDeadRules reads them instead of recounting O(|G|).
+    refs_ = refs0_;
     CollectBaseFlags(generators);
     if (optimize_) {
       DiscoverVersions();
@@ -223,7 +233,14 @@ class Engine {
       }
       if (!marked.empty()) {
         std::vector<LabelId> made = ExportFragmentsToNewRules(g_, &t, marked);
-        for (LabelId u : made) result_.added_rules.push_back(u);
+        for (LabelId u : made) {
+          // The exported body left the scratch version tree and became
+          // a grammar rule: its call sites are live references now
+          // (references *to* the export rule materialize when the
+          // version body is inlined or adopted).
+          CountTreeRefs(g_->rhs(u), +1);
+          result_.added_rules.push_back(u);
+        }
       }
     }
 
@@ -250,9 +267,15 @@ class Engine {
     }
     std::unordered_set<LabelId> done;
     for (const auto& [rule, key] : best) {
+      // A version-adopting rule is a callee; the tracked rule (the
+      // driver's start rule) is never called, so wholesale body
+      // adoption — which the hooks could not express — cannot hit it.
+      SLG_CHECK(HooksFor(rule) == nullptr);
       const Tree& body = versions_.at(key);
       Tree copy;
       copy.SetRoot(copy.CopySubtreeFrom(body, body.root()));
+      CountTreeRefs(g_->rhs(rule), -1);
+      CountTreeRefs(copy, +1);
       g_->rhs(rule) = std::move(copy);
       result_.changed_rules.push_back(rule);
       done.insert(rule);
@@ -260,11 +283,61 @@ class Engine {
     for (LabelId rule : base_rules_) {
       if (done.count(rule) > 0) continue;
       Tree& t = g_->rhs(rule);
+      TrackedRuleHooks* hooks = HooksFor(rule);
+      // Targeted path for the tracked rule on a != b digrams: every
+      // occurrence is in the generator list (no equal-label overlap
+      // discipline), and after the flagged inlines each one
+      // materializes either at an inlined copy's root ('r' flag) or at
+      // a re-attached argument ('y_i' flag) — so replacing at those
+      // anchors replaces everything, without the O(|tree|) scan.
+      const bool targeted =
+          hooks != nullptr && !(alpha_.parent_label == alpha_.child_label);
+      std::vector<NodeId> anchors;
+      std::unordered_set<NodeId> anchor_set;
       for (const auto& [node, flags] : Sorted(base_flags_[rule])) {
         const Tree& body = ProcessVersion(VersionKey{t.label(node), flags});
-        InlineCall(*g_, &t, node, body);
+        if (targeted && anchor_set.count(node) > 0) {
+          // This call site was anchored as an argument of an earlier
+          // inline, but it is itself flagged: the inline below frees
+          // the node, so its anchor moves to the copy root.
+          anchor_set.erase(node);
+          anchors.erase(std::find(anchors.begin(), anchors.end(), node));
+        }
+        std::vector<NodeId> args;
+        for (NodeId c = t.first_child(node); c != kNilNode;
+             c = t.next_sibling(c)) {
+          args.push_back(c);
+        }
+        NodeId copy_root = InlineFlaggedCall(&t, node, body, hooks, args);
+        if (targeted) {
+          for (int flag : flags) {
+            NodeId anchor = kNilNode;
+            if (flag == 0) {
+              anchor = copy_root;
+            } else if (static_cast<size_t>(flag) <= args.size()) {
+              anchor = args[static_cast<size_t>(flag) - 1];
+            }
+            if (anchor != kNilNode && anchor_set.insert(anchor).second) {
+              anchors.push_back(anchor);
+            }
+          }
+        }
       }
-      result_.replacements += ReplaceLocalOccurrences(&t, alpha_, x_, *g_);
+      if (targeted) {
+        for (NodeId anchor : anchors) {
+          if (t.label(anchor) != alpha_.child_label) continue;
+          NodeId p = t.parent(anchor);
+          if (p == kNilNode || t.label(p) != alpha_.parent_label) continue;
+          if (t.Child(p, alpha_.child_index) != anchor) continue;
+          hooks->BeforeReplace(t, p, alpha_.child_index);
+          NodeId x_node = ReplaceDigramNodes(&t, p, alpha_.child_index, x_);
+          hooks->AfterReplace(t, x_node);
+          ++result_.replacements;
+        }
+      } else {
+        result_.replacements +=
+            ReplaceLocalOccurrences(&t, alpha_, x_, *g_, hooks);
+      }
       result_.changed_rules.push_back(rule);
     }
   }
@@ -316,30 +389,75 @@ class Engine {
       bool has_generators = base_rules_set_.count(rule) > 0;
       if (it == simple_cs_flags_.end() && !has_generators) continue;
       Tree& t = g_->rhs(rule);
+      TrackedRuleHooks* hooks = HooksFor(rule);
       if (it != simple_cs_flags_.end()) {
         for (const auto& [node, flags] : Sorted(it->second)) {
           (void)flags;
-          InlineCall(*g_, &t, node, g_->rhs(t.label(node)));
+          std::vector<NodeId> args;
+          for (NodeId c = t.first_child(node); c != kNilNode;
+               c = t.next_sibling(c)) {
+            args.push_back(c);
+          }
+          InlineFlaggedCall(&t, node, g_->rhs(t.label(node)), hooks, args);
         }
       }
-      result_.replacements += ReplaceLocalOccurrences(&t, alpha_, x_, *g_);
+      result_.replacements += ReplaceLocalOccurrences(&t, alpha_, x_, *g_, hooks);
       result_.changed_rules.push_back(rule);
     }
+  }
+
+  // ---- tracked-rule hook plumbing ----------------------------------------
+
+  TrackedRuleHooks* HooksFor(LabelId rule) const {
+    return hooks_ != nullptr && hooks_->rule() == rule ? hooks_ : nullptr;
+  }
+
+  // InlineCall into a *grammar* rule body, with the hook bracket and
+  // live reference-count maintenance: the consumed call releases one
+  // reference, the inlined copy's own call sites add theirs. args keep
+  // their NodeIds across the inline (arguments are moved), so the
+  // hooks can delta-update exactly the fresh region.
+  NodeId InlineFlaggedCall(Tree* t, NodeId call, const Tree& body,
+                           TrackedRuleHooks* hooks,
+                           const std::vector<NodeId>& args) {
+    --refs_[t->label(call)];
+    if (hooks != nullptr) hooks->BeforeInline(*t, call, args);
+    std::vector<NodeId> new_calls;
+    NodeId copy_root = InlineCall(*g_, t, call, body, &new_calls);
+    for (NodeId n : new_calls) ++refs_[t->label(n)];
+    if (hooks != nullptr) hooks->AfterInline(*t, copy_root, args);
+    return copy_root;
+  }
+
+  // Reference-count deltas for a whole tree entering (+1) or leaving
+  // (-1) the grammar — version adoption and fragment export.
+  void CountTreeRefs(const Tree& t, int delta) {
+    t.VisitPreorder(t.root(), [&](NodeId v) {
+      LabelId l = t.label(v);
+      if (g_->IsNonterminal(l)) refs_[l] += delta;
+    });
   }
 
   // ---- cleanup -----------------------------------------------------------
 
   void RemoveDeadRules() {
-    bool changed = true;
-    while (changed) {
-      changed = false;
-      auto refs = ComputeRefCounts(*g_);
-      for (LabelId r : g_->Nonterminals()) {
-        if (r == g_->start() || refs[r] != 0) continue;
-        g_->RemoveRule(r);
-        result_.removed_rules.push_back(r);
-        changed = true;
-      }
+    // The live counts were maintained through every mutation above, so
+    // no recount is needed; removing a rule releases its body's
+    // references, which may strand further rules (worklist fixpoint).
+    std::vector<LabelId> dead;
+    for (LabelId r : g_->Nonterminals()) {
+      if (r != g_->start() && refs_[r] == 0) dead.push_back(r);
+    }
+    for (size_t i = 0; i < dead.size(); ++i) {
+      LabelId r = dead[i];
+      const Tree& body = g_->rhs(r);
+      body.VisitPreorder(body.root(), [&](NodeId v) {
+        LabelId l = body.label(v);
+        if (!g_->IsNonterminal(l)) return;
+        if (--refs_[l] == 0 && l != g_->start()) dead.push_back(l);
+      });
+      g_->RemoveRule(r);
+      result_.removed_rules.push_back(r);
     }
     // changed_rules may contain rules that were subsequently removed;
     // filter them out.
@@ -357,6 +475,9 @@ class Engine {
   Digram alpha_;
   LabelId x_;
   bool optimize_;
+  TrackedRuleHooks* hooks_;
+  const std::unordered_map<LabelId, int>* refs0_in_;
+  std::unordered_map<LabelId, int> refs_;
 
   std::vector<LabelId> base_rules_;
   std::unordered_set<LabelId> base_rules_set_;
@@ -372,11 +493,11 @@ class Engine {
 
 }  // namespace
 
-ReplacementResult ReplaceAllOccurrences(Grammar* g, const Digram& alpha,
-                                        LabelId x,
-                                        const std::vector<RuleNode>& generators,
-                                        bool optimize) {
-  return Engine(g, alpha, x, optimize).Run(generators);
+ReplacementResult ReplaceAllOccurrences(
+    Grammar* g, const Digram& alpha, LabelId x,
+    const std::vector<RuleNode>& generators, bool optimize,
+    TrackedRuleHooks* hooks, const std::unordered_map<LabelId, int>* refs0) {
+  return Engine(g, alpha, x, optimize, hooks, refs0).Run(generators);
 }
 
 }  // namespace slg

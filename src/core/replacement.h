@@ -25,8 +25,10 @@
 #define SLG_CORE_REPLACEMENT_H_
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
+#include "src/core/repair_hooks.h"
 #include "src/grammar/grammar.h"
 #include "src/repair/digram.h"
 
@@ -47,16 +49,27 @@ struct ReplacementResult {
 // (whose rule the caller adds afterwards; `x` must already be interned
 // with rank(alpha)). `generators` is the stored occurrence set from
 // the digram index. `optimize` selects Algorithm 6-8 over Algorithm 5.
-ReplacementResult ReplaceAllOccurrences(Grammar* g, const Digram& alpha,
-                                        LabelId x,
-                                        const std::vector<RuleNode>& generators,
-                                        bool optimize);
+// When `hooks` is non-null, every structural mutation of the tracked
+// rule's tree is bracketed by hook calls (see repair_hooks.h), and the
+// tracked rule is processed by targeted replacement at the flagged
+// sites instead of a whole-body scan whenever the digram's labels
+// differ (for a != b the occurrence list is exhaustive, so the scan
+// finds nothing more). `refs0`, if given, must equal
+// ComputeRefCounts(*g) at entry (the repair drivers derive it from
+// their call-graph cache in O(#rules) instead of O(|G|)).
+ReplacementResult ReplaceAllOccurrences(
+    Grammar* g, const Digram& alpha, LabelId x,
+    const std::vector<RuleNode>& generators, bool optimize,
+    TrackedRuleHooks* hooks = nullptr,
+    const std::unordered_map<LabelId, int>* refs0 = nullptr);
 
 // Top-down greedy in-place replacement of every (a,i,b) pair of
 // terminal nodes in `t` by `x`. Exposed for tests. Returns the number
-// of replacements.
+// of replacements. `hooks`, if given, brackets each replacement (the
+// caller passes it only when `t` is the tracked rule's tree).
 int64_t ReplaceLocalOccurrences(Tree* t, const Digram& alpha, LabelId x,
-                                const Grammar& g);
+                                const Grammar& g,
+                                TrackedRuleHooks* hooks = nullptr);
 
 }  // namespace slg
 

@@ -237,6 +237,19 @@ void GrammarDigramIndex::AddGenerator(const Grammar& g, RuleNode gen,
   SetCount(id, UsageSatAdd(info.count, usage));
 }
 
+void GrammarDigramIndex::RemoveGeneratorAt(RuleNode gen) {
+  OccId o = OccOf(gen);
+  if (o == kNil) return;
+  DigramId id = occs_[static_cast<size_t>(o)].digram;
+  UnlinkDigram(o);
+  UnlinkRule(o);
+  FreeOcc(o);
+  uint64_t w = books_[static_cast<size_t>(gen.rule)].scan_usage;
+  uint64_t c = digrams_[static_cast<size_t>(id)].count;
+  SetCount(id, c >= w ? c - w : 0);
+  --total_;
+}
+
 void GrammarDigramIndex::RemoveGenerator(const Digram& d, RuleNode gen) {
   DigramId id = Find(d);
   if (id == kNil) return;

@@ -88,6 +88,14 @@ class GrammarDigramIndex {
   // Removes the occurrence with this generator, if stored under d.
   void RemoveGenerator(const Digram& d, RuleNode gen);
 
+  // Removes whatever occurrence is stored at this generator node, if
+  // any — the stored record knows its digram, so the caller does not
+  // have to re-derive the (possibly already stale) key. This is the
+  // workhorse of the localized driver's tracked-rule deltas: before a
+  // region of the start rule is restructured, every stored occurrence
+  // adjacent to it is dropped by node id alone.
+  void RemoveGeneratorAt(RuleNode gen);
+
   // Extracts and clears the generator list of d, sorted
   // deterministically by (rule, node).
   std::vector<RuleNode> Take(const Digram& d);

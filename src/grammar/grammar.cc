@@ -17,7 +17,10 @@ Grammar Grammar::Clone() const {
 void Grammar::AddRule(LabelId lhs, Tree rhs) {
   SLG_CHECK_MSG(!HasRule(lhs), "duplicate rule");
   SLG_CHECK(!rhs.empty());
-  rule_index_.emplace(lhs, rules_.size());
+  if (static_cast<size_t>(lhs) >= rule_index_.size()) {
+    rule_index_.resize(static_cast<size_t>(lhs) + 1, -1);
+  }
+  rule_index_[static_cast<size_t>(lhs)] = static_cast<int64_t>(rules_.size());
   rules_.push_back(StoredRule{lhs, std::move(rhs), false});
   ++live_rules_;
 }
@@ -26,7 +29,7 @@ void Grammar::RemoveRule(LabelId lhs) {
   size_t idx = IndexOf(lhs);
   rules_[idx].dead = true;
   rules_[idx].rhs = Tree();
-  rule_index_.erase(lhs);
+  rule_index_[static_cast<size_t>(lhs)] = -1;
   --live_rules_;
 }
 

@@ -72,7 +72,8 @@ class Grammar {
   void RemoveRule(LabelId lhs);
 
   bool HasRule(LabelId l) const {
-    return rule_index_.find(l) != rule_index_.end();
+    return static_cast<size_t>(l) < rule_index_.size() &&
+           rule_index_[static_cast<size_t>(l)] >= 0;
   }
   bool IsNonterminal(LabelId l) const { return HasRule(l); }
   bool IsTerminal(LabelId l) const {
@@ -109,9 +110,8 @@ class Grammar {
   };
 
   size_t IndexOf(LabelId l) const {
-    auto it = rule_index_.find(l);
-    SLG_CHECK_MSG(it != rule_index_.end(), "no rule for label");
-    return it->second;
+    SLG_CHECK_MSG(HasRule(l), "no rule for label");
+    return static_cast<size_t>(rule_index_[static_cast<size_t>(l)]);
   }
 
   LabelTable labels_;
@@ -119,7 +119,11 @@ class Grammar {
   // trees (algorithms hold them across rule creation, e.g. fragment
   // export during version processing).
   std::deque<StoredRule> rules_;
-  std::unordered_map<LabelId, size_t> rule_index_;
+  // Dense LabelId -> rules_ slot (-1 = no rule). rhs()/HasRule() are
+  // the hottest calls in the whole library — every digram resolution
+  // through TREEPARENT/TREECHILD does several — so this is a flat
+  // array, not a hash map.
+  std::vector<int64_t> rule_index_;
   LabelId start_ = kNoLabel;
   int live_rules_ = 0;
 };

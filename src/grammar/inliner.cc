@@ -58,7 +58,6 @@ NodeId InlineCall(const Grammar& g, Tree* host, NodeId call,
     }
   }
   SLG_CHECK(copy_root != kNilNode);
-
   host->ReplaceWith(call, copy_root);
   host->FreeSubtree(call);
   return copy_root;
@@ -71,11 +70,12 @@ NodeId InlineCall(const Grammar& g, Tree* host, NodeId call,
   return InlineCall(g, host, call, g.rhs(q), new_calls);
 }
 
-void InlineEverywhereAndRemove(Grammar* g, LabelId q) {
-  // Move the body out first: the host may be scanned while we mutate.
-  Tree body = std::move(g->rhs(q));
-  g->RemoveRule(q);
-  for (LabelId r : g->Nonterminals()) {
+namespace {
+
+void InlineIntoHosts(Grammar* g, LabelId q, const Tree& body,
+                     const std::vector<LabelId>& hosts) {
+  for (LabelId r : hosts) {
+    if (!g->HasRule(r)) continue;
     Tree& host = g->rhs(r);
     // Collect call sites first; inlining invalidates traversal.
     std::vector<NodeId> calls;
@@ -84,6 +84,22 @@ void InlineEverywhereAndRemove(Grammar* g, LabelId q) {
     });
     for (NodeId call : calls) InlineCall(*g, &host, call, body);
   }
+}
+
+}  // namespace
+
+void InlineEverywhereAndRemove(Grammar* g, LabelId q) {
+  // Move the body out first: the host may be scanned while we mutate.
+  Tree body = std::move(g->rhs(q));
+  g->RemoveRule(q);
+  InlineIntoHosts(g, q, body, g->Nonterminals());
+}
+
+void InlineEverywhereAndRemove(Grammar* g, LabelId q,
+                               const std::vector<LabelId>& hosts) {
+  Tree body = std::move(g->rhs(q));
+  g->RemoveRule(q);
+  InlineIntoHosts(g, q, body, hosts);
 }
 
 }  // namespace slg

@@ -29,8 +29,13 @@ NodeId InlineCall(const Grammar& g, Tree* host, NodeId call,
                   std::vector<NodeId>* new_calls = nullptr);
 
 // Inlines every occurrence of nonterminal Q in the whole grammar and
-// removes Q's rule. Used by pruning.
+// removes Q's rule. Used by pruning. The `hosts` overload scans only
+// the given rules for call sites — the caller guarantees every
+// occurrence of Q lives in one of them (the pruner maintains exact
+// caller sets, so it never pays a whole-grammar scan per removal).
 void InlineEverywhereAndRemove(Grammar* g, LabelId q);
+void InlineEverywhereAndRemove(Grammar* g, LabelId q,
+                               const std::vector<LabelId>& hosts);
 
 }  // namespace slg
 

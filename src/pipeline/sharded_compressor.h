@@ -36,8 +36,12 @@ namespace slg {
 //               with rules as opaque terminals — recovers the digrams
 //               at shard boundaries, which all sit top-level after the
 //               inlining. Costs a few percent of the shard runs.
-//  * kFull      + a whole-grammar GrammarRePair, which also merges
-//               repetition buried inside different shards' rule
+//  * kFull      + a boundary-deepening LocalizedGrammarRePair seeded
+//               at the start rule (the merged P-chain boundary is
+//               exactly that known damage set; it resolves digrams
+//               through rule roots, which the opaque pass cannot see)
+//               followed by a whole-grammar GrammarRePair, which also
+//               merges repetition buried inside different shards' rule
 //               bodies. Near single-run size, but each round pays the
 //               fragment-export machinery — can cost many times the
 //               shard runs; use when size matters more than speed.

@@ -6,6 +6,12 @@
 
 namespace slg {
 
+namespace {
+thread_local bool t_on_worker_thread = false;
+}  // namespace
+
+bool ThreadPool::OnWorkerThread() { return t_on_worker_thread; }
+
 ThreadPool::ThreadPool(int num_threads) {
   int n = std::max(1, num_threads);
   threads_.reserve(static_cast<size_t>(n));
@@ -37,6 +43,7 @@ void ThreadPool::Wait() {
 }
 
 void ThreadPool::WorkerLoop() {
+  t_on_worker_thread = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -61,26 +68,52 @@ int ThreadPool::HardwareThreads() {
   return n == 0 ? 1 : static_cast<int>(n);
 }
 
+ThreadPool& ThreadPool::Shared() {
+  // Constructed on first use, joined by the static destructor at
+  // process exit (workers are idle by then — Shared() work is always
+  // awaited by its submitter).
+  static ThreadPool pool(HardwareThreads());
+  return pool;
+}
+
 void ParallelFor(int64_t n, int num_threads,
                  const std::function<void(int64_t)>& fn) {
   if (n <= 0) return;
   int workers = static_cast<int>(std::min<int64_t>(n, std::max(1, num_threads)));
-  if (workers == 1) {
+  // Nested call from inside a pool task: run inline. Blocking a worker
+  // on sub-tasks queued behind it would deadlock once every worker is
+  // parked that way.
+  if (workers == 1 || ThreadPool::OnWorkerThread()) {
     for (int64_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  ThreadPool pool(workers);
+  // Per-call completion latch instead of ThreadPool::Wait(): the pool
+  // is shared process-wide, and a global Wait would also wait for
+  // unrelated callers' tasks. The worker-count tasks drain one atomic
+  // index counter, so the call completes even if the pool has fewer
+  // threads than `workers` requested. The latch counter is guarded by
+  // the mutex (not an atomic): the caller's stack owns these objects,
+  // and only a decrement performed under the lock guarantees the
+  // waiter cannot observe completion and destroy them while a worker
+  // still touches the condition variable.
+  ThreadPool& pool = ThreadPool::Shared();
   std::atomic<int64_t> next{0};
+  int remaining = workers;
+  std::mutex mu;
+  std::condition_variable done_cv;
   for (int w = 0; w < workers; ++w) {
-    pool.Submit([&next, n, &fn] {
+    pool.Submit([&next, n, &fn, &remaining, &mu, &done_cv] {
       for (;;) {
         int64_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) return;
+        if (i >= n) break;
         fn(i);
       }
+      std::unique_lock<std::mutex> lock(mu);
+      if (--remaining == 0) done_cv.notify_one();
     });
   }
-  pool.Wait();
+  std::unique_lock<std::mutex> lock(mu);
+  done_cv.wait(lock, [&remaining] { return remaining == 0; });
 }
 
 }  // namespace slg

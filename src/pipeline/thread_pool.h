@@ -42,6 +42,19 @@ class ThreadPool {
   // cannot tell (hardware_concurrency() == 0).
   static int HardwareThreads();
 
+  // True when the calling thread is a ThreadPool worker. ParallelFor
+  // uses it to run nested calls inline: a worker blocking on sub-tasks
+  // queued behind it would deadlock the shared pool.
+  static bool OnWorkerThread();
+
+  // Process-wide pool with HardwareThreads() workers, created lazily
+  // on first use and joined at process exit. ParallelFor runs on it,
+  // so repeated API calls (one ShardedCompress per document, say) stop
+  // paying thread spawn/join per call. Tasks submitted here must never
+  // block on other tasks in the same pool — with every worker parked
+  // on a blocked task, the queue would never drain.
+  static ThreadPool& Shared();
+
  private:
   void WorkerLoop();
 
@@ -54,9 +67,12 @@ class ThreadPool {
   bool stop_ = false;
 };
 
-// Runs fn(0..n-1), distributing indexes over `num_threads` workers via
-// a shared atomic counter. Runs inline when n <= 1 or num_threads <= 1.
-// fn must be safe to call concurrently for distinct indexes.
+// Runs fn(0..n-1), distributing indexes over min(num_threads, n)
+// worker tasks on the shared process-wide pool via a shared atomic
+// counter; the calling thread blocks until all indexes ran (per-call
+// completion latch — concurrent ParallelFor calls do not wait on each
+// other's work). Runs inline when n <= 1 or num_threads <= 1. fn must
+// be safe to call concurrently for distinct indexes.
 void ParallelFor(int64_t n, int num_threads,
                  const std::function<void(int64_t)>& fn);
 

@@ -1,6 +1,8 @@
 #include "src/repair/pruning.h"
 
+#include <algorithm>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/grammar/inliner.h"
@@ -22,7 +24,18 @@ namespace {
 // grammar size.
 class Pruner {
  public:
-  explicit Pruner(Grammar* g) : g_(g), refs_(ComputeRefCounts(*g)) {}
+  explicit Pruner(Grammar* g) : g_(g), refs_(ComputeRefCounts(*g)) {
+    // Exact caller sets, maintained across removals: InlineAway then
+    // scans only the rules that actually reference the victim instead
+    // of the whole grammar (a per-removal O(|G|) scan otherwise
+    // dominates pruning on many-rule grammars).
+    g_->ForEachRule([&](LabelId lhs, const Tree& rhs) {
+      rhs.VisitPreorder(rhs.root(), [&](NodeId v) {
+        LabelId l = rhs.label(v);
+        if (g_->IsNonterminal(l)) callers_[l].insert(lhs);
+      });
+    });
+  }
 
   void Run() {
     // Phase 1: drop unreferenced rules, inline |ref| == 1 rules.
@@ -87,22 +100,36 @@ class Pruner {
   }
 
   void DropRule(LabelId r) {
-    for (auto [callee, n] : BodyCallees(r)) refs_[callee] -= n;
+    for (auto [callee, n] : BodyCallees(r)) {
+      refs_[callee] -= n;
+      callers_[callee].erase(r);
+    }
     g_->RemoveRule(r);
     refs_.erase(r);
+    callers_.erase(r);
   }
 
   void InlineAway(LabelId r) {
     int rc = refs_[r];
+    std::vector<LabelId> hosts(callers_[r].begin(), callers_[r].end());
+    std::sort(hosts.begin(), hosts.end());
     // Each of the rc call sites receives a body copy; the original
-    // body disappears with the rule.
-    for (auto [callee, n] : BodyCallees(r)) refs_[callee] += n * (rc - 1);
-    InlineEverywhereAndRemove(g_, r);
+    // body disappears with the rule, and every host now references
+    // the body's callees directly.
+    for (auto [callee, n] : BodyCallees(r)) {
+      refs_[callee] += n * (rc - 1);
+      auto& cs = callers_[callee];
+      cs.erase(r);
+      for (LabelId h : hosts) cs.insert(h);
+    }
+    InlineEverywhereAndRemove(g_, r, hosts);
     refs_.erase(r);
+    callers_.erase(r);
   }
 
   Grammar* g_;
   std::unordered_map<LabelId, int> refs_;
+  std::unordered_map<LabelId, std::unordered_set<LabelId>> callers_;
 };
 
 }  // namespace

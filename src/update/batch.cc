@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/grammar/inliner.h"
+#include "src/grammar/stats.h"
 #include "src/grammar/value.h"
 #include "src/update/navigation.h"
 #include "src/update/update_ops.h"
@@ -21,9 +22,17 @@ void BatchUpdater::EnsureSnapshot() {
   }
 }
 
+void BatchUpdater::NoteDamage(LabelId rule) {
+  if (damage_seen_.insert(rule).second) damage_.push_back(rule);
+}
+
 void BatchUpdater::ComputeDerivedFresh(NodeId subtree_root) {
   Tree& t = g_->rhs(g_->start());
   std::vector<NodeId> fresh = t.Preorder(subtree_root);
+  // Fresh material in the start rule: an inlined rule body (isolation
+  // partially decompresses) or a copied insert fragment.
+  edges_added_ += static_cast<int64_t>(fresh.size());
+  NoteDamage(g_->start());
   NodeId max_id = static_cast<NodeId>(derived_.size()) - 1;
   for (NodeId f : fresh) max_id = std::max(max_id, f);
   derived_.resize(static_cast<size_t>(max_id) + 1, 0);
@@ -102,6 +111,10 @@ StatusOr<NodeId> BatchUpdater::Isolate(int64_t preorder) {
       continue;
     }
     NodeId copy_root = InlineCall(*g_, &t, v, g_->rhs(l));
+    // The inlined rule joins the damage set (its usage frontier): its
+    // body now sits duplicated in the start rule, so the localized
+    // repair must see its occurrences to fold the copy back in.
+    NoteDamage(l);
     ComputeDerivedFresh(copy_root);
     v = copy_root;
   }
@@ -128,6 +141,7 @@ Status BatchUpdater::Rename(int64_t preorder, std::string_view new_label) {
   // Old and new labels are both rank-2 terminals (SegTotal 1): no
   // derived size changes.
   t.set_label(u.value(), nl);
+  NoteDamage(g_->start());
   return Status::Ok();
 }
 
@@ -157,6 +171,7 @@ Status BatchUpdater::InsertBefore(int64_t preorder, const Tree& s) {
     t.ReplaceWith(u, copy);
     t.FreeSubtree(u);
     RecomputeUpward(parent);
+    NoteDamage(g_->start());
     return Status::Ok();
   }
   // t[u/s'] with s' = s[rightmost ⊥ / t_u].
@@ -175,6 +190,7 @@ Status BatchUpdater::InsertBefore(int64_t preorder, const Tree& s) {
   // u kept its derived size; everything above it (through the copy's
   // spine into the old ancestors) changed.
   RecomputeUpward(t.parent(u));
+  NoteDamage(g_->start());
   return Status::Ok();
 }
 
@@ -196,6 +212,7 @@ Status BatchUpdater::Delete(int64_t preorder) {
   t.ReplaceWith(u, next_sib);
   t.FreeSubtree(u);  // frees u and its first-child subtree
   RecomputeUpward(parent);
+  NoteDamage(g_->start());
   // Rules stranded by the freed subtree are collected in Finish().
   return Status::Ok();
 }
@@ -228,16 +245,42 @@ StatusOr<BatchResult> ApplyWorkloadBatched(Grammar g,
                                            const std::vector<UpdateOp>& ops,
                                            const BatchApplyOptions& options) {
   BatchResult result;
+  const bool adaptive = options.recompress && options.growth_trigger > 0;
+  // The adaptive trigger compares gross batch growth against the
+  // grammar size as of the last repair; refreshed at every checkpoint.
+  int64_t base_edges = adaptive ? ComputeStats(g).edge_count : 0;
   BatchUpdater batch(&g);
+  int done = 0;
+  int last_checkpoint = 0;
+  auto checkpoint = [&]() {
+    result.rules_collected += batch.Finish();
+    std::vector<LabelId> damage = batch.DamagedRules();
+    batch.ResetDamage();
+    GrammarRepairResult r =
+        options.localized
+            ? LocalizedGrammarRePair(std::move(g), damage, options.repair)
+            : GrammarRePair(std::move(g), options.repair);
+    result.repair_rounds += r.rounds;
+    g = std::move(r.grammar);
+    result.checkpoint_schedule.push_back(done);
+    last_checkpoint = done;
+  };
   for (const UpdateOp& op : ops) {
     Status st = batch.Apply(op);
     if (!st.ok()) return st;
+    ++done;
+    if (adaptive && done < static_cast<int>(ops.size()) &&
+        done - last_checkpoint >= options.min_checkpoint_ops &&
+        static_cast<double>(batch.EdgesAdded()) >
+            options.growth_trigger * static_cast<double>(base_edges)) {
+      checkpoint();
+      base_edges = ComputeStats(g).edge_count;
+    }
   }
-  result.rules_collected = batch.Finish();
   if (options.recompress) {
-    GrammarRepairResult r = GrammarRePair(std::move(g), options.repair);
-    result.repair_rounds = r.rounds;
-    g = std::move(r.grammar);
+    checkpoint();
+  } else {
+    result.rules_collected += batch.Finish();
   }
   result.grammar = std::move(g);
   return result;

@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <string_view>
+#include <unordered_set>
 #include <vector>
 
 #include "src/common/status.h"
@@ -65,8 +66,33 @@ class BatchUpdater {
   // Ends the batch: drops the shared snapshot and garbage-collects
   // rules stranded by deletes. Returns the number of rules removed.
   // The updater is reusable afterwards (a new snapshot is built on the
-  // next operation).
+  // next operation). Damage accounting survives Finish() — a
+  // checkpoint driver reads it after finishing and clears it with
+  // ResetDamage().
   int Finish();
+
+  // --- damage accounting (input to LocalizedGrammarRePair) --------------
+  // The damage set, in first-damaged order: the start rule (every edit
+  // path rewrites its interior) plus the usage frontier — each rule
+  // whose body isolation inlined into the start rule. The frontier
+  // matters for recompression quality: an inlined body sits duplicated
+  // in the start rule, and only a repair that also sees the rule's own
+  // occurrences can fold the copy back in (the cross digrams otherwise
+  // never reach their true counts).
+  const std::vector<LabelId>& DamagedRules() const { return damage_; }
+
+  // Gross number of fresh nodes materialized in the start rule since
+  // the last ResetDamage(): inlined rule bodies (isolation partially
+  // decompresses) plus copied insert fragments. This measures how much
+  // un-compressed material the batch has accumulated — the adaptive
+  // recompression trigger compares it against the grammar size.
+  int64_t EdgesAdded() const { return edges_added_; }
+
+  void ResetDamage() {
+    damage_.clear();
+    damage_seen_.clear();
+    edges_added_ = 0;
+  }
 
  private:
   void EnsureSnapshot();
@@ -81,16 +107,43 @@ class BatchUpdater {
     return derived_[static_cast<size_t>(v)];
   }
 
+  void NoteDamage(LabelId rule);
+
   Grammar* g_;
   bool have_snapshot_ = false;
   RuleMeta meta_;
   std::vector<int64_t> derived_;  // by NodeId of the start rule's rhs
+  std::vector<LabelId> damage_;
+  std::unordered_set<LabelId> damage_seen_;
+  int64_t edges_added_ = 0;
 };
 
 struct BatchApplyOptions {
-  // Run one GrammarRePair pass after the batch (the paper's
-  // recompress-every-R-updates checkpoint).
+  // Recompress at checkpoints (and once at the end of the workload).
   bool recompress = true;
+  // Checkpoints run LocalizedGrammarRePair seeded from the batch's
+  // damage set instead of re-indexing the whole grammar. The result
+  // validates and derives the same document but need not be
+  // byte-identical to a full repair (see LocalizedGrammarRePair).
+  bool localized = true;
+  // Adaptive checkpoint trigger: recompress mid-workload whenever the
+  // gross edges the batch added since the last repair (isolation
+  // inlining + insert fragments, BatchUpdater::EdgesAdded) exceed this
+  // fraction of the grammar's edge count at that repair. Cheap periods
+  // — ops that isolate shallow paths and add little — accumulate for
+  // free; heavy damage recompresses promptly, independent of op count.
+  // <= 0 disables intermediate checkpoints: one recompression at the
+  // end of the workload (the previous fixed behavior).
+  double growth_trigger = 0.0;
+  // Floor between adaptive checkpoints: even when the growth trigger
+  // is exceeded, at least this many operations must have been applied
+  // since the last repair. On strongly-compressing documents a single
+  // isolation can add more material than the whole (logarithmic)
+  // grammar holds, so a bare fraction trigger would recompress every
+  // other op — each mini-repair then mints a few churn rules the next
+  // one has to chew through, which is both slower and larger than
+  // letting damage accumulate a little.
+  int min_checkpoint_ops = 64;
   GrammarRepairOptions repair;
 };
 
@@ -98,11 +151,17 @@ struct BatchResult {
   Grammar grammar;
   int rules_collected = 0;
   int repair_rounds = 0;
+  // Number of operations applied before each checkpoint recompression
+  // fired (the final end-of-workload recompression included). A pure
+  // function of (grammar, ops, options) — the determinism tests replay
+  // a workload and assert the schedule is identical.
+  std::vector<int> checkpoint_schedule;
 };
 
-// Applies every operation of `ops` through one BatchUpdater, then
-// garbage-collects once and (optionally) recompresses once. Fails on
-// the first inapplicable operation.
+// Applies every operation of `ops` through one BatchUpdater,
+// garbage-collecting once per checkpoint and recompressing per
+// `options` (adaptively if growth_trigger > 0, localized by default).
+// Fails on the first inapplicable operation.
 StatusOr<BatchResult> ApplyWorkloadBatched(Grammar g,
                                            const std::vector<UpdateOp>& ops,
                                            const BatchApplyOptions& options = {});

@@ -62,7 +62,9 @@ TEST(CallGraphCacheTest, AntiSlIsValidTopologicalOrder) {
   g.ForEachRule([&](LabelId lhs, const Tree& rhs) {
     rhs.VisitPreorder(rhs.root(), [&](NodeId v) {
       LabelId l = rhs.label(v);
-      if (g.IsNonterminal(l)) EXPECT_LT(pos[l], pos[lhs]);
+      if (g.IsNonterminal(l)) {
+        EXPECT_LT(pos[l], pos[lhs]);
+      }
     });
   });
 }

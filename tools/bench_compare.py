@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_*.json against the committed baseline.
+
+Usage:
+    tools/bench_compare.py BASELINE.json CURRENT.json [--threshold 0.03]
+
+The bench JSON format is flat: {"benchmarks": [{"name": ..., <metric>:
+<number>, ...}]}. Metrics fall into three classes, decided by name:
+
+  * timings   — keys ending in "_s"/"_ms" or containing "speedup":
+                machine-dependent (CI runners are 1-core and +-30%
+                noisy). Reported for information, never gating.
+  * context   — workload shape (edges, ops, period, renames, shards,
+                threads): must match the baseline exactly, otherwise
+                the runs are not comparable and the comparison fails.
+  * sizes     — everything else (grammar edge counts, size ratios,
+                checkpoint counts): fully deterministic for a fixed
+                workload, so any increase beyond the threshold is a
+                real compression/behavior regression and fails the
+                job. Improvements pass with a note suggesting a
+                baseline refresh.
+
+Exit status: 0 clean, 1 regression or baseline mismatch, 2 usage/IO.
+"""
+
+import argparse
+import json
+import sys
+
+CONTEXT_KEYS = {"edges", "ops", "period", "renames", "shards", "threads"}
+IGNORED_KEYS = {"hardware_threads"}  # varies by runner, by design
+
+
+def is_timing(key):
+    return key.endswith("_s") or key.endswith("_ms") or "speedup" in key
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    out = {}
+    for bench in data.get("benchmarks", []):
+        name = bench.get("name")
+        if name is None:
+            continue
+        out[name] = {k: v for k, v in bench.items() if k != "name"}
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.03,
+                        help="allowed relative increase for deterministic "
+                             "size metrics (default 0.03)")
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    failures = []
+    improvements = []
+    timing_lines = []
+
+    for name in sorted(base):
+        if name not in cur:
+            failures.append(f"{name}: missing from current results")
+            continue
+        b, c = base[name], cur[name]
+        for key in sorted(b):
+            if key in IGNORED_KEYS:
+                continue
+            if key not in c:
+                # A silently vanished metric must not pass the gate: a
+                # regression hidden behind a dropped key would ship.
+                failures.append(
+                    f"{name}/{key}: missing from current results; update "
+                    f"the committed baseline together with the bench change")
+                continue
+            bv, cv = b[key], c[key]
+            if not isinstance(bv, (int, float)) or not isinstance(cv, (int, float)):
+                continue
+            if is_timing(key):
+                if bv > 0 and cv != bv:
+                    timing_lines.append(
+                        f"  [timing] {name}/{key}: {bv:.4g} -> {cv:.4g} "
+                        f"({(cv - bv) / bv:+.1%} vs baseline, advisory)")
+                continue
+            if key in CONTEXT_KEYS:
+                if bv != cv:
+                    failures.append(
+                        f"{name}/{key}: workload context changed "
+                        f"({bv} -> {cv}); refresh the committed baseline "
+                        f"together with the bench change")
+                continue
+            # Deterministic size metric: smaller (or equal) is fine,
+            # larger beyond the threshold is a regression.
+            limit = bv * (1.0 + args.threshold)
+            if cv > limit + 1e-9:
+                failures.append(
+                    f"{name}/{key}: {bv:g} -> {cv:g} "
+                    f"(+{(cv - bv) / bv if bv else float('inf'):.2%}, "
+                    f"threshold {args.threshold:.0%})")
+            elif cv < bv:
+                improvements.append(
+                    f"  [better] {name}/{key}: {bv:g} -> {cv:g}")
+
+    for extra in sorted(set(cur) - set(base)):
+        print(f"note: {extra} has no baseline entry (new benchmark?)")
+
+    if timing_lines:
+        print("advisory timings (not gating):")
+        for line in timing_lines:
+            print(line)
+    if improvements:
+        print("improvements (consider refreshing the baseline):")
+        for line in improvements:
+            print(line)
+    if failures:
+        print("FAIL: deterministic bench metrics regressed:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"OK: {len(base)} benchmark rows within {args.threshold:.0%} "
+          f"of {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
