@@ -3,6 +3,12 @@
 // edges) vs SLT grammars (TreeRePair/GrammarRePair, ~3%). Reports
 // representation sizes per corpus.
 //
+// The distinct-subtrees column is computed twice — directly on the
+// tree (DistinctSubtreeCount) and by the streaming grammar evaluator
+// (DagEvaluator over the TreeRePair grammar, src/dag/value_dag.h) —
+// and the two are asserted equal: the udc DAG front end must produce
+// exactly the classic minimal DAG without ever materializing the tree.
+//
 // Flags: --scale, --seed.
 
 #include <cstdio>
@@ -10,6 +16,7 @@
 #include "src/bench_util/reporting.h"
 #include "src/core/grammar_repair.h"
 #include "src/dag/dag_builder.h"
+#include "src/dag/value_dag.h"
 #include "src/datasets/generators.h"
 #include "src/grammar/stats.h"
 #include "src/repair/tree_repair.h"
@@ -28,7 +35,7 @@ int Run(int argc, char** argv) {
       "scale %.3g)\n\n",
       scale);
   TablePrinter table({"dataset", "#edges", "DAG(%)", "TreeRePair(%)",
-                      "GrammarRePair(%)", "distinct-subtrees"});
+                      "GrammarRePair(%)", "distinct-subtrees", "eval-pool"});
 
   for (const CorpusInfo& info : AllCorpora()) {
     XmlTree xml = GenerateCorpus(info.id, scale, seed);
@@ -43,6 +50,14 @@ int Run(int argc, char** argv) {
     TreeRepairResult tr = TreeRePair(Tree(bin), labels, {});
     int64_t tr_size = ComputeStats(tr.grammar).non_null_edge_count;
 
+    // The streaming evaluator must reconstruct exactly the classic
+    // minimal DAG from the compressed grammar.
+    DagEvaluator evaluator;
+    auto pool_root = evaluator.Eval(tr.grammar);
+    SLG_CHECK(pool_root.ok());
+    int64_t pool_nodes = evaluator.pool().size();
+    SLG_CHECK(pool_nodes == distinct);
+
     GrammarRepairResult gr = GrammarRePair(std::move(dag), {});
     int64_t gr_size = ComputeStats(gr.grammar).non_null_edge_count;
 
@@ -51,7 +66,8 @@ int Run(int argc, char** argv) {
                                static_cast<double>(edges));
     };
     table.AddRow({info.name, TablePrinter::Num(edges), pct(dag_size),
-                  pct(tr_size), pct(gr_size), TablePrinter::Num(distinct)});
+                  pct(tr_size), pct(gr_size), TablePrinter::Num(distinct),
+                  TablePrinter::Num(pool_nodes)});
   }
   table.Print();
   return 0;

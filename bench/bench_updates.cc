@@ -26,7 +26,18 @@
 // counts are deterministic — tools/bench_compare.py gates CI on them;
 // timings are advisory (1-core runners are noisy).
 //
-// Flags: --scale, --lscale, --updates, --lupdates, --period,
+// A third section compares the two udc baseline strengths on all six
+// corpora (at --uscale, default 0.2) in the canonical udc loop: the
+// grammar accumulates batched updates *naively* (udc is the
+// recompressor, nothing else repairs in between) and at every
+// checkpoint the recompression-from-scratch reference is computed both
+// as classic udc (materialize the tree, TreeRePair) and through a
+// DAG-shared UdcSession (decompress to a minimal DAG against the
+// session's cross-round subtree pool, forest repair over the DAG).
+// Grammar sizes, the size ratio, peak-space counts and the pool reuse
+// statistics are deterministic and CI-gated; timings advisory.
+//
+// Flags: --scale, --lscale, --uscale, --updates, --lupdates, --period,
 // --renames, --growth, --seed, --out.
 
 #include <algorithm>
@@ -42,6 +53,7 @@
 #include "src/grammar/value.h"
 #include "src/repair/tree_repair.h"
 #include "src/update/batch.h"
+#include "src/update/udc.h"
 #include "src/update/update_ops.h"
 #include "src/workload/update_workload.h"
 #include "src/xml/binary_encoding.h"
@@ -286,6 +298,103 @@ int Run(int argc, char** argv) {
               {"adaptive_final_edges", static_cast<double>(adapt_edges)}});
   }
   ltable.Print();
+
+  // --- classic vs DAG-shared udc baseline (all six corpora) ------------
+  double uscale = FlagDouble(argc, argv, "--uscale", 0.2);
+  std::printf(
+      "\nClassic vs DAG-shared udc baseline (scale %.3g, %d updates, "
+      "checkpoint\nevery %d ops, 10%% renames); times summed over all "
+      "checkpoints\n\n",
+      uscale, updates, period);
+  TablePrinter utable({"dataset", "cl-dec(s)", "cl-comp(s)", "dag-dec(s)",
+                       "dag-comp(s)", "comp-spd", "cl-edges", "dag-edges",
+                       "ratio", "tree-peak", "dag-peak", "reused"});
+  for (const CorpusInfo& info : AllCorpora()) {
+    XmlTree xml = GenerateCorpus(info.id, uscale);
+    LabelTable labels;
+    Tree final_tree = EncodeBinary(xml, &labels);
+    WorkloadOptions wopts;
+    wopts.num_ops = updates;
+    wopts.seed = seed;
+    wopts.rename_fraction = 0.1;
+    UpdateWorkload w = MakeUpdateWorkload(final_tree, labels, wopts);
+    GrammarRepairOptions recompress;
+    recompress.repair.require_positive_savings = true;
+    Grammar g =
+        GrammarRePair(Grammar::ForTree(Tree(w.seed), labels), recompress)
+            .grammar;
+
+    UdcOptions dag_opts;
+    dag_opts.mode = UdcOptions::Mode::kDagShared;
+    UdcSession dag_session(dag_opts);
+
+    double classic_dec = 0, classic_comp = 0, dag_dec = 0, dag_comp = 0;
+    int64_t classic_edges = 0, dag_edges = 0;
+    int64_t tree_peak = 0, dag_peak = 0, pool_final = 0, reused_total = 0;
+    size_t i = 0;
+    while (i < w.ops.size()) {
+      size_t end = std::min(i + static_cast<size_t>(period), w.ops.size());
+      {
+        BatchUpdater batch(&g);
+        for (; i < end; ++i) {
+          SLG_CHECK(batch.Apply(w.ops[i]).ok());
+        }
+        batch.Finish();
+      }
+
+      auto classic = UpdateDecompressCompress(g);
+      SLG_CHECK(classic.ok());
+      classic_dec += classic.value().decompress_seconds;
+      classic_comp += classic.value().compress_seconds;
+      classic_edges = ComputeStats(classic.value().grammar).edge_count;
+      tree_peak = std::max(tree_peak, classic.value().tree_nodes);
+
+      auto dag = dag_session.Run(g);
+      SLG_CHECK(dag.ok());
+      dag_dec += dag.value().decompress_seconds;
+      dag_comp += dag.value().compress_seconds;
+      dag_edges = ComputeStats(dag.value().grammar).edge_count;
+      dag_peak = std::max(dag_peak, dag.value().dag_nodes);
+      pool_final = dag.value().pool_nodes;
+      reused_total += dag.value().rules_reused;
+      SLG_CHECK(dag.value().dag_nodes < classic.value().tree_nodes);
+      SLG_CHECK(dag.value().tree_nodes == classic.value().tree_nodes);
+      SLG_CHECK(ValueNodeCount(dag.value().grammar) ==
+                classic.value().tree_nodes);
+    }
+    double comp_speedup = dag_comp > 0 ? classic_comp / dag_comp : 0;
+    double size_ratio = classic_edges > 0
+                            ? static_cast<double>(dag_edges) /
+                                  static_cast<double>(classic_edges)
+                            : 0;
+    utable.AddRow({info.name, TablePrinter::Fixed(classic_dec, 3),
+                   TablePrinter::Fixed(classic_comp, 3),
+                   TablePrinter::Fixed(dag_dec, 3),
+                   TablePrinter::Fixed(dag_comp, 3),
+                   TablePrinter::Fixed(comp_speedup, 2),
+                   TablePrinter::Num(classic_edges),
+                   TablePrinter::Num(dag_edges),
+                   TablePrinter::Fixed(size_ratio, 4),
+                   TablePrinter::Num(tree_peak), TablePrinter::Num(dag_peak),
+                   TablePrinter::Num(reused_total)});
+    json.Add(std::string("udc/") + info.name,
+             {{"edges", static_cast<double>(xml.EdgeCount())},
+              {"ops", static_cast<double>(updates)},
+              {"period", static_cast<double>(period)},
+              {"classic_decompress_s", classic_dec},
+              {"classic_compress_s", classic_comp},
+              {"dag_decompress_s", dag_dec},
+              {"dag_compress_s", dag_comp},
+              {"dag_compress_speedup", comp_speedup},
+              {"udc_classic_edges", static_cast<double>(classic_edges)},
+              {"udc_dag_edges", static_cast<double>(dag_edges)},
+              {"udc_dag_vs_classic_edges", size_ratio},
+              {"tree_nodes_peak", static_cast<double>(tree_peak)},
+              {"dag_nodes_peak", static_cast<double>(dag_peak)},
+              {"dag_pool_nodes", static_cast<double>(pool_final)},
+              {"dag_rules_reused", static_cast<double>(reused_total)}});
+  }
+  utable.Print();
 
   std::string out = FlagString(argc, argv, "--out", "BENCH_updates.json");
   if (json.WriteTo(out)) {

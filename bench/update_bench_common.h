@@ -7,6 +7,13 @@
 //                |recompress-from-scratch|
 // with checkpoints every R = 100 updates (paper §V-C).
 //
+// The recompress-from-scratch reference is computed both ways at every
+// checkpoint: classic udc (decompress + TreeRePair; the ratio columns'
+// denominator) and the DAG-shared udc session (decompress to a minimal
+// DAG with a cross-round subtree pool + cut-forest TreeRePair; its
+// size is the udcD column) — the paper's baseline and the harsher one,
+// side by side.
+//
 // The recompression leg runs the damage-localized engine by default
 // (LocalizedGrammarRePair seeded from the batch's damage set — the
 // measured overhead columns then describe the shipping checkpoint
@@ -89,7 +96,18 @@ inline void RunUpdateOverheadBench(const std::vector<Corpus>& corpora,
                 xml.EdgeCount(),
                 static_cast<long long>(ComputeStats(seed_grammar).edge_count));
     TablePrinter table({"updates", "naive", "naive/udc", "grp", "grp/udc",
-                        "udc"});
+                        "udc", "udcD"});
+    // A zero-size udc grammar cannot happen on a real corpus, but the
+    // ratio columns must never print inf on degenerate inputs.
+    auto ratio = [](int64_t num, int64_t den) {
+      return den > 0 ? TablePrinter::Fixed(static_cast<double>(num) /
+                                               static_cast<double>(den),
+                                           4)
+                     : std::string("n/a");
+    };
+    UdcOptions dag_opts;
+    dag_opts.mode = UdcOptions::Mode::kDagShared;
+    UdcSession dag_session(dag_opts);
 
     size_t done = 0;
     while (done < w.ops.size()) {
@@ -116,20 +134,18 @@ inline void RunUpdateOverheadBench(const std::vector<Corpus>& corpora,
       incremental = std::move(r.grammar);
       auto udc = UpdateDecompressCompress(incremental);
       SLG_CHECK(udc.ok());
+      auto udc_dag = dag_session.Run(incremental);
+      SLG_CHECK(udc_dag.ok());
+      SLG_CHECK(udc_dag.value().dag_nodes < udc.value().tree_nodes);
       int64_t udc_size = ComputeStats(udc.value().grammar).edge_count;
+      int64_t udc_dag_size = ComputeStats(udc_dag.value().grammar).edge_count;
       int64_t naive_size = ComputeStats(naive).edge_count;
       int64_t grp_size = ComputeStats(incremental).edge_count;
-      table.AddRow(
-          {TablePrinter::Num(static_cast<int64_t>(done)),
-           TablePrinter::Num(naive_size),
-           TablePrinter::Fixed(static_cast<double>(naive_size) /
-                                   static_cast<double>(udc_size),
-                               4),
-           TablePrinter::Num(grp_size),
-           TablePrinter::Fixed(static_cast<double>(grp_size) /
-                                   static_cast<double>(udc_size),
-                               4),
-           TablePrinter::Num(udc_size)});
+      table.AddRow({TablePrinter::Num(static_cast<int64_t>(done)),
+                    TablePrinter::Num(naive_size), ratio(naive_size, udc_size),
+                    TablePrinter::Num(grp_size), ratio(grp_size, udc_size),
+                    TablePrinter::Num(udc_size),
+                    TablePrinter::Num(udc_dag_size)});
     }
     table.Print();
     std::printf("\n");

@@ -18,8 +18,10 @@
 namespace slg {
 
 struct DagOptions {
-  // Subtrees with fewer nodes than this are never shared (sharing a
-  // leaf costs more than it saves).
+  // Subtrees with fewer nodes than this are never emitted as shared
+  // rules (with the default, leaves are never shared: a leaf rule
+  // costs an edge per call plus the rule, more than it saves in the
+  // grammar representation).
   int min_subtree_size = 2;
 };
 
@@ -28,8 +30,17 @@ struct DagOptions {
 Grammar BuildDag(const Tree& t, const LabelTable& labels,
                  const DagOptions& options = {});
 
-// Number of distinct subtrees of t (the node count of the classic
-// minimal DAG, sharing every duplicate including leaves).
+// Number of distinct subtrees of t — the node count of the classic
+// pointer-based minimal DAG from the literature, which shares every
+// duplicate *including leaves*. This intentionally disagrees with
+// BuildDag's grammar (whose sharing is thresholded by
+// DagOptions::min_subtree_size, because a grammar rule has per-call
+// cost a DAG pointer does not): DistinctSubtreeCount is the
+// representation-independent statistic the paper's introduction
+// quotes, BuildDag is the representation we can actually run RePair
+// on. Invariant (asserted in dag_test.cc): BuildDag emits at most one
+// rule per distinct non-root subtree, so for every tree
+//   RuleCount(BuildDag(t)) <= DistinctSubtreeCount(t) + 1  (+1: start).
 int64_t DistinctSubtreeCount(const Tree& t);
 
 }  // namespace slg

@@ -1,12 +1,15 @@
-// Tests for the minimal-DAG baseline compressor.
+// Tests for the minimal-DAG baseline compressor and the streaming
+// grammar-to-DAG evaluator.
 
 #include "src/dag/dag_builder.h"
 
 #include <gtest/gtest.h>
 
+#include "src/dag/value_dag.h"
 #include "src/grammar/stats.h"
 #include "src/grammar/validate.h"
 #include "src/grammar/value.h"
+#include "src/repair/tree_repair.h"
 #include "src/tree/tree_hash.h"
 #include "src/tree/tree_io.h"
 #include "src/xml/binary_encoding.h"
@@ -65,6 +68,87 @@ TEST(DagTest, DistinctSubtreeCount) {
   EXPECT_EQ(DistinctSubtreeCount(t), 4);
   Tree t2 = ParseTerm("a", &labels).take();
   EXPECT_EQ(DistinctSubtreeCount(t2), 1);
+}
+
+TEST(DagTest, LeafSharingCountedButNeverEmitted) {
+  // DistinctSubtreeCount is the classic pointer-DAG node count and
+  // shares every duplicate including leaves; BuildDag thresholds
+  // sharing at min_subtree_size (default 2: a leaf rule costs more
+  // than it saves). The two intentionally disagree — see
+  // dag_builder.h — and relate by RuleCount <= DistinctSubtreeCount+1.
+  LabelTable labels;
+  Tree t = ParseTerm("f(a,a,a,a)", &labels).take();
+  EXPECT_EQ(DistinctSubtreeCount(t), 2);  // a and f(a,a,a,a)
+  Grammar g = BuildDag(t, labels);
+  EXPECT_EQ(g.RuleCount(), 1);  // the leaf `a` is counted, not shared
+
+  // With the threshold dropped to 1 the leaf does become a rule.
+  DagOptions share_leaves;
+  share_leaves.min_subtree_size = 1;
+  Grammar g1 = BuildDag(t, labels, share_leaves);
+  EXPECT_EQ(g1.RuleCount(), 2);
+  EXPECT_TRUE(TreeEquals(t, Value(g1).take()));
+
+  // The documented invariant, on a few shapes.
+  for (const char* term :
+       {"f(a,a,a,a)", "f(g(a,b),g(a,b))", "f(h(g(a,a)),h(g(a,a)),g(a,a))",
+        "a"}) {
+    LabelTable lt;
+    Tree u = ParseTerm(term, &lt).take();
+    Grammar d = BuildDag(u, lt);
+    EXPECT_LE(d.RuleCount(), DistinctSubtreeCount(u) + 1) << term;
+  }
+}
+
+TEST(DagTest, EvaluatorPoolMatchesDistinctSubtreeCount) {
+  // The streaming evaluator's reachable sub-DAG is exactly the classic
+  // minimal DAG of the derived tree — checked against the direct
+  // tree-side count, both on the trivial grammar and on a compressed
+  // one deriving the same document.
+  auto xml = ParseXml(
+      "<lib><book><t/><au/></book><book><t/><au/></book>"
+      "<book><t/><au/><au/></book><misc><t/></misc></lib>");
+  ASSERT_TRUE(xml.ok());
+  LabelTable labels;
+  Tree bin = EncodeBinary(xml.value(), &labels);
+  int64_t distinct = DistinctSubtreeCount(bin);
+
+  DagEvaluator flat_eval;
+  auto flat = flat_eval.Eval(Grammar::ForTree(Tree(bin), labels));
+  ASSERT_TRUE(flat.ok());
+  DagGrammar flat_dag =
+      DagToGrammar(flat_eval.pool(), flat.value(), labels);
+  EXPECT_EQ(flat_dag.reachable_nodes, distinct);
+  ASSERT_TRUE(Validate(flat_dag.grammar).ok());
+  EXPECT_TRUE(TreeEquals(Value(flat_dag.grammar).take(), bin));
+
+  Grammar compressed = TreeRePair(Tree(bin), labels, {}).grammar;
+  DagEvaluator comp_eval;
+  auto comp = comp_eval.Eval(compressed);
+  ASSERT_TRUE(comp.ok());
+  DagGrammar comp_dag = DagToGrammar(comp_eval.pool(), comp.value(),
+                                     compressed.labels());
+  EXPECT_EQ(comp_dag.reachable_nodes, distinct);
+  EXPECT_TRUE(TreeEquals(Value(comp_dag.grammar).take(), bin));
+  // Same pool size too: evaluation interned nothing unreachable.
+  EXPECT_EQ(comp_eval.pool().size(), distinct);
+}
+
+TEST(DagTest, PoolTreeSizeAndUnfold) {
+  LabelTable labels;
+  Tree t = ParseTerm("f(g(a,b),g(a,b))", &labels).take();
+  DagEvaluator eval;
+  auto root = eval.Eval(Grammar::ForTree(Tree(t), labels));
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(eval.pool().TreeSize(root.value()), t.LiveCount());
+
+  Tree out;
+  auto unfolded = eval.pool().Unfold(root.value(), &out, 100);
+  ASSERT_TRUE(unfolded.ok());
+  out.SetRoot(unfolded.value());
+  EXPECT_TRUE(TreeEquals(out, t));
+  Tree too_small;
+  EXPECT_FALSE(eval.pool().Unfold(root.value(), &too_small, 3).ok());
 }
 
 TEST(DagTest, NestedSharing) {

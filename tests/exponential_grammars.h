@@ -1,0 +1,28 @@
+// Shared test corpus: exponentially compressing grammars.
+
+#ifndef SLG_TESTS_EXPONENTIAL_GRAMMARS_H_
+#define SLG_TESTS_EXPONENTIAL_GRAMMARS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/grammar/grammar.h"
+#include "src/grammar/text_format.h"
+
+namespace slg {
+
+// S -> f(A1,A1), Ai -> f(Ai+1,Ai+1), An -> a: val is the complete
+// binary tree with 2^(n+1)-1 nodes but only n+2 distinct subtrees.
+inline Grammar DoublingGrammar(int levels) {
+  std::vector<std::string> rules = {"S -> f(A1,A1)"};
+  for (int i = 1; i < levels; ++i) {
+    rules.push_back("A" + std::to_string(i) + " -> f(A" + std::to_string(i + 1) +
+                    ",A" + std::to_string(i + 1) + ")");
+  }
+  rules.push_back("A" + std::to_string(levels) + " -> a");
+  return GrammarFromRules(rules).take();
+}
+
+}  // namespace slg
+
+#endif  // SLG_TESTS_EXPONENTIAL_GRAMMARS_H_

@@ -1,0 +1,52 @@
+// Tests for grammar evaluation size arithmetic: saturating addition at
+// the cap (including the near-overflow corner) and value counting on
+// exponentially compressing grammars.
+
+#include "src/grammar/value.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/exponential_grammars.h"
+
+namespace slg {
+namespace {
+
+TEST(SizeSatAddTest, PlainSums) {
+  EXPECT_EQ(SizeSatAdd(0, 0), 0);
+  EXPECT_EQ(SizeSatAdd(5, 7), 12);
+  EXPECT_EQ(SizeSatAdd(0, kSizeCap), kSizeCap);
+}
+
+TEST(SizeSatAddTest, SaturatesAtCap) {
+  EXPECT_EQ(SizeSatAdd(kSizeCap, 1), kSizeCap);
+  EXPECT_EQ(SizeSatAdd(1, kSizeCap), kSizeCap);
+  EXPECT_EQ(SizeSatAdd(kSizeCap - 1, 1), kSizeCap);
+  EXPECT_EQ(SizeSatAdd(kSizeCap - 1, 2), kSizeCap);
+}
+
+TEST(SizeSatAddTest, BothOperandsAtCap) {
+  // 2^62 + 2^62 overflows int64 — the sum must never be formed
+  // unchecked (this is the UBSan regression for the old add-then-test
+  // implementation).
+  EXPECT_EQ(SizeSatAdd(kSizeCap, kSizeCap), kSizeCap);
+  EXPECT_EQ(SizeSatAdd(kSizeCap, kSizeCap - 1), kSizeCap);
+  EXPECT_EQ(SizeSatAdd(INT64_MAX, INT64_MAX), kSizeCap);
+}
+
+TEST(ValueNodeCountTest, ExactBelowCap) {
+  Grammar g = DoublingGrammar(10);
+  EXPECT_EQ(ValueNodeCount(g), (int64_t{1} << 11) - 1);
+}
+
+TEST(ValueNodeCountTest, SaturatesOnExponentialCorpus) {
+  // 80 doubling levels derive ~2^81 nodes: every per-rule total beyond
+  // level 62 sits at the cap, so the bottom-up pass adds kSizeCap to
+  // kSizeCap many times over — the corpus the saturating add exists
+  // for (and the input that made the unchecked version UB).
+  Grammar g = DoublingGrammar(80);
+  EXPECT_EQ(ValueNodeCount(g), kSizeCap);
+  EXPECT_EQ(ValueElementCount(g), kSizeCap);
+}
+
+}  // namespace
+}  // namespace slg
