@@ -21,6 +21,14 @@ enum class StatusCode {
   kOutOfRange,
   kFailedPrecondition,
   kInternal,
+  // The durable store (src/store/) distinguishes environment failures
+  // from unrecoverable on-disk state:
+  //  * kIoError — an I/O operation failed (POSIX error or injected
+  //    fault); retrying or reopening may succeed.
+  //  * kDataLoss — persisted state exists but no valid copy survives
+  //    (every snapshot generation corrupt); reopening cannot help.
+  kIoError,
+  kDataLoss,
 };
 
 // Result of a fallible operation: a code plus a human-readable message.
@@ -45,6 +53,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

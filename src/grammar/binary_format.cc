@@ -66,6 +66,10 @@ std::string SerializeGrammar(const Grammar& g) {
     PutVarint(&out, static_cast<uint64_t>(labels.Rank(id)));
     PutVarint(&out, static_cast<uint64_t>(labels.ParamIndex(id)));
   }
+  // Fresh-name generator state: restoring it keeps post-deserialize
+  // recompressions byte-identical to the live grammar's (the durable
+  // store's recovery guarantee depends on this).
+  PutVarint(&out, static_cast<uint64_t>(labels.fresh_counter()));
   PutVarint(&out, static_cast<uint64_t>(g.start()));
   PutVarint(&out, static_cast<uint64_t>(g.RuleCount()));
   g.ForEachRule([&](LabelId lhs, const Tree& rhs) {
@@ -93,6 +97,7 @@ StatusOr<Grammar> DeserializeGrammar(std::string_view bytes) {
       label_count > (uint64_t{1} << 31)) {
     return Corrupt("label count");
   }
+  int params_seen = 0;
   for (uint64_t i = 0; i < label_count; ++i) {
     uint64_t len = 0;
     std::string_view name;
@@ -109,14 +114,37 @@ StatusOr<Grammar> DeserializeGrammar(std::string_view bytes) {
       if (name != "~" || rank != 0) return Corrupt("slot 0 is not ⊥");
       id = kNullLabel;
     } else if (pidx > 0) {
+      // Param entries must appear in index order with their canonical
+      // spelling — anything else would make Param() mint labels whose
+      // ids diverge from the image's (or trip its name-collision
+      // check, which is a CHECK, not a Status).
+      if (pidx != static_cast<uint64_t>(params_seen) + 1) {
+        return Corrupt("parameter entries out of order");
+      }
+      if (rank != 0) return Corrupt("parameter with nonzero rank");
+      if (name != "$" + std::to_string(pidx)) {
+        return Corrupt("parameter spelling");
+      }
+      if (labels.Find(name) != kNoLabel) return Corrupt("duplicate label");
       id = labels.Param(static_cast<int>(pidx));
+      ++params_seen;
     } else {
+      // Intern() CHECKs on a re-intern with a different rank, so a
+      // duplicate must be rejected here — the dense-id check below
+      // would be too late for the equal-rank case only.
+      if (labels.Find(name) != kNoLabel) return Corrupt("duplicate label");
       id = labels.Intern(name, static_cast<int>(rank));
     }
     if (id != static_cast<LabelId>(i)) {
       return Corrupt("label ids not dense / out of order");
     }
   }
+
+  uint64_t fresh_counter = 0;
+  if (!r.ReadVarint(&fresh_counter) || fresh_counter > (uint64_t{1} << 31)) {
+    return Corrupt("fresh-name counter");
+  }
+  labels.set_fresh_counter(static_cast<int>(fresh_counter));
 
   uint64_t start = 0;
   uint64_t rule_count = 0;
@@ -162,7 +190,16 @@ StatusOr<Grammar> DeserializeGrammar(std::string_view bytes) {
   }
   if (!r.AtEnd()) return Corrupt("trailing bytes");
   g.set_start(static_cast<LabelId>(start));
-  SLG_RETURN_IF_ERROR(Validate(g));
+  // A well-framed image can still encode a structurally invalid
+  // grammar (bad ranks, dangling rule references, cyclic calls).
+  // Validate() classifies those as precondition failures of the live
+  // API; from a deserializer they are corrupt *input*, so remap to
+  // InvalidArgument — callers branch on the code, and every later pass
+  // (navigation, repair, value) assumes a validated grammar.
+  Status valid = Validate(g);
+  if (!valid.ok()) {
+    return Corrupt(valid.message().c_str());
+  }
   return g;
 }
 

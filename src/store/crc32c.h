@@ -1,0 +1,28 @@
+// CRC32C (Castagnoli) — the checksum guarding every persisted byte of
+// the durable store (snapshot payloads, journal records).
+//
+// Software table-driven implementation; no hardware dispatch. The
+// store checksums kilobytes per batch, so portability and determinism
+// win over throughput here (bench_durability measures the journal path
+// end to end if that ever changes).
+
+#ifndef SLG_STORE_CRC32C_H_
+#define SLG_STORE_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace slg {
+
+// CRC32C of `data`, optionally continuing from a previous crc (pass
+// the prior return value to checksum a logical stream in pieces).
+uint32_t Crc32c(const void* data, size_t n, uint32_t crc = 0);
+
+inline uint32_t Crc32c(std::string_view bytes, uint32_t crc = 0) {
+  return Crc32c(bytes.data(), bytes.size(), crc);
+}
+
+}  // namespace slg
+
+#endif  // SLG_STORE_CRC32C_H_

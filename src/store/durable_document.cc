@@ -1,0 +1,286 @@
+#include "src/store/durable_document.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/grammar/stats.h"
+#include "src/grammar/validate.h"
+#include "src/store/io.h"
+#include "src/store/snapshot.h"
+#include "src/update/batch.h"
+
+namespace slg {
+
+namespace {
+
+bool IsTmpName(std::string_view name) {
+  constexpr std::string_view kSuffix = ".tmp";
+  return name.size() > kSuffix.size() &&
+         name.substr(name.size() - kSuffix.size()) == kSuffix;
+}
+
+}  // namespace
+
+std::string DurableDocument::JournalPath(int64_t generation) const {
+  return JoinPath(dir_, JournalFileName(generation));
+}
+
+Status DurableDocument::Poison(Status s) {
+  poisoned_ = true;
+  return s;
+}
+
+StatusOr<DurableDocument> DurableDocument::Create(
+    const std::string& dir, Grammar g, const DurableDocumentOptions& options) {
+  SLG_RETURN_IF_ERROR(Validate(g));
+  FaultInjector* fi = options.fault_injector;
+  SLG_RETURN_IF_ERROR(CreateDirIfMissing(dir, fi));
+  DurableDocument doc(dir, std::move(g), options);
+  doc.generation_ = 1;
+  SLG_RETURN_IF_ERROR(WriteSnapshot(dir, doc.generation_, doc.g_, fi));
+  StatusOr<JournalWriter> j =
+      JournalWriter::Create(doc.JournalPath(doc.generation_), options.journal,
+                            fi);
+  if (!j.ok()) return j.status();
+  doc.journal_.emplace(j.take());
+  SLG_RETURN_IF_ERROR(SyncDir(dir, fi));
+  doc.base_edges_ = ComputeStats(doc.g_).edge_count;
+  doc.recovery_.snapshot_generation = doc.generation_;
+  return StatusOr<DurableDocument>(std::move(doc));
+}
+
+Status DurableDocument::ApplyEncodedBatch(std::string_view encoded) {
+  std::vector<UpdateOp> ops;
+  SLG_RETURN_IF_ERROR(DecodeBatch(encoded, &g_.labels(), &ops));
+  BatchUpdater batch(&g_);
+  for (const UpdateOp& op : ops) {
+    SLG_RETURN_IF_ERROR(batch.Apply(op));
+  }
+  batch.Finish();
+  for (LabelId rule : batch.DamagedRules()) {
+    if (pending_damage_seen_.insert(rule).second) {
+      pending_damage_.push_back(rule);
+    }
+  }
+  pending_edges_ += batch.EdgesAdded();
+  ops_since_checkpoint_ += static_cast<int64_t>(ops.size());
+  return Status::Ok();
+}
+
+Status DurableDocument::ApplyBatch(const std::vector<UpdateOp>& ops) {
+  if (poisoned_) {
+    return Status::FailedPrecondition(
+        "document is poisoned by an earlier durability failure; reopen to "
+        "recover the last committed state");
+  }
+  if (!journal_) {
+    return Status::FailedPrecondition("document is closed");
+  }
+  // Validate rename targets up front: EncodeBatch resolves op.label
+  // against the table and an out-of-range id must fail cleanly before
+  // anything is mutated or journaled.
+  for (const UpdateOp& op : ops) {
+    if (op.kind == UpdateOp::Kind::kRename &&
+        (op.label < 0 || op.label >= g_.labels().size())) {
+      return Status::InvalidArgument(
+          "rename op label id " + std::to_string(op.label) +
+          " is not in the document's label table");
+    }
+  }
+  std::string encoded = EncodeBatch(ops, g_.labels());
+  // Apply the DECODED batch, not `ops`: the live path then interns
+  // journal-carried label names in exactly the order replay will, so a
+  // recovered grammar is byte-identical to the live one.
+  Status applied = ApplyEncodedBatch(encoded);
+  if (!applied.ok()) {
+    // The batch may have mutated the grammar before failing; the only
+    // consistent copies are on disk now.
+    return Poison(std::move(applied));
+  }
+  Status logged = journal_->AppendBatch(encoded);
+  if (!logged.ok()) return Poison(std::move(logged));
+  if (options_.growth_trigger > 0 &&
+      ops_since_checkpoint_ >= options_.min_checkpoint_ops &&
+      pending_edges_ >
+          static_cast<int64_t>(options_.growth_trigger *
+                               static_cast<double>(base_edges_))) {
+    return Checkpoint();
+  }
+  return Status::Ok();
+}
+
+void DurableDocument::RecompressForCheckpoint() {
+  Grammar g = std::move(g_);
+  GrammarRepairResult r =
+      (options_.localized && !pending_damage_.empty())
+          ? LocalizedGrammarRePair(std::move(g), pending_damage_,
+                                   options_.repair)
+          : GrammarRePair(std::move(g), options_.repair);
+  g_ = std::move(r.grammar);
+  pending_damage_.clear();
+  pending_damage_seen_.clear();
+  pending_edges_ = 0;
+  ops_since_checkpoint_ = 0;
+  base_edges_ = ComputeStats(g_).edge_count;
+}
+
+Status DurableDocument::Checkpoint() {
+  if (poisoned_) {
+    return Status::FailedPrecondition(
+        "document is poisoned by an earlier durability failure");
+  }
+  if (!journal_) {
+    return Status::FailedPrecondition("document is closed");
+  }
+  FaultInjector* fi = options_.fault_injector;
+  // Seal journal g first (fsyncs unconditionally): from here on the
+  // chain snapshot g + journal g reproduces the post-rotation state,
+  // so every later step of the rotation is redo-able.
+  Status sealed = journal_->AppendCheckpoint(generation_ + 1);
+  if (!sealed.ok()) return Poison(std::move(sealed));
+  Status closed = journal_->Close();
+  if (!closed.ok()) {
+    journal_.reset();
+    return Poison(std::move(closed));
+  }
+  journal_.reset();
+  RecompressForCheckpoint();
+  ++generation_;
+  Status published = WriteSnapshot(dir_, generation_, g_, fi);
+  if (!published.ok()) return Poison(std::move(published));
+  StatusOr<JournalWriter> j =
+      JournalWriter::Create(JournalPath(generation_), options_.journal, fi);
+  if (!j.ok()) return Poison(j.status());
+  journal_.emplace(j.take());
+  Status dir_synced = SyncDir(dir_, fi);
+  if (!dir_synced.ok()) return Poison(std::move(dir_synced));
+  Status cleaned = CleanupOldGenerations();
+  if (!cleaned.ok()) return Poison(std::move(cleaned));
+  return Status::Ok();
+}
+
+Status DurableDocument::CleanupOldGenerations() {
+  StatusOr<std::vector<std::string>> names = ListDir(dir_);
+  if (!names.ok()) return names.status();
+  FaultInjector* fi = options_.fault_injector;
+  for (const std::string& name : names.value()) {
+    int64_t gen = 0;
+    bool stale =
+        IsTmpName(name) ||
+        (ParseSnapshotFileName(name, &gen) && gen < generation_ - 1) ||
+        (ParseJournalFileName(name, &gen) && gen < generation_ - 1);
+    if (stale) {
+      SLG_RETURN_IF_ERROR(RemoveFile(JoinPath(dir_, name), fi));
+    }
+  }
+  return Status::Ok();
+}
+
+Status DurableDocument::Sync() {
+  if (poisoned_) {
+    return Status::FailedPrecondition(
+        "document is poisoned by an earlier durability failure");
+  }
+  if (!journal_) return Status::FailedPrecondition("document is closed");
+  Status s = journal_->Sync();
+  if (!s.ok()) return Poison(std::move(s));
+  return Status::Ok();
+}
+
+Status DurableDocument::Close() {
+  if (!journal_) return Status::Ok();
+  Status s = journal_->Close();
+  journal_.reset();
+  return s;
+}
+
+StatusOr<DurableDocument> DurableDocument::Open(
+    const std::string& dir, const DurableDocumentOptions& options) {
+  FaultInjector* fi = options.fault_injector;
+  StatusOr<LoadedSnapshot> loaded = LoadLatestSnapshot(dir);
+  if (!loaded.ok()) return loaded.status();
+  LoadedSnapshot snap = loaded.take();
+  DurableDocument doc(dir, std::move(snap.grammar), options);
+  doc.generation_ = snap.generation;
+  doc.recovery_.snapshot_generation = snap.generation;
+  doc.recovery_.snapshots_skipped = snap.skipped;
+  doc.base_edges_ = ComputeStats(doc.g_).edge_count;
+
+  // Roll the journals forward. Each iteration replays one journal
+  // file; a checkpoint marker at its end means the writer rotated (or
+  // died rotating) — re-run the rotation and continue with the next
+  // generation's journal. The loop ends at the active journal: one
+  // with no checkpoint marker, or none on disk at all.
+  for (;;) {
+    std::string path = doc.JournalPath(doc.generation_);
+    StatusOr<JournalReplay> replayed = ReplayJournal(path);
+    if (!replayed.ok()) {
+      if (replayed.status().code() == StatusCode::kNotFound) {
+        // Crash after the snapshot was published but before its
+        // journal existed: start a fresh one.
+        StatusOr<JournalWriter> j =
+            JournalWriter::Create(path, options.journal, fi);
+        if (!j.ok()) return j.status();
+        doc.journal_.emplace(j.take());
+        SLG_RETURN_IF_ERROR(SyncDir(dir, fi));
+        break;
+      }
+      return replayed.status();
+    }
+    JournalReplay replay = replayed.take();
+    for (const std::string& encoded : replay.batches) {
+      Status applied = doc.ApplyEncodedBatch(encoded);
+      if (!applied.ok()) {
+        // A committed, CRC-valid record that cannot be applied means
+        // the corruption beat the checksum (or the writer was buggy);
+        // there is no later state to fall back to.
+        return Status::DataLoss("journal " + path +
+                                " holds an unreplayable committed batch: " +
+                                applied.message());
+      }
+      ++doc.recovery_.batches_replayed;
+    }
+    if (replay.ends_with_checkpoint) {
+      // Re-run the interrupted rotation. Recompression is a pure
+      // function of (snapshot state, replayed batches), so the
+      // snapshot rebuilt here is byte-identical to what the dead
+      // writer did (or would have) put on disk.
+      doc.RecompressForCheckpoint();
+      doc.generation_ = replay.next_generation;
+      ++doc.recovery_.checkpoints_replayed;
+      SLG_RETURN_IF_ERROR(WriteSnapshot(dir, doc.generation_, doc.g_, fi));
+      doc.recovery_.snapshot_generation = doc.generation_;
+      continue;
+    }
+    // Active journal: cut any torn tail, then reopen for append. A
+    // file whose header never made it durable is rebuilt from scratch
+    // (it can hold no committed batch).
+    if (!replay.header_ok) {
+      StatusOr<JournalWriter> j =
+          JournalWriter::Create(path, options.journal, fi);
+      if (!j.ok()) return j.status();
+      doc.journal_.emplace(j.take());
+      doc.recovery_.journal_tail_truncated |= replay.truncated_tail;
+      break;
+    }
+    if (replay.truncated_tail) {
+      SLG_RETURN_IF_ERROR(TruncateFile(path, replay.valid_bytes, fi));
+      doc.recovery_.journal_tail_truncated = true;
+    }
+    StatusOr<JournalWriter> j = JournalWriter::OpenExisting(
+        path, static_cast<int64_t>(replay.batches.size()), options.journal,
+        fi);
+    if (!j.ok()) return j.status();
+    doc.journal_.emplace(j.take());
+    break;
+  }
+
+  SLG_RETURN_IF_ERROR(doc.CleanupOldGenerations());
+  // Every recovery path ends in a full structural validation — a
+  // grammar handed back by Open is one the rest of the library can
+  // trust unconditionally.
+  SLG_RETURN_IF_ERROR(Validate(doc.g_));
+  return StatusOr<DurableDocument>(std::move(doc));
+}
+
+}  // namespace slg

@@ -1,0 +1,170 @@
+// Crash-consistent on-disk document: snapshot + write-ahead journal.
+//
+// A document directory holds at most two generations of each file:
+//
+//   snapshot-<g>.slg    checksummed SerializeGrammar image (snapshot.h)
+//   journal-<g>.wal     batches applied since snapshot g (journal.h)
+//
+// Commit protocol, in order:
+//   1. ApplyBatch applies the *decoded* batch to the in-memory grammar
+//      (so live application interns labels exactly like replay will),
+//      then appends it to journal g and fsyncs per FsyncPolicy.
+//   2. A checkpoint appends a kCheckpoint marker to journal g and
+//      fsyncs it UNCONDITIONALLY — the fallback chain snapshot g +
+//      journal g must be complete before the rotation starts — then
+//      recompresses, atomically publishes snapshot g+1, creates
+//      journal g+1, and deletes generation g-1.
+//
+// Recovery (Open) loads the newest valid snapshot (falling back past
+// corrupt ones), replays its journal's committed batches through the
+// very same apply path, and re-runs any rotation the journal's
+// checkpoint marker records — recompression is deterministic, so the
+// rebuilt snapshot is byte-identical to the one the crash interrupted.
+// Torn journal tails are truncated; the recovered grammar is validated
+// on every path.
+//
+// Failure model: any error on the durability path (journal append,
+// checkpoint, sync) poisons the document — further updates return
+// FailedPrecondition; reopening the directory recovers the last
+// committed state. With FsyncPolicy::kEveryBatch, a batch whose
+// ApplyBatch returned Ok survives any later crash.
+
+#ifndef SLG_STORE_DURABLE_DOCUMENT_H_
+#define SLG_STORE_DURABLE_DOCUMENT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/grammar_repair.h"
+#include "src/grammar/grammar.h"
+#include "src/store/fault_injection.h"
+#include "src/store/journal.h"
+#include "src/workload/update_workload.h"
+
+namespace slg {
+
+struct DurableDocumentOptions {
+  DurableDocumentOptions() {
+    // Same rationale as CompressedXmlTreeOptions: the grammar gets
+    // recompressed at every checkpoint, so skip replace-then-prune
+    // churn.
+    repair.repair.require_positive_savings = true;
+  }
+
+  JournalOptions journal;
+
+  // Adaptive checkpoint trigger, same semantics as BatchApplyOptions:
+  // rotate when the gross edges added since the last checkpoint exceed
+  // growth_trigger * (grammar edges at that checkpoint), but not
+  // before min_checkpoint_ops operations. <= 0 disables automatic
+  // checkpoints (call Checkpoint() explicitly).
+  double growth_trigger = 0.5;
+  int min_checkpoint_ops = 64;
+
+  // Checkpoints recompress with the damage-localized repair seeded
+  // from the batches' damage sets (BatchUpdater::DamagedRules); off
+  // runs the full pipeline.
+  bool localized = true;
+  GrammarRepairOptions repair;
+
+  // Borrowed; nullptr (production) injects nothing. The injector is
+  // consulted on every file operation the document performs.
+  FaultInjector* fault_injector = nullptr;
+};
+
+// What Open had to do to get back to a consistent state.
+struct RecoveryStats {
+  int64_t snapshot_generation = 0;  // generation of the snapshot used
+  int64_t snapshots_skipped = 0;    // newer snapshots that were corrupt
+  int64_t batches_replayed = 0;
+  int64_t checkpoints_replayed = 0;  // rotations re-run from markers
+  bool journal_tail_truncated = false;
+};
+
+class DurableDocument {
+ public:
+  DurableDocument(DurableDocument&&) = default;
+  DurableDocument& operator=(DurableDocument&&) = default;
+
+  // Initializes `dir` (created if missing) with snapshot generation 1
+  // of `g` and an empty journal. Fails if the grammar is invalid.
+  static StatusOr<DurableDocument> Create(
+      const std::string& dir, Grammar g,
+      const DurableDocumentOptions& options = {});
+
+  // Recovers the document in `dir`: newest valid snapshot + journal
+  // replay + re-run of any interrupted rotation. NotFound if `dir`
+  // holds no snapshot; DataLoss if no generation survives.
+  static StatusOr<DurableDocument> Open(
+      const std::string& dir, const DurableDocumentOptions& options = {});
+
+  // Applies one batch atomically-on-recovery: either the whole batch
+  // is journaled (and survives per the fsync policy) or, after a
+  // crash, none of it is. May rotate per the adaptive trigger.
+  Status ApplyBatch(const std::vector<UpdateOp>& ops);
+
+  // Forces a checkpoint rotation now.
+  Status Checkpoint();
+
+  // Fsyncs the journal (makes batches buffered by kNone/kEveryN
+  // durable).
+  Status Sync();
+
+  // Closes the journal. The document is unusable afterwards.
+  Status Close();
+
+  const Grammar& grammar() const { return g_; }
+  int64_t generation() const { return generation_; }
+  const RecoveryStats& recovery_stats() const { return recovery_; }
+  // True once a durability-path failure was observed; every further
+  // update returns FailedPrecondition. Reopen the directory to
+  // recover.
+  bool poisoned() const { return poisoned_; }
+  int64_t batches_applied() const {
+    return journal_ ? journal_->batches_appended() : 0;
+  }
+
+ private:
+  DurableDocument(std::string dir, Grammar g,
+                  const DurableDocumentOptions& options)
+      : dir_(std::move(dir)), options_(options), g_(std::move(g)) {}
+
+  // Decodes `encoded` against the document's label table and applies
+  // it through a fresh BatchUpdater, harvesting damage — the one apply
+  // path shared by the live side and replay.
+  Status ApplyEncodedBatch(std::string_view encoded);
+
+  // The rotation's recompress step (shared by Checkpoint and replay).
+  void RecompressForCheckpoint();
+
+  // Deletes snapshots and journals older than generation-1, plus
+  // leftover .tmp files from interrupted atomic writes.
+  Status CleanupOldGenerations();
+
+  Status Poison(Status s);
+
+  std::string JournalPath(int64_t generation) const;
+
+  std::string dir_;
+  DurableDocumentOptions options_;
+  Grammar g_;
+  std::optional<JournalWriter> journal_;
+  int64_t generation_ = 0;
+  bool poisoned_ = false;
+  RecoveryStats recovery_;
+
+  // Checkpoint-trigger state since the last rotation.
+  int64_t base_edges_ = 0;
+  int64_t pending_edges_ = 0;
+  int64_t ops_since_checkpoint_ = 0;
+  std::vector<LabelId> pending_damage_;
+  std::unordered_set<LabelId> pending_damage_seen_;
+};
+
+}  // namespace slg
+
+#endif  // SLG_STORE_DURABLE_DOCUMENT_H_

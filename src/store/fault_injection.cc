@@ -1,0 +1,35 @@
+#include "src/store/fault_injection.h"
+
+#include <algorithm>
+
+namespace slg {
+
+FaultInjector::Decision FaultInjector::Next(IoOpKind kind) {
+  (void)kind;
+  Decision d;
+  if (crashed_) {
+    d.fail = true;
+    return d;
+  }
+  int64_t index = ops_seen_++;
+  if (index == plan_.fail_at) {
+    d.fail = true;
+    return d;
+  }
+  if (index == plan_.crash_at) {
+    crashed_ = true;
+    d.crash_now = true;
+    d.write_fraction = plan_.short_write_fraction;
+    d.flip_bit = plan_.flip_bit;
+  }
+  return d;
+}
+
+void FaultInjector::Register(File* f) { open_files_.push_back(f); }
+
+void FaultInjector::Unregister(File* f) {
+  open_files_.erase(std::remove(open_files_.begin(), open_files_.end(), f),
+                    open_files_.end());
+}
+
+}  // namespace slg

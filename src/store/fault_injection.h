@@ -1,0 +1,104 @@
+// Fault injection for the durable store's I/O layer.
+//
+// Every mutating operation the io.h wrappers perform (create, append,
+// fsync, close, rename, truncate, unlink, directory fsync, mkdir)
+// first consults the FaultInjector attached to it. A default-
+// constructed injector only counts operations — the production
+// configuration, and the recording pass the crash-matrix test uses to
+// enumerate injection points. A configured plan can then:
+//
+//  * fail one operation (fail_at): it returns kIoError, everything
+//    else proceeds — a transient environment error;
+//  * crash at one operation (crash_at): the op takes partial effect
+//    (an append persists only short_write_fraction of its bytes,
+//    optionally with a flipped bit — a torn, corrupted sector) and
+//    every subsequent operation fails with kIoError, simulating the
+//    process dying at that exact point. With drop_unsynced, bytes
+//    appended since each open file's last fsync are discarded too —
+//    the stricter power-loss model that makes fsync policies
+//    observable.
+//
+// The store is single-threaded per document; the injector is
+// deliberately not thread-safe.
+
+#ifndef SLG_STORE_FAULT_INJECTION_H_
+#define SLG_STORE_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace slg {
+
+enum class IoOpKind {
+  kCreate,
+  kAppend,
+  kSync,
+  kClose,
+  kRename,
+  kTruncate,
+  kUnlink,
+  kDirSync,
+  kMkdir,
+};
+
+class File;  // io.h; registers itself while open for write
+
+class FaultInjector {
+ public:
+  struct Plan {
+    // 0-based index (in ops_seen order) of the op that crashes the
+    // simulated process; -1 = never.
+    int64_t crash_at = -1;
+    // If the crash op is an append, this fraction of its bytes reaches
+    // disk (a torn write). 1.0 = the append itself completes and the
+    // crash hits just after.
+    double short_write_fraction = 1.0;
+    // Corrupt the last persisted byte of the torn append — a torn AND
+    // mangled sector.
+    bool flip_bit = false;
+    // On crash, additionally truncate every open writable file back to
+    // its last fsynced size (power-loss model: the page cache dies).
+    bool drop_unsynced = false;
+    // 0-based index of a single op that fails with kIoError without
+    // crashing; -1 = never.
+    int64_t fail_at = -1;
+  };
+
+  FaultInjector() = default;
+  explicit FaultInjector(const Plan& plan) : plan_(plan) {}
+
+  // Total injectable operations observed so far (the crash-matrix
+  // domain after a fault-free recording pass).
+  int64_t ops_seen() const { return ops_seen_; }
+
+  // True once the crash point fired: all further I/O fails.
+  bool crashed() const { return crashed_; }
+
+  // --- internal API, called by io.cc ------------------------------------
+
+  struct Decision {
+    bool fail = false;        // fail this op without touching disk
+    bool crash_now = false;   // this op is the crash point
+    double write_fraction = 1.0;
+    bool flip_bit = false;
+  };
+  Decision Next(IoOpKind kind);
+
+  bool drop_unsynced_on_crash() const { return plan_.drop_unsynced; }
+
+  // Open writable files register themselves so a drop_unsynced crash
+  // can truncate them all back to their synced size.
+  void Register(File* f);
+  void Unregister(File* f);
+  const std::vector<File*>& open_files() const { return open_files_; }
+
+ private:
+  Plan plan_;
+  int64_t ops_seen_ = 0;
+  bool crashed_ = false;
+  std::vector<File*> open_files_;
+};
+
+}  // namespace slg
+
+#endif  // SLG_STORE_FAULT_INJECTION_H_

@@ -1,0 +1,331 @@
+#include "src/store/io.h"
+
+#include <dirent.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+namespace slg {
+
+namespace {
+
+Status IoFail(const std::string& what, const std::string& path) {
+  return Status::IoError(what + " " + path + ": " + strerror(errno));
+}
+
+Status Injected(const std::string& what, const std::string& path) {
+  return Status::IoError(what + " " + path + ": injected fault");
+}
+
+// Applies the drop_unsynced part of a crash: every registered open
+// writable file loses the bytes appended since its last fsync.
+void DropUnsyncedEverywhere(FaultInjector* fi) {
+  if (fi == nullptr || !fi->drop_unsynced_on_crash()) return;
+  for (File* f : fi->open_files()) f->TruncateToSyncedSize();
+}
+
+}  // namespace
+
+File::File(int fd, std::string path, int64_t size, FaultInjector* fi)
+    : fd_(fd), path_(std::move(path)), fi_(fi), size_(size),
+      synced_size_(size) {
+  if (fi_ != nullptr) fi_->Register(this);
+}
+
+File::File(File&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)), fi_(other.fi_),
+      size_(other.size_), synced_size_(other.synced_size_) {
+  if (fi_ != nullptr) {
+    fi_->Unregister(&other);
+    if (fd_ >= 0) fi_->Register(this);
+  }
+  other.fd_ = -1;
+  other.fi_ = nullptr;
+}
+
+File& File::operator=(File&& other) noexcept {
+  if (this != &other) {
+    Release();
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    fi_ = other.fi_;
+    size_ = other.size_;
+    synced_size_ = other.synced_size_;
+    if (fi_ != nullptr) {
+      fi_->Unregister(&other);
+      if (fd_ >= 0) fi_->Register(this);
+    }
+    other.fd_ = -1;
+    other.fi_ = nullptr;
+  }
+  return *this;
+}
+
+File::~File() { Release(); }
+
+void File::Release() {
+  if (fi_ != nullptr) fi_->Unregister(this);
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  fi_ = nullptr;
+}
+
+StatusOr<File> File::Create(const std::string& path, FaultInjector* fi) {
+  if (fi != nullptr) {
+    FaultInjector::Decision d = fi->Next(IoOpKind::kCreate);
+    if (d.crash_now) DropUnsyncedEverywhere(fi);
+    if (d.fail || d.crash_now) return Injected("create", path);
+  }
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return IoFail("create", path);
+  return File(fd, path, 0, fi);
+}
+
+StatusOr<File> File::OpenForAppend(const std::string& path,
+                                   FaultInjector* fi) {
+  if (fi != nullptr) {
+    FaultInjector::Decision d = fi->Next(IoOpKind::kCreate);
+    if (d.crash_now) DropUnsyncedEverywhere(fi);
+    if (d.fail || d.crash_now) return Injected("open", path);
+  }
+  int fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
+  if (fd < 0) return IoFail("open", path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return IoFail("stat", path);
+  }
+  return File(fd, path, static_cast<int64_t>(st.st_size), fi);
+}
+
+Status File::Append(std::string_view data) {
+  if (fd_ < 0) return Status::IoError("append " + path_ + ": file is closed");
+  size_t persist = data.size();
+  bool flip = false;
+  bool crash = false;
+  if (fi_ != nullptr) {
+    FaultInjector::Decision d = fi_->Next(IoOpKind::kAppend);
+    if (d.fail) return Injected("append", path_);
+    if (d.crash_now) {
+      crash = true;
+      persist = static_cast<size_t>(static_cast<double>(data.size()) *
+                                    d.write_fraction);
+      persist = std::min(persist, data.size());
+      flip = d.flip_bit && persist > 0;
+    }
+  }
+  std::string mangled;
+  const char* p = data.data();
+  if (flip) {
+    mangled.assign(data.data(), persist);
+    mangled[persist - 1] = static_cast<char>(mangled[persist - 1] ^ 0x40);
+    p = mangled.data();
+  }
+  size_t written = 0;
+  while (written < persist) {
+    ssize_t n = ::write(fd_, p + written, persist - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      size_ += static_cast<int64_t>(written);
+      return IoFail("append", path_);
+    }
+    written += static_cast<size_t>(n);
+  }
+  size_ += static_cast<int64_t>(written);
+  if (crash) {
+    // The torn bytes are on disk (unless the power-loss model also
+    // drops them); the op itself reports the simulated death.
+    DropUnsyncedEverywhere(fi_);
+    return Injected("append (crash)", path_);
+  }
+  return Status::Ok();
+}
+
+Status File::Sync() {
+  if (fd_ < 0) return Status::IoError("fsync " + path_ + ": file is closed");
+  if (fi_ != nullptr) {
+    FaultInjector::Decision d = fi_->Next(IoOpKind::kSync);
+    if (d.crash_now) DropUnsyncedEverywhere(fi_);
+    if (d.fail || d.crash_now) return Injected("fsync", path_);
+  }
+  if (::fsync(fd_) != 0) return IoFail("fsync", path_);
+  synced_size_ = size_;
+  return Status::Ok();
+}
+
+Status File::Close() {
+  if (fd_ < 0) return Status::Ok();
+  if (fi_ != nullptr) {
+    FaultInjector::Decision d = fi_->Next(IoOpKind::kClose);
+    if (d.crash_now) DropUnsyncedEverywhere(fi_);
+    if (d.fail || d.crash_now) {
+      // The simulated process died with the descriptor open; release
+      // the real one either way.
+      Release();
+      return Injected("close", path_);
+    }
+  }
+  int rc = ::close(fd_);
+  int saved = errno;
+  if (fi_ != nullptr) fi_->Unregister(this);
+  fd_ = -1;
+  fi_ = nullptr;
+  if (rc != 0) {
+    errno = saved;
+    return IoFail("close", path_);
+  }
+  return Status::Ok();
+}
+
+void File::TruncateToSyncedSize() {
+  if (fd_ < 0 || size_ == synced_size_) return;
+  // Flush our own view first: bytes past synced_size_ vanish.
+  if (::ftruncate(fd_, static_cast<off_t>(synced_size_)) == 0) {
+    size_ = synced_size_;
+  }
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  out->clear();
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return IoFail("open", path);
+  }
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int saved = errno;
+      ::close(fd);
+      errno = saved;
+      return IoFail("read", path);
+    }
+    if (n == 0) break;
+    out->append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+StatusOr<int64_t> FileSize(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return IoFail("stat", path);
+  }
+  return static_cast<int64_t>(st.st_size);
+}
+
+StatusOr<std::vector<std::string>> ListDir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    if (errno == ENOENT) return Status::NotFound("no such directory: " + dir);
+    return IoFail("opendir", dir);
+  }
+  std::vector<std::string> names;
+  while (struct dirent* e = ::readdir(d)) {
+    std::string name = e->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(std::move(name));
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status CreateDirIfMissing(const std::string& dir, FaultInjector* fi) {
+  if (fi != nullptr) {
+    FaultInjector::Decision d = fi->Next(IoOpKind::kMkdir);
+    if (d.crash_now) DropUnsyncedEverywhere(fi);
+    if (d.fail || d.crash_now) return Injected("mkdir", dir);
+  }
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return IoFail("mkdir", dir);
+  }
+  return Status::Ok();
+}
+
+Status SyncDir(const std::string& dir, FaultInjector* fi) {
+  if (fi != nullptr) {
+    FaultInjector::Decision d = fi->Next(IoOpKind::kDirSync);
+    if (d.crash_now) DropUnsyncedEverywhere(fi);
+    if (d.fail || d.crash_now) return Injected("dirsync", dir);
+  }
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return IoFail("open dir", dir);
+  int rc = ::fsync(fd);
+  int saved = errno;
+  ::close(fd);
+  if (rc != 0) {
+    errno = saved;
+    return IoFail("fsync dir", dir);
+  }
+  return Status::Ok();
+}
+
+Status RenameFile(const std::string& from, const std::string& to,
+                  FaultInjector* fi) {
+  if (fi != nullptr) {
+    FaultInjector::Decision d = fi->Next(IoOpKind::kRename);
+    if (d.crash_now) DropUnsyncedEverywhere(fi);
+    if (d.fail || d.crash_now) return Injected("rename", from);
+  }
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return IoFail("rename", from + " -> " + to);
+  }
+  return Status::Ok();
+}
+
+Status RemoveFile(const std::string& path, FaultInjector* fi) {
+  if (fi != nullptr) {
+    FaultInjector::Decision d = fi->Next(IoOpKind::kUnlink);
+    if (d.crash_now) DropUnsyncedEverywhere(fi);
+    if (d.fail || d.crash_now) return Injected("unlink", path);
+  }
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return IoFail("unlink", path);
+  }
+  return Status::Ok();
+}
+
+Status TruncateFile(const std::string& path, int64_t size, FaultInjector* fi) {
+  if (fi != nullptr) {
+    FaultInjector::Decision d = fi->Next(IoOpKind::kTruncate);
+    if (d.crash_now) DropUnsyncedEverywhere(fi);
+    if (d.fail || d.crash_now) return Injected("truncate", path);
+  }
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return IoFail("truncate", path);
+  }
+  return Status::Ok();
+}
+
+Status WriteFileAtomic(const std::string& dir, const std::string& name,
+                       std::string_view data, FaultInjector* fi) {
+  const std::string tmp_path = JoinPath(dir, name + ".tmp");
+  const std::string final_path = JoinPath(dir, name);
+  StatusOr<File> f = File::Create(tmp_path, fi);
+  if (!f.ok()) return f.status();
+  File file = f.take();
+  SLG_RETURN_IF_ERROR(file.Append(data));
+  SLG_RETURN_IF_ERROR(file.Sync());
+  SLG_RETURN_IF_ERROR(file.Close());
+  SLG_RETURN_IF_ERROR(RenameFile(tmp_path, final_path, fi));
+  return SyncDir(dir, fi);
+}
+
+}  // namespace slg

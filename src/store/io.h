@@ -1,0 +1,112 @@
+// Thin File/Dir wrappers over POSIX I/O for the durable store.
+//
+// Every mutating operation routes through the (optional) FaultInjector
+// attached at open/call time — a no-op counter in production, the
+// crash/fault machine in the store tests. Reads are not injected:
+// crash points before a read are already covered by earlier mutating
+// ops, and corrupt-content handling is exercised directly by the
+// corruption-sweep tests on the file bytes.
+//
+// All failures are Status (kIoError with errno detail), never aborts;
+// the store's contract is that no sequence of I/O failures or on-disk
+// corruption can crash the process.
+
+#ifndef SLG_STORE_IO_H_
+#define SLG_STORE_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/store/fault_injection.h"
+
+namespace slg {
+
+// An append-only writable file. Move-only; the destructor closes the
+// descriptor silently (call Close() to observe errors).
+class File {
+ public:
+  // Creates (or truncates) the file for writing.
+  static StatusOr<File> Create(const std::string& path, FaultInjector* fi);
+  // Opens an existing file for appending.
+  static StatusOr<File> OpenForAppend(const std::string& path,
+                                      FaultInjector* fi);
+
+  File(File&& other) noexcept;
+  File& operator=(File&& other) noexcept;
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+  ~File();
+
+  Status Append(std::string_view data);
+  Status Sync();
+  Status Close();
+
+  bool is_open() const { return fd_ >= 0; }
+  // Logical bytes successfully appended (excludes bytes lost to a torn
+  // write at the crash point).
+  int64_t size() const { return size_; }
+  int64_t synced_size() const { return synced_size_; }
+  const std::string& path() const { return path_; }
+
+  // Called by the injector on a drop_unsynced crash: discards bytes
+  // appended since the last Sync().
+  void TruncateToSyncedSize();
+
+ private:
+  File(int fd, std::string path, int64_t size, FaultInjector* fi);
+  void Release();
+
+  int fd_ = -1;
+  std::string path_;
+  FaultInjector* fi_ = nullptr;
+  int64_t size_ = 0;
+  int64_t synced_size_ = 0;
+};
+
+// Whole-file read; not fault-injected (see header comment).
+Status ReadFileToString(const std::string& path, std::string* out);
+
+bool FileExists(const std::string& path);
+
+// File sizes are int64_t; NotFound if absent.
+StatusOr<int64_t> FileSize(const std::string& path);
+
+// Names (not paths) of the directory's entries, sorted; "." and ".."
+// excluded.
+StatusOr<std::vector<std::string>> ListDir(const std::string& dir);
+
+// mkdir; ok if the directory already exists.
+Status CreateDirIfMissing(const std::string& dir, FaultInjector* fi);
+
+// fsync on the directory itself — the step that makes a rename or
+// unlink durable.
+Status SyncDir(const std::string& dir, FaultInjector* fi);
+
+Status RenameFile(const std::string& from, const std::string& to,
+                  FaultInjector* fi);
+
+Status RemoveFile(const std::string& path, FaultInjector* fi);
+
+Status TruncateFile(const std::string& path, int64_t size, FaultInjector* fi);
+
+// The atomic-publish primitive of the store: write `data` to a
+// temporary file in `dir`, fsync it, rename it over `name`, fsync the
+// directory. After this returns Ok the file content is durable; a
+// crash anywhere inside leaves either the old file or no file, never a
+// torn one (modulo the injector's bit flips, which the checksums
+// upstairs exist to catch).
+Status WriteFileAtomic(const std::string& dir, const std::string& name,
+                       std::string_view data, FaultInjector* fi);
+
+inline std::string JoinPath(const std::string& dir, const std::string& name) {
+  if (dir.empty()) return name;
+  if (dir.back() == '/') return dir + name;
+  return dir + "/" + name;
+}
+
+}  // namespace slg
+
+#endif  // SLG_STORE_IO_H_

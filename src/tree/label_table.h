@@ -63,6 +63,16 @@ class LabelTable {
 
   int size() const { return static_cast<int>(entries_.size()); }
 
+  // State of the Fresh() name generator. Serialized with the grammar
+  // image: fresh-name generation is history-dependent (the counter is
+  // shared across prefixes and skips collisions), so round-tripping a
+  // grammar must restore it — otherwise a recompression after
+  // deserialize mints different rule names than the live grammar
+  // would, and the durable store's recovered-bytes-identical guarantee
+  // breaks.
+  int fresh_counter() const { return fresh_counter_; }
+  void set_fresh_counter(int counter) { fresh_counter_ = counter; }
+
  private:
   struct Entry {
     std::string name;

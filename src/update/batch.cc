@@ -224,8 +224,15 @@ Status BatchUpdater::Apply(const UpdateOp& op) {
     case UpdateOp::Kind::kDelete:
       return Delete(op.preorder);
     case UpdateOp::Kind::kRename:
-      SLG_CHECK(op.label >= 0 &&
-                op.label < static_cast<LabelId>(g_->labels().size()));
+      // The label id is caller-supplied (workload generators, journal
+      // replay): out-of-table ids are a user error, not an invariant
+      // breach — reject, don't abort.
+      if (op.label < 0 ||
+          op.label >= static_cast<LabelId>(g_->labels().size())) {
+        return Status::InvalidArgument(
+            "rename op label id " + std::to_string(op.label) +
+            " is not in the grammar's label table");
+      }
       return Rename(op.preorder, g_->labels().Name(op.label));
   }
   return Status::InvalidArgument("unknown update kind");

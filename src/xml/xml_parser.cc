@@ -23,6 +23,18 @@ Status ErrorAt(size_t pos, const std::string& what) {
 }  // namespace
 
 StatusOr<XmlTree> ParseXml(std::string_view text) {
+  return ParseXml(text, ParseXmlOptions{});
+}
+
+StatusOr<XmlTree> ParseXml(std::string_view text,
+                           const ParseXmlOptions& options) {
+  if (options.max_input_bytes > 0 &&
+      static_cast<int64_t>(text.size()) > options.max_input_bytes) {
+    return Status::InvalidArgument(
+        "input of " + std::to_string(text.size()) +
+        " bytes exceeds the configured cap of " +
+        std::to_string(options.max_input_bytes));
+  }
   XmlTree tree;
   std::vector<XmlNodeId> open;       // element stack
   std::vector<std::string> open_tags;
@@ -132,6 +144,14 @@ StatusOr<XmlTree> ParseXml(std::string_view text) {
     XmlNodeId parent = open.empty() ? kXmlNil : open.back();
     if (parent == kXmlNil && tree.root() != kXmlNil) {
       return ErrorAt(tag_start, "multiple root elements");
+    }
+    // The new element sits at depth open.size() + 1 (self-closing ones
+    // included — the limit is on the produced tree, not the stack).
+    if (static_cast<int64_t>(open.size()) >=
+        static_cast<int64_t>(options.max_depth)) {
+      return ErrorAt(tag_start,
+                     "element nesting exceeds the depth limit of " +
+                         std::to_string(options.max_depth));
     }
     XmlNodeId v = tree.AddNode(name, parent);
     if (!self_closing) {

@@ -5,16 +5,37 @@
 // comments, CDATA, processing instructions and the DOCTYPE are skipped.
 // Mismatched or unterminated tags yield an InvalidArgument Status with
 // the byte offset of the problem.
+//
+// The parser itself is iterative, but the trees it produces feed
+// recursive-shaped passes downstream; ParseXmlOptions bounds element
+// nesting depth and total input size so pathological documents are
+// rejected up front instead of risking resource exhaustion deeper in
+// the pipeline.
 
 #ifndef SLG_XML_XML_PARSER_H_
 #define SLG_XML_XML_PARSER_H_
 
+#include <cstdint>
 #include <string_view>
 
 #include "src/common/status.h"
 #include "src/xml/xml_tree.h"
 
 namespace slg {
+
+struct ParseXmlOptions {
+  // Maximum element nesting depth; an element opened at depth
+  // max_depth + 1 is InvalidArgument. The paper's deepest corpus
+  // (Treebank) sits at 35; the default leaves orders of magnitude of
+  // headroom while keeping adversarial inputs out.
+  int max_depth = 10'000;
+  // Maximum accepted input size in bytes; longer inputs are
+  // InvalidArgument before any parsing happens. <= 0 disables the cap.
+  int64_t max_input_bytes = int64_t{1} << 31;  // 2 GiB
+};
+
+StatusOr<XmlTree> ParseXml(std::string_view text,
+                           const ParseXmlOptions& options);
 
 StatusOr<XmlTree> ParseXml(std::string_view text);
 

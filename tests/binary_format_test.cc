@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "src/api/compressed_xml_tree.h"
 #include "src/core/grammar_repair.h"
 #include "src/datasets/generators.h"
@@ -16,6 +19,61 @@
 
 namespace slg {
 namespace {
+
+// ---- Hand-built image fixtures ------------------------------------
+//
+// Mirrors the wire layout of SerializeGrammar: "SLG1", label table
+// (count, then name/rank/param-index per entry), fresh-name counter,
+// start symbol, rules (lhs, node count, preorder labels).
+
+void AppendVarint(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+struct LabelSpec {
+  std::string name;
+  uint64_t rank = 0;
+  uint64_t pidx = 0;
+};
+
+struct RuleSpec {
+  uint64_t lhs = 0;
+  std::vector<uint64_t> preorder;
+};
+
+std::string Image(const std::vector<LabelSpec>& labels, uint64_t fresh,
+                  uint64_t start, const std::vector<RuleSpec>& rules) {
+  std::string out("SLG1");
+  AppendVarint(&out, labels.size());
+  for (const LabelSpec& l : labels) {
+    AppendVarint(&out, l.name.size());
+    out += l.name;
+    AppendVarint(&out, l.rank);
+    AppendVarint(&out, l.pidx);
+  }
+  AppendVarint(&out, fresh);
+  AppendVarint(&out, start);
+  AppendVarint(&out, rules.size());
+  for (const RuleSpec& rule : rules) {
+    AppendVarint(&out, rule.lhs);
+    AppendVarint(&out, rule.preorder.size());
+    for (uint64_t label : rule.preorder) AppendVarint(&out, label);
+  }
+  return out;
+}
+
+void ExpectRejected(const std::string& image, const char* what) {
+  auto r = DeserializeGrammar(image);
+  ASSERT_FALSE(r.ok()) << what << ": decoded a grammar it should reject";
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << what;
+  EXPECT_NE(r.status().message().find("corrupt grammar image"),
+            std::string::npos)
+      << what << ": " << r.status().ToString();
+}
 
 TEST(BinaryFormatTest, RoundTripSmall) {
   Grammar g = GrammarFromRules({
@@ -69,6 +127,99 @@ TEST(BinaryFormatTest, RejectsCorruption) {
     if (r.ok()) {
       EXPECT_TRUE(Validate(r.value()).ok());
     }
+  }
+}
+
+TEST(BinaryFormatTest, HandBuiltImageDecodes) {
+  // Baseline: the fixtures above really do speak the wire format.
+  // labels: 0=~ 1=S 2=A(rank 1) 3=$1 4=f(rank 2) 5=a
+  std::vector<LabelSpec> labels = {{"~", 0, 0}, {"S", 0, 0}, {"A", 1, 0},
+                                   {"$1", 0, 1}, {"f", 2, 0}, {"a", 0, 0}};
+  std::string image = Image(labels, /*fresh=*/3, /*start=*/1,
+                            {{1, {2, 5}},      // S -> A(a)
+                             {2, {4, 3, 5}}}); // A -> f($1, a)
+  auto r = DeserializeGrammar(image);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(Validate(r.value()).ok());
+  EXPECT_EQ(r.value().labels().fresh_counter(), 3);
+  EXPECT_EQ(SerializeGrammar(r.value()), image);
+}
+
+TEST(BinaryFormatTest, RejectsAdversarialLabelTables) {
+  ExpectRejected(Image({}, 0, 0, {}), "zero labels");
+  ExpectRejected(Image({{"x", 0, 0}, {"a", 0, 0}}, 0, 1, {{1, {1}}}),
+                 "slot 0 not bottom");
+  ExpectRejected(Image({{"~", 1, 0}, {"a", 0, 0}}, 0, 1, {{1, {1}}}),
+                 "bottom with nonzero rank");
+  ExpectRejected(
+      Image({{"~", 0, 0}, {"f", 2'000'000, 0}, {"S", 0, 0}}, 0, 2, {{2, {2}}}),
+      "absurd rank");
+  // Duplicate names used to be reachable CHECK-aborts inside
+  // LabelTable::Intern / Param; they must be Status failures.
+  ExpectRejected(
+      Image({{"~", 0, 0}, {"a", 0, 0}, {"a", 0, 0}}, 0, 1, {{1, {2}}}),
+      "duplicate name, same rank");
+  ExpectRejected(
+      Image({{"~", 0, 0}, {"a", 0, 0}, {"a", 1, 0}}, 0, 1, {{1, {2}}}),
+      "duplicate name, different rank");
+  ExpectRejected(
+      Image({{"~", 0, 0}, {"$1", 0, 0}, {"S", 1, 0}, {"$1", 0, 1}}, 0, 2,
+            {{2, {1}}}),
+      "param spelling squatted by a plain label");
+  ExpectRejected(Image({{"~", 0, 0}, {"x", 0, 1}, {"S", 0, 0}}, 0, 2,
+                       {{2, {2}}}),
+                 "param with non-canonical spelling");
+  ExpectRejected(Image({{"~", 0, 0}, {"$2", 0, 2}, {"S", 0, 0}}, 0, 2,
+                       {{2, {2}}}),
+                 "param entries out of order");
+  ExpectRejected(Image({{"~", 0, 0}, {"$1", 1, 1}, {"S", 0, 0}}, 0, 2,
+                       {{2, {2}}}),
+                 "param with nonzero rank");
+}
+
+TEST(BinaryFormatTest, RejectsAdversarialFraming) {
+  std::vector<LabelSpec> labels = {
+      {"~", 0, 0}, {"S", 0, 0}, {"f", 2, 0}, {"a", 0, 0}, {"b", 0, 0}};
+  ExpectRejected(Image(labels, uint64_t{1} << 32, 1, {{1, {2, 3, 4}}}),
+                 "absurd fresh counter");
+  ExpectRejected(Image(labels, 0, 5, {{1, {2, 3, 4}}}), "start out of range");
+  ExpectRejected(Image(labels, 0, 1, {{5, {2, 3, 4}}}), "lhs out of range");
+  ExpectRejected(Image(labels, 0, 1, {{1, {2, 3, 5}}}),
+                 "node label out of range");
+  ExpectRejected(Image(labels, 0, 1, {{1, {}}}), "rule with zero nodes");
+  ExpectRejected(Image(labels, 0, 1, {{1, {3, 4}}}), "multiple roots");
+  ExpectRejected(Image(labels, 0, 1, {{1, {2, 3}}}), "truncated rule tree");
+  ExpectRejected(Image(labels, 0, 1, {{1, {2, 3, 4}}, {1, {3}}}),
+                 "duplicate rule");
+}
+
+TEST(BinaryFormatTest, RejectsStructurallyInvalidGrammars) {
+  // Well-framed images that encode grammars Validate() must veto; the
+  // deserializer remaps those verdicts to InvalidArgument.
+  ExpectRejected(Image({{"~", 0, 0}, {"S", 0, 0}, {"a", 0, 0}}, 0, 1, {}),
+                 "start has no rule");
+  {
+    // S -> f(A), A -> g(A): recursive call graph.
+    std::vector<LabelSpec> labels = {
+        {"~", 0, 0}, {"S", 0, 0}, {"A", 0, 0}, {"f", 1, 0}, {"g", 1, 0}};
+    ExpectRejected(Image(labels, 0, 1, {{1, {3, 2}}, {2, {4, 2}}}),
+                   "recursive grammar");
+  }
+  {
+    std::vector<LabelSpec> labels = {
+        {"~", 0, 0}, {"S", 0, 0}, {"A", 1, 0}, {"$1", 0, 1}, {"a", 0, 0}};
+    // A -> $1: a rule deriving a bare parameter.
+    ExpectRejected(Image(labels, 0, 1, {{1, {2, 4}}, {2, {3}}}),
+                   "bare parameter rule");
+    // A has rank 1 but its rule uses no parameters.
+    ExpectRejected(Image(labels, 0, 1, {{1, {2, 4}}, {2, {4}}}),
+                   "parameter count mismatch");
+  }
+  {
+    // S -> f(S): the start symbol referenced inside a rule.
+    std::vector<LabelSpec> labels = {{"~", 0, 0}, {"S", 0, 0}, {"f", 1, 0}};
+    ExpectRejected(Image(labels, 0, 1, {{1, {2, 1}}}),
+                   "start referenced in a rule");
   }
 }
 

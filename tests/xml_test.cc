@@ -42,6 +42,68 @@ TEST(XmlParserTest, Errors) {
   EXPECT_FALSE(ParseXml("<a attr=\"unterminated></a>").ok());
 }
 
+std::string NestedDocument(int depth) {
+  std::string doc;
+  for (int i = 0; i < depth; ++i) doc += "<a>";
+  for (int i = 0; i < depth; ++i) doc += "</a>";
+  return doc;
+}
+
+TEST(XmlParserTest, DepthLimitBoundary) {
+  ParseXmlOptions opts;
+  opts.max_depth = 16;
+
+  // Exactly at the limit: fine.
+  auto at = ParseXml(NestedDocument(16), opts);
+  ASSERT_TRUE(at.ok()) << at.status().ToString();
+  EXPECT_EQ(at.value().NodeCount(), 16);
+
+  // One past: InvalidArgument, and the message names the limit.
+  auto over = ParseXml(NestedDocument(17), opts);
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(over.status().message().find("depth limit"), std::string::npos)
+      << over.status().ToString();
+
+  // A self-closing element past the limit counts too: it still sits at
+  // depth max_depth + 1 even though it never lands on the open stack.
+  std::string self_closing =
+      NestedDocument(0);  // keep shape explicit below
+  for (int i = 0; i < 16; ++i) self_closing += "<a>";
+  self_closing += "<b/>";
+  for (int i = 0; i < 16; ++i) self_closing += "</a>";
+  EXPECT_FALSE(ParseXml(self_closing, opts).ok());
+
+  // The default limit is far above any benchmark corpus.
+  EXPECT_TRUE(ParseXml(NestedDocument(100)).ok());
+}
+
+TEST(XmlParserTest, InputSizeCap) {
+  ParseXmlOptions opts;
+  opts.max_input_bytes = 32;
+
+  std::string small = "<r><a/></r>";  // 11 bytes
+  ASSERT_LE(static_cast<int64_t>(small.size()), opts.max_input_bytes);
+  EXPECT_TRUE(ParseXml(small, opts).ok());
+
+  // At the cap exactly: accepted.
+  std::string exact = "<r>" + std::string(26, ' ') + "</r>";
+  ASSERT_EQ(static_cast<int64_t>(exact.size()), opts.max_input_bytes + 1);
+  exact.erase(3, 1);
+  ASSERT_EQ(static_cast<int64_t>(exact.size()), opts.max_input_bytes);
+  EXPECT_TRUE(ParseXml(exact, opts).ok());
+
+  // One byte over: rejected before parsing, even though well-formed.
+  std::string over = "<r>" + std::string(26, ' ') + "</r>";
+  auto r = ParseXml(over, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+
+  // <= 0 disables the cap.
+  opts.max_input_bytes = 0;
+  EXPECT_TRUE(ParseXml(over, opts).ok());
+}
+
 TEST(XmlWriterTest, RoundTrip) {
   const std::string doc = "<r><a><b/><b/></a><c/></r>";
   auto parsed = ParseXml(doc);

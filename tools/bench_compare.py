@@ -27,7 +27,8 @@ import argparse
 import json
 import sys
 
-CONTEXT_KEYS = {"edges", "ops", "period", "renames", "shards", "threads"}
+CONTEXT_KEYS = {"batches", "edges", "ops", "period", "renames", "shards",
+                "threads"}
 IGNORED_KEYS = {"hardware_threads"}  # varies by runner, by design
 
 
