@@ -6,10 +6,12 @@
 #include <benchmark/benchmark.h>
 
 #include "src/bench_util/reporting.h"
+#include "src/core/call_graph_cache.h"
 #include "src/core/cursor.h"
 #include "src/core/grammar_repair.h"
 #include "src/core/retrieve_occs.h"
 #include "src/datasets/generators.h"
+#include "src/grammar/text_format.h"
 #include "src/grammar/usage.h"
 #include "src/grammar/value.h"
 #include "src/repair/tree_repair.h"
@@ -228,6 +230,111 @@ void BM_GrammarRePairRecompress(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * f.nodes);
 }
 BENCHMARK(BM_GrammarRePairRecompress);
+
+// Incremental usage propagation in steady state. A star of 1024
+// spokes (S calls every Ai, each Ai calls its private leaf Li); per
+// iteration the call count of the first `k` spokes toggles 1 <-> 2
+// (SetCallees) and one Update() runs. The cache must repropagate
+// usage for O(k) rules — the curve over k is the damage-
+// proportionality of the usage layer (a flat O(#rules) cost shows up
+// as an incompressible floor at small k).
+void BM_UsagePropagation(benchmark::State& state) {
+  constexpr int kSpokes = 1024;
+  struct Fixture {
+    Grammar g;
+    std::vector<LabelId> spokes, leaves;
+  };
+  static Fixture* f = [] {
+    std::vector<std::string> rules;
+    std::string s = "S -> ";
+    std::string close;
+    for (int i = 1; i <= kSpokes; ++i) {
+      s += "f(A" + std::to_string(i) + ",";
+      close += ")";
+    }
+    s += "b" + close;
+    rules.push_back(s);
+    for (int i = 1; i <= kSpokes; ++i) {
+      rules.push_back("A" + std::to_string(i) + " -> g(L" + std::to_string(i) +
+                      ",L" + std::to_string(i) + ")");
+      rules.push_back("L" + std::to_string(i) + " -> b");
+    }
+    auto* fx = new Fixture{GrammarFromRules(rules).take(), {}, {}};
+    for (int i = 1; i <= kSpokes; ++i) {
+      fx->spokes.push_back(fx->g.labels().Find("A" + std::to_string(i)));
+      fx->leaves.push_back(fx->g.labels().Find("L" + std::to_string(i)));
+    }
+    return fx;
+  }();
+  CallGraphCache cache;
+  cache.Build(f->g);
+  const int k = static_cast<int>(state.range(0));
+  int count = 1;
+  for (auto _ : state) {
+    for (int i = 0; i < k; ++i) {
+      cache.SetCallees(f->spokes[i], {{f->leaves[i], count}});
+    }
+    cache.Update(f->g, {}, {});
+    benchmark::DoNotOptimize(cache.usage_changed().size());
+    count = 3 - count;  // 1 <-> 2
+  }
+  state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(BM_UsagePropagation)->RangeMultiplier(4)->Range(1, 1024);
+
+// Dynamic anti-SL order maintenance. 1025 initially independent rules
+// under a start rule; per iteration `k` order-violating call edges are
+// inserted (rule i gains a call to rule N-i, whose position is far
+// later) and then removed again via SetCallees + Update. Insertions
+// trigger the bounded Pearce–Kelly reorder; deletions are free. The
+// curve over k shows maintenance cost scaling with the damaged-edge
+// count instead of the rule count (the old code rebuilt the whole
+// order every round).
+void BM_AntiSlMaintain(benchmark::State& state) {
+  constexpr int kRules = 2050;
+  struct Fixture {
+    Grammar g;
+    std::vector<LabelId> rules;
+  };
+  static Fixture* f = [] {
+    std::vector<std::string> rules;
+    std::string s = "S -> ";
+    std::string close;
+    for (int i = 1; i <= kRules; ++i) {
+      s += "f(B" + std::to_string(i) + ",";
+      close += ")";
+    }
+    s += "b" + close;
+    rules.push_back(s);
+    for (int i = 1; i <= kRules; ++i) {
+      rules.push_back("B" + std::to_string(i) + " -> g(b,b)");
+    }
+    auto* fx = new Fixture{GrammarFromRules(rules).take(), {}};
+    for (int i = 1; i <= kRules; ++i) {
+      fx->rules.push_back(fx->g.labels().Find("B" + std::to_string(i)));
+    }
+    return fx;
+  }();
+  CallGraphCache cache;
+  cache.Build(f->g);
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    for (int i = 0; i < k; ++i) {
+      // B_{i+1} -> call of B_{kRules-i}: pos(callee) > pos(caller), so
+      // every one of these violates the current order.
+      cache.SetCallees(f->rules[static_cast<size_t>(i)],
+                       {{f->rules[static_cast<size_t>(kRules - 1 - i)], 1}});
+    }
+    cache.Update(f->g, {}, {});
+    for (int i = 0; i < k; ++i) {
+      cache.SetCallees(f->rules[static_cast<size_t>(i)], {});
+    }
+    cache.Update(f->g, {}, {});
+    benchmark::DoNotOptimize(cache.usage_changed().size());
+  }
+  state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(BM_AntiSlMaintain)->RangeMultiplier(4)->Range(1, 1024);
 
 }  // namespace
 }  // namespace slg

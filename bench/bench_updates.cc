@@ -216,8 +216,9 @@ int Run(int argc, char** argv) {
       "%.2f)\n\n",
       lscale, lupdates, period, growth);
   TablePrinter ltable({"dataset", "full-rc(s)", "local-rc(s)", "speedup",
-                       "full-edges", "local-edges", "ratio", "adapt(s)",
-                       "adapt-ckpts", "adapt-edges"});
+                       "full-scans", "local-scans", "full-edges",
+                       "local-edges", "ratio", "adapt(s)", "adapt-ckpts",
+                       "adapt-edges"});
   for (const CorpusInfo& info : AllCorpora()) {
     XmlTree xml = GenerateCorpus(info.id, lscale);
     LabelTable labels;
@@ -234,8 +235,12 @@ int Run(int argc, char** argv) {
             .grammar;
 
     // Identical checkpoints, repair engine the only variable; only the
-    // repair legs are timed.
-    auto replay = [&](bool localized, double* repair_s) {
+    // repair legs are timed. Rounds and whole-rule index (re)scans are
+    // summed over all checkpoints — both are deterministic and CI-gated
+    // (a rescan count creeping back toward rounds * #rules means a
+    // sweep silently stopped being damage-proportional).
+    auto replay = [&](bool localized, double* repair_s, int64_t* rounds,
+                      int64_t* rescanned) {
       Grammar g = seed_grammar.Clone();
       size_t i = 0;
       while (i < w.ops.size()) {
@@ -247,17 +252,23 @@ int Run(int argc, char** argv) {
         batch.Finish();
         std::vector<LabelId> damage = batch.DamagedRules();
         Timer t;
-        g = localized
+        GrammarRepairResult r =
+            localized
                 ? LocalizedGrammarRePair(std::move(g), damage, recompress)
-                      .grammar
-                : GrammarRePair(std::move(g), recompress).grammar;
+                : GrammarRePair(std::move(g), recompress);
         *repair_s += t.ElapsedSeconds();
+        *rounds += r.rounds;
+        *rescanned += r.rules_rescanned;
+        g = std::move(r.grammar);
       }
       return ComputeStats(g).edge_count;
     };
     double full_rc = 0, local_rc = 0;
-    int64_t full_edges = replay(false, &full_rc);
-    int64_t local_edges = replay(true, &local_rc);
+    int64_t full_rounds = 0, full_rescanned = 0;
+    int64_t local_rounds = 0, local_rescanned = 0;
+    int64_t full_edges = replay(false, &full_rc, &full_rounds, &full_rescanned);
+    int64_t local_edges =
+        replay(true, &local_rc, &local_rounds, &local_rescanned);
 
     Timer adapt_timer;
     BatchApplyOptions aopts;
@@ -278,6 +289,8 @@ int Run(int argc, char** argv) {
     ltable.AddRow({info.name, TablePrinter::Fixed(full_rc, 3),
                    TablePrinter::Fixed(local_rc, 3),
                    TablePrinter::Fixed(local_speedup, 2),
+                   TablePrinter::Num(full_rescanned),
+                   TablePrinter::Num(local_rescanned),
                    TablePrinter::Num(full_edges), TablePrinter::Num(local_edges),
                    TablePrinter::Fixed(size_ratio, 4),
                    TablePrinter::Fixed(adapt_s, 3),
@@ -290,6 +303,10 @@ int Run(int argc, char** argv) {
               {"full_checkpoint_s", full_rc},
               {"localized_checkpoint_s", local_rc},
               {"localized_speedup", local_speedup},
+              {"full_rounds", static_cast<double>(full_rounds)},
+              {"full_rescanned", static_cast<double>(full_rescanned)},
+              {"localized_rounds", static_cast<double>(local_rounds)},
+              {"localized_rescanned", static_cast<double>(local_rescanned)},
               {"full_final_edges", static_cast<double>(full_edges)},
               {"localized_final_edges", static_cast<double>(local_edges)},
               {"localized_vs_full_edges", size_ratio},
@@ -307,8 +324,9 @@ int Run(int argc, char** argv) {
       "checkpoints\n\n",
       uscale, updates, period);
   TablePrinter utable({"dataset", "cl-dec(s)", "cl-comp(s)", "dag-dec(s)",
-                       "dag-comp(s)", "comp-spd", "cl-edges", "dag-edges",
-                       "ratio", "tree-peak", "dag-peak", "reused"});
+                       "dag-comp(s)", "dagg-comp(s)", "comp-spd", "cl-edges",
+                       "dag-edges", "dagg-edges", "ratio", "tree-peak",
+                       "dag-peak", "reused"});
   for (const CorpusInfo& info : AllCorpora()) {
     XmlTree xml = GenerateCorpus(info.id, uscale);
     LabelTable labels;
@@ -328,8 +346,19 @@ int Run(int argc, char** argv) {
     dag_opts.mode = UdcOptions::Mode::kDagShared;
     UdcSession dag_session(dag_opts);
 
+    // Third leg: the paper's grammar-input mode (full-sharing DAG
+    // grammar + GrammarRePair). Its per-round refreshes are now
+    // damage-proportional, so it is re-measured side by side with the
+    // forest-repair compressor.
+    UdcOptions dagg_opts;
+    dagg_opts.mode = UdcOptions::Mode::kDagShared;
+    dagg_opts.dag_compressor = UdcOptions::DagCompressor::kGrammarRepair;
+    dagg_opts.grammar_repair.repair.require_positive_savings = true;
+    UdcSession dagg_session(dagg_opts);
+
     double classic_dec = 0, classic_comp = 0, dag_dec = 0, dag_comp = 0;
-    int64_t classic_edges = 0, dag_edges = 0;
+    double dagg_comp = 0;
+    int64_t classic_edges = 0, dag_edges = 0, dagg_edges = 0;
     int64_t tree_peak = 0, dag_peak = 0, pool_final = 0, reused_total = 0;
     size_t i = 0;
     while (i < w.ops.size()) {
@@ -361,6 +390,13 @@ int Run(int argc, char** argv) {
       SLG_CHECK(dag.value().tree_nodes == classic.value().tree_nodes);
       SLG_CHECK(ValueNodeCount(dag.value().grammar) ==
                 classic.value().tree_nodes);
+
+      auto dagg = dagg_session.Run(g);
+      SLG_CHECK(dagg.ok());
+      dagg_comp += dagg.value().compress_seconds;
+      dagg_edges = ComputeStats(dagg.value().grammar).edge_count;
+      SLG_CHECK(ValueNodeCount(dagg.value().grammar) ==
+                classic.value().tree_nodes);
     }
     double comp_speedup = dag_comp > 0 ? classic_comp / dag_comp : 0;
     double size_ratio = classic_edges > 0
@@ -371,9 +407,11 @@ int Run(int argc, char** argv) {
                    TablePrinter::Fixed(classic_comp, 3),
                    TablePrinter::Fixed(dag_dec, 3),
                    TablePrinter::Fixed(dag_comp, 3),
+                   TablePrinter::Fixed(dagg_comp, 3),
                    TablePrinter::Fixed(comp_speedup, 2),
                    TablePrinter::Num(classic_edges),
                    TablePrinter::Num(dag_edges),
+                   TablePrinter::Num(dagg_edges),
                    TablePrinter::Fixed(size_ratio, 4),
                    TablePrinter::Num(tree_peak), TablePrinter::Num(dag_peak),
                    TablePrinter::Num(reused_total)});
@@ -386,8 +424,10 @@ int Run(int argc, char** argv) {
               {"dag_decompress_s", dag_dec},
               {"dag_compress_s", dag_comp},
               {"dag_compress_speedup", comp_speedup},
+              {"dagg_compress_s", dagg_comp},
               {"udc_classic_edges", static_cast<double>(classic_edges)},
               {"udc_dag_edges", static_cast<double>(dag_edges)},
+              {"udc_dagg_edges", static_cast<double>(dagg_edges)},
               {"udc_dag_vs_classic_edges", size_ratio},
               {"tree_nodes_peak", static_cast<double>(tree_peak)},
               {"dag_nodes_peak", static_cast<double>(dag_peak)},

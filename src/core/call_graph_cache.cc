@@ -1,155 +1,458 @@
 #include "src/core/call_graph_cache.h"
 
 #include <algorithm>
+#include <queue>
 
 #include "src/grammar/usage.h"
 
 namespace slg {
 
-void CallGraphCache::Extract(const Grammar& g, LabelId rule) {
+namespace {
+
+// One saturated usage term: usage(caller) * call-site count. The exact
+// arithmetic of the old from-scratch pass, reused verbatim so the
+// incremental propagation is bit-identical to it.
+inline uint64_t UsageTerm(uint64_t u, int n) {
+  return (u > kUsageCap / static_cast<uint64_t>(n))
+             ? kUsageCap
+             : u * static_cast<uint64_t>(n);
+}
+
+}  // namespace
+
+uint32_t CallGraphCache::NextStamp() const {
+  if (++stamp_gen_ == 0) {
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    stamp_gen_ = 1;
+  }
+  return stamp_gen_;
+}
+
+void CallGraphCache::Grow(size_t n_labels) {
+  if (skel_.size() >= n_labels) return;
+  skel_.resize(n_labels);
+  callers_.resize(n_labels);
+  usage_.resize(n_labels, 0);
+  refcount_.resize(n_labels, 0);
+  pos_.resize(n_labels, -1);
+  iface_.resize(n_labels);
+  iface_valid_.resize(n_labels, 0);
+  stamp_.resize(n_labels, 0);
+}
+
+void CallGraphCache::ExtractInto(const Grammar& g, LabelId rule,
+                                 Skeleton* sk) const {
   const Tree& t = g.rhs(rule);
   const LabelTable& labels = g.labels();
-  Skeleton sk;
-  sk.root_label = t.label(t.root());
-  sk.param_parent.assign(static_cast<size_t>(labels.Rank(rule)),
-                         {kNoLabel, 0});
-  std::unordered_map<LabelId, int> callee_counts;
+  sk->root_label = t.label(t.root());
+  sk->param_parent.assign(static_cast<size_t>(labels.Rank(rule)),
+                          {kNoLabel, 0});
+  sk->callees.clear();
+  std::vector<LabelId> calls;
   t.VisitPreorder(t.root(), [&](NodeId v) {
     LabelId l = t.label(v);
-    if (g.IsNonterminal(l)) ++callee_counts[l];
+    if (g.IsNonterminal(l)) calls.push_back(l);
     int pidx = labels.ParamIndex(l);
     if (pidx > 0) {
       NodeId p = t.parent(v);
-      sk.param_parent[static_cast<size_t>(pidx - 1)] = {t.label(p),
-                                                        t.ChildIndex(v)};
+      sk->param_parent[static_cast<size_t>(pidx - 1)] = {t.label(p),
+                                                         t.ChildIndex(v)};
     }
   });
-  sk.callees.assign(callee_counts.begin(), callee_counts.end());
-  std::sort(sk.callees.begin(), sk.callees.end());
-  skeletons_[rule] = std::move(sk);
+  std::sort(calls.begin(), calls.end());
+  for (size_t i = 0; i < calls.size();) {
+    size_t j = i;
+    while (j < calls.size() && calls[j] == calls[i]) ++j;
+    sk->callees.emplace_back(calls[i], static_cast<int>(j - i));
+    i = j;
+  }
+  sk->live = true;
+}
+
+void CallGraphCache::ApplyCalleeDiff(
+    LabelId rule, const std::vector<std::pair<LabelId, int>>& old) {
+  const std::vector<std::pair<LabelId, int>>& now =
+      skel_[static_cast<size_t>(rule)].callees;
+  // Merge-walk the two sorted callee lists; touch only the deltas.
+  size_t i = 0, j = 0;
+  auto patch = [&](LabelId q, int old_n, int new_n) {
+    std::vector<std::pair<LabelId, int>>& cs = callers_[static_cast<size_t>(q)];
+    if (old_n == 0) {
+      cs.emplace_back(rule, new_n);
+      InsertOrderEdge(q, rule);
+    } else {
+      for (size_t k = 0;; ++k) {
+        SLG_DCHECK(k < cs.size());
+        if (cs[k].first != rule) continue;
+        if (new_n == 0) {
+          cs[k] = cs.back();
+          cs.pop_back();
+        } else {
+          cs[k].second = new_n;
+        }
+        break;
+      }
+    }
+    refcount_[static_cast<size_t>(q)] += new_n - old_n;
+    usage_dirty_.push_back(q);
+  };
+  while (i < old.size() || j < now.size()) {
+    if (j == now.size() || (i < old.size() && old[i].first < now[j].first)) {
+      patch(old[i].first, old[i].second, 0);
+      ++i;
+    } else if (i == old.size() || now[j].first < old[i].first) {
+      patch(now[j].first, 0, now[j].second);
+      ++j;
+    } else {
+      if (old[i].second != now[j].second) {
+        patch(now[j].first, old[i].second, now[j].second);
+      }
+      ++i;
+      ++j;
+    }
+  }
+}
+
+void CallGraphCache::RemoveRuleState(LabelId rule) {
+  Skeleton& sk = skel_[static_cast<size_t>(rule)];
+  if (!sk.live) return;
+  for (const auto& [q, n] : sk.callees) {
+    std::vector<std::pair<LabelId, int>>& cs = callers_[static_cast<size_t>(q)];
+    for (size_t k = 0; k < cs.size(); ++k) {
+      if (cs[k].first == rule) {
+        cs[k] = cs.back();
+        cs.pop_back();
+        break;
+      }
+    }
+    refcount_[static_cast<size_t>(q)] -= n;
+    usage_dirty_.push_back(q);
+  }
+  sk = Skeleton{};
+  pos_[static_cast<size_t>(rule)] = -1;
+  usage_[static_cast<size_t>(rule)] = 0;
+  iface_valid_[static_cast<size_t>(rule)] = 0;
+}
+
+void CallGraphCache::InsertOrderEdge(LabelId callee, LabelId caller) {
+  int64_t lo = pos_[static_cast<size_t>(caller)];
+  int64_t hi = pos_[static_cast<size_t>(callee)];
+  if (hi < lo) return;  // order already satisfied
+  // Pearce–Kelly bounded reorder: F = rules reachable from the caller
+  // along caller edges with pos <= hi (they must stay after it), B =
+  // rules reachable from the callee along callee edges with pos >= lo
+  // (they must stay before it). Every other rule keeps its position;
+  // B then F are re-laid into the sorted pool of their old positions.
+  uint32_t f_stamp = NextStamp();
+  std::vector<LabelId> f_set = {caller};
+  stamp_[static_cast<size_t>(caller)] = f_stamp;
+  for (size_t i = 0; i < f_set.size(); ++i) {
+    for (const auto& [c, n] : callers_[static_cast<size_t>(f_set[i])]) {
+      (void)n;
+      if (pos_[static_cast<size_t>(c)] <= hi &&
+          stamp_[static_cast<size_t>(c)] != f_stamp) {
+        stamp_[static_cast<size_t>(c)] = f_stamp;
+        f_set.push_back(c);
+      }
+    }
+  }
+  SLG_CHECK_MSG(stamp_[static_cast<size_t>(callee)] != f_stamp,
+                "recursive grammar");
+  uint32_t b_stamp = NextStamp();
+  std::vector<LabelId> b_set = {callee};
+  stamp_[static_cast<size_t>(callee)] = b_stamp;
+  for (size_t i = 0; i < b_set.size(); ++i) {
+    for (const auto& [q, n] : skel_[static_cast<size_t>(b_set[i])].callees) {
+      (void)n;
+      if (pos_[static_cast<size_t>(q)] >= lo &&
+          stamp_[static_cast<size_t>(q)] != b_stamp) {
+        SLG_CHECK_MSG(stamp_[static_cast<size_t>(q)] != f_stamp,
+                      "recursive grammar");
+        stamp_[static_cast<size_t>(q)] = b_stamp;
+        b_set.push_back(q);
+      }
+    }
+  }
+  auto by_pos = [&](LabelId a, LabelId b) {
+    return pos_[static_cast<size_t>(a)] < pos_[static_cast<size_t>(b)];
+  };
+  std::sort(b_set.begin(), b_set.end(), by_pos);
+  std::sort(f_set.begin(), f_set.end(), by_pos);
+  std::vector<int64_t> pool;
+  pool.reserve(b_set.size() + f_set.size());
+  for (LabelId r : b_set) pool.push_back(pos_[static_cast<size_t>(r)]);
+  for (LabelId r : f_set) pool.push_back(pos_[static_cast<size_t>(r)]);
+  std::sort(pool.begin(), pool.end());
+  size_t slot = 0;
+  for (LabelId r : b_set) pos_[static_cast<size_t>(r)] = pool[slot++];
+  for (LabelId r : f_set) pos_[static_cast<size_t>(r)] = pool[slot++];
 }
 
 void CallGraphCache::Build(const Grammar& g) {
-  skeletons_.clear();
-  for (LabelId r : g.Nonterminals()) Extract(g, r);
+  skel_.clear();
+  callers_.clear();
+  usage_.clear();
+  refcount_.clear();
+  pos_.clear();
+  iface_.clear();
+  iface_valid_.clear();
+  stamp_.clear();
+  stamp_gen_ = 0;
+  next_pos_ = 0;
+  usage_changed_.clear();
+  iface_changed_.clear();
+  initial_zero_refs_.clear();
+  usage_dirty_.clear();
+  iface_dirty_.clear();
+  pending_callees_.clear();
+  start_ = g.start();
+  Grow(g.labels().size());
+
+  std::vector<LabelId> rules = g.Nonterminals();
+  for (LabelId r : rules) {
+    ExtractInto(g, r, &skel_[static_cast<size_t>(r)]);
+  }
+  for (LabelId r : rules) {
+    for (const auto& [q, n] : skel_[static_cast<size_t>(r)].callees) {
+      callers_[static_cast<size_t>(q)].emplace_back(r, n);
+      refcount_[static_cast<size_t>(q)] += n;
+    }
+  }
+  // Kahn BFS over the caller adjacency, seeds in Nonterminals() order —
+  // the exact order the pre-incremental AntiSl() produced, which the
+  // initial index build's byte stability depends on.
+  std::vector<LabelId> order;
+  order.reserve(rules.size());
+  {
+    std::vector<int> pending(skel_.size(), 0);
+    for (LabelId r : rules) {
+      pending[static_cast<size_t>(r)] =
+          static_cast<int>(skel_[static_cast<size_t>(r)].callees.size());
+    }
+    for (LabelId r : rules) {
+      if (pending[static_cast<size_t>(r)] == 0) order.push_back(r);
+    }
+    for (size_t i = 0; i < order.size(); ++i) {
+      for (const auto& [c, n] : callers_[static_cast<size_t>(order[i])]) {
+        (void)n;
+        if (--pending[static_cast<size_t>(c)] == 0) order.push_back(c);
+      }
+    }
+    SLG_CHECK_MSG(order.size() == rules.size(), "recursive grammar");
+  }
+  for (LabelId r : order) pos_[static_cast<size_t>(r)] = next_pos_++;
+
+  // Usage: one pass, callers before callees.
+  usage_[static_cast<size_t>(start_)] = 1;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    uint64_t u = usage_[static_cast<size_t>(*it)];
+    if (u == 0) continue;
+    for (const auto& [q, n] : skel_[static_cast<size_t>(*it)].callees) {
+      uint64_t& uq = usage_[static_cast<size_t>(q)];
+      uq = UsageSatAdd(uq, UsageTerm(u, n));
+    }
+  }
+  // Interfaces: one pass, callees before callers.
+  for (LabelId r : order) {
+    iface_[static_cast<size_t>(r)] = ResolveOne(g, r);
+    iface_valid_[static_cast<size_t>(r)] = 1;
+  }
+  for (LabelId r : rules) {
+    if (r != start_ && refcount_[static_cast<size_t>(r)] == 0) {
+      initial_zero_refs_.push_back(r);
+    }
+  }
 }
 
-bool CallGraphCache::Update(const Grammar& g,
+void CallGraphCache::Update(const Grammar& g,
                             const std::vector<LabelId>& changed_or_added,
                             const std::vector<LabelId>& removed) {
-  bool calls_changed = !removed.empty();
-  for (LabelId r : removed) skeletons_.erase(r);
+  Grow(g.labels().size());
+  for (LabelId r : removed) RemoveRuleState(r);
+  // Position every fresh rule before any edge diff runs: an edge whose
+  // callee has no position yet could not be order-checked. Fresh rules
+  // go to the end of the order; edges among them (or from patched
+  // callers) that violate it trigger the bounded reorder like any
+  // other insertion.
+  for (LabelId r : changed_or_added) {
+    size_t idx = static_cast<size_t>(r);
+    if (g.HasRule(r) && !skel_[idx].live && pos_[idx] < 0) {
+      pos_[idx] = next_pos_++;
+    }
+  }
+  // Pending SetCallees patches (tracked rules whose bodies the driver
+  // delta-maintains): applied against the now-complete positions.
+  for (auto& [r, callees] : pending_callees_) {
+    size_t idx = static_cast<size_t>(r);
+    if (pos_[idx] < 0) continue;  // removed since the patch
+    std::sort(callees.begin(), callees.end());
+    if (callees == skel_[idx].callees) continue;
+    std::vector<std::pair<LabelId, int>> prev = std::move(skel_[idx].callees);
+    skel_[idx].callees = std::move(callees);
+    ApplyCalleeDiff(r, prev);
+  }
+  pending_callees_.clear();
+  std::vector<std::pair<LabelId, int>> old;
   for (LabelId r : changed_or_added) {
     if (!g.HasRule(r)) continue;
-    auto it = skeletons_.find(r);
-    if (it == skeletons_.end()) {
-      calls_changed = true;  // fresh rule
-      Extract(g, r);
-      continue;
+    Skeleton& sk = skel_[static_cast<size_t>(r)];
+    if (!sk.live) {
+      ExtractInto(g, r, &sk);
+      ApplyCalleeDiff(r, {});
+      usage_dirty_.push_back(r);
+    } else {
+      old = std::move(sk.callees);
+      ExtractInto(g, r, &sk);
+      if (sk.callees != old) ApplyCalleeDiff(r, old);
     }
-    std::vector<std::pair<LabelId, int>> old_callees =
-        std::move(it->second.callees);
-    Extract(g, r);
-    if (skeletons_.at(r).callees != old_callees) calls_changed = true;
+    iface_dirty_.push_back(r);
   }
-  return calls_changed;
+  PropagateUsage();
+  ResolveInterfaces(g);
 }
 
 void CallGraphCache::NoteRootLabel(LabelId rule, LabelId root_label) {
-  skeletons_.at(rule).root_label = root_label;
+  Skeleton& sk = skel_[static_cast<size_t>(rule)];
+  SLG_DCHECK(sk.live);
+  if (sk.root_label == root_label) return;
+  sk.root_label = root_label;
+  iface_dirty_.push_back(rule);
 }
 
 void CallGraphCache::SetCallees(
     LabelId rule, std::vector<std::pair<LabelId, int>> callees) {
-  std::sort(callees.begin(), callees.end());
-  skeletons_.at(rule).callees = std::move(callees);
+  SLG_DCHECK(skel_[static_cast<size_t>(rule)].live);
+  // Deferred to the next Update(): the multiset may reference rules
+  // that are not in the cache yet (fresh export rules of the round).
+  pending_callees_.emplace_back(rule, std::move(callees));
 }
 
-std::vector<LabelId> CallGraphCache::AntiSl(const Grammar& g) const {
-  // Dense work arrays by LabelId — this runs (up to three times) per
-  // repair round, so no hashing. The push order is identical to the
-  // original hash-map version: seeds in Nonterminals() order, then
-  // BFS in caller-list construction order.
-  std::vector<LabelId> rules = g.Nonterminals();
-  size_t n_labels = g.labels().size();
-  std::vector<int> pending(n_labels, 0);
-  // CSR caller adjacency (two counting passes instead of one vector
-  // per label): fill order matches the per-label push_back order of
-  // the original construction, so the BFS below — and therefore the
-  // scan order of every index rebuild — is byte-identical to it.
-  std::vector<int32_t> caller_off(n_labels + 1, 0);
-  size_t n_edges = 0;
-  for (LabelId r : rules) {
-    const Skeleton& sk = skeletons_.at(r);
-    pending[static_cast<size_t>(r)] = static_cast<int>(sk.callees.size());
-    n_edges += sk.callees.size();
-    for (const auto& [q, n] : sk.callees) {
+void CallGraphCache::PropagateUsage() {
+  usage_changed_.clear();
+  if (usage_dirty_.empty()) return;
+  // Max-heap by position: callers settle before the callees that read
+  // them, so every rule is recomputed at most once. (A caller always
+  // has a larger position than its callees, so nothing processed can
+  // ever be re-seeded.)
+  using Entry = std::pair<int64_t, LabelId>;
+  std::priority_queue<Entry> heap;
+  uint32_t seen = NextStamp();
+  for (LabelId q : usage_dirty_) {
+    int64_t p = pos_[static_cast<size_t>(q)];
+    if (p < 0 || q == start_) continue;  // removed rules; usage(S) == 1
+    if (stamp_[static_cast<size_t>(q)] == seen) continue;
+    stamp_[static_cast<size_t>(q)] = seen;
+    heap.emplace(p, q);
+  }
+  usage_dirty_.clear();
+  while (!heap.empty()) {
+    auto [p, q] = heap.top();
+    heap.pop();
+    uint64_t nu = 0;
+    for (const auto& [c, n] : callers_[static_cast<size_t>(q)]) {
+      uint64_t u = usage_[static_cast<size_t>(c)];
+      if (u == 0) continue;
+      nu = UsageSatAdd(nu, UsageTerm(u, n));
+    }
+    uint64_t& cur = usage_[static_cast<size_t>(q)];
+    if (nu == cur) continue;  // saturation / no-op plateau: stop here
+    cur = nu;
+    usage_changed_.push_back(q);
+    for (const auto& [c, n] : skel_[static_cast<size_t>(q)].callees) {
       (void)n;
-      ++caller_off[static_cast<size_t>(q) + 1];
+      if (stamp_[static_cast<size_t>(c)] == seen) continue;
+      stamp_[static_cast<size_t>(c)] = seen;
+      heap.emplace(pos_[static_cast<size_t>(c)], c);
     }
   }
-  for (size_t i = 0; i < n_labels; ++i) caller_off[i + 1] += caller_off[i];
-  std::vector<LabelId> caller_edges(n_edges);
-  std::vector<int32_t> fill(caller_off.begin(), caller_off.end() - 1);
-  for (LabelId r : rules) {
-    for (const auto& [q, n] : skeletons_.at(r).callees) {
+}
+
+void CallGraphCache::ResolveInterfaces(const Grammar& g) {
+  iface_changed_.clear();
+  if (iface_dirty_.empty()) return;
+  // Transitive-caller closure of the skeleton-changed rules, over the
+  // *current* call graph, before any resolution: a rule's resolved
+  // interface is a function of its own skeleton and its callees'
+  // resolved interfaces, and each such dependency is a live call edge —
+  // so the closure covers every rule whose resolution can move, no
+  // matter how deep the chain.
+  uint32_t seen = NextStamp();
+  std::vector<LabelId> dirty;
+  for (LabelId r : iface_dirty_) {
+    if (pos_[static_cast<size_t>(r)] < 0) continue;  // removed
+    if (stamp_[static_cast<size_t>(r)] == seen) continue;
+    stamp_[static_cast<size_t>(r)] = seen;
+    dirty.push_back(r);
+  }
+  iface_dirty_.clear();
+  for (size_t i = 0; i < dirty.size(); ++i) {
+    for (const auto& [c, n] : callers_[static_cast<size_t>(dirty[i])]) {
       (void)n;
-      caller_edges[static_cast<size_t>(fill[static_cast<size_t>(q)]++)] = r;
+      if (stamp_[static_cast<size_t>(c)] == seen) continue;
+      stamp_[static_cast<size_t>(c)] = seen;
+      dirty.push_back(c);
     }
   }
-  std::vector<LabelId> order;
-  order.reserve(rules.size());
-  for (LabelId r : rules) {
-    if (pending[static_cast<size_t>(r)] == 0) order.push_back(r);
+  // Callees first: by the time a rule resolves, every dirty callee has
+  // already settled, and every clean callee was already valid.
+  SortAntiSl(&dirty);
+  for (LabelId r : dirty) {
+    RuleInterface ni = ResolveOne(g, r);
+    size_t idx = static_cast<size_t>(r);
+    if (iface_valid_[idx] && iface_[idx] == ni) continue;
+    iface_[idx] = std::move(ni);
+    iface_valid_[idx] = 1;
+    iface_changed_.push_back(r);
   }
-  for (size_t i = 0; i < order.size(); ++i) {
-    size_t q = static_cast<size_t>(order[i]);
-    for (int32_t e = caller_off[q]; e < caller_off[q + 1]; ++e) {
-      LabelId caller = caller_edges[static_cast<size_t>(e)];
-      if (--pending[static_cast<size_t>(caller)] == 0) order.push_back(caller);
+}
+
+RuleInterface CallGraphCache::ResolveOne(const Grammar& g, LabelId rule) const {
+  const Skeleton& sk = skel_[static_cast<size_t>(rule)];
+  RuleInterface iface;
+  if (g.IsNonterminal(sk.root_label)) {
+    SLG_DCHECK(iface_valid_[static_cast<size_t>(sk.root_label)]);
+    iface.root_label = iface_[static_cast<size_t>(sk.root_label)].root_label;
+  } else {
+    iface.root_label = sk.root_label;
+  }
+  iface.param_parent.resize(sk.param_parent.size());
+  for (size_t i = 0; i < sk.param_parent.size(); ++i) {
+    auto [pl, idx] = sk.param_parent[i];
+    if (g.IsNonterminal(pl)) {
+      SLG_DCHECK(iface_valid_[static_cast<size_t>(pl)]);
+      iface.param_parent[i] =
+          iface_[static_cast<size_t>(pl)]
+              .param_parent[static_cast<size_t>(idx - 1)];
+    } else {
+      iface.param_parent[i] = {pl, idx};
     }
   }
-  SLG_CHECK_MSG(order.size() == rules.size(), "recursive grammar");
+  return iface;
+}
+
+std::vector<LabelId> CallGraphCache::AntiSlList(const Grammar& g) const {
+  std::vector<LabelId> order = g.Nonterminals();
+  SortAntiSl(&order);
   return order;
 }
 
-std::unordered_map<LabelId, uint64_t> CallGraphCache::Usage(
-    const Grammar& g) const {
-  return Usage(g, AntiSl(g));
+void CallGraphCache::SortAntiSl(std::vector<LabelId>* rules) const {
+  std::sort(rules->begin(), rules->end(), [&](LabelId a, LabelId b) {
+    return pos_[static_cast<size_t>(a)] < pos_[static_cast<size_t>(b)];
+  });
 }
 
-std::unordered_map<LabelId, uint64_t> CallGraphCache::Usage(
-    const Grammar& g, const std::vector<LabelId>& anti_sl) const {
-  std::vector<uint64_t> dense(g.labels().size(), 0);
-  dense[static_cast<size_t>(g.start())] = 1;
-  for (auto it = anti_sl.rbegin(); it != anti_sl.rend(); ++it) {
-    uint64_t u = dense[static_cast<size_t>(*it)];
-    if (u == 0) continue;
-    for (const auto& [q, n] : skeletons_.at(*it).callees) {
-      uint64_t total = (u > kUsageCap / static_cast<uint64_t>(n))
-                           ? kUsageCap
-                           : u * static_cast<uint64_t>(n);
-      uint64_t& uq = dense[static_cast<size_t>(q)];
-      uq = UsageSatAdd(uq, total);
-    }
-  }
-  std::unordered_map<LabelId, uint64_t> usage;
-  usage.reserve(anti_sl.size());
-  for (LabelId r : anti_sl) usage[r] = dense[static_cast<size_t>(r)];
-  return usage;
-}
-
-void CallGraphCache::AppendCallersOf(
-    const std::unordered_set<LabelId>& callees,
-    std::vector<LabelId>* out) const {
+void CallGraphCache::AppendCallersOf(const std::vector<LabelId>& callees,
+                                     std::vector<LabelId>* out) {
   if (callees.empty()) return;
-  for (const auto& [rule, sk] : skeletons_) {
-    for (const auto& [q, n] : sk.callees) {
+  uint32_t seen = NextStamp();
+  for (LabelId q : callees) {
+    if (static_cast<size_t>(q) >= callers_.size()) continue;
+    for (const auto& [c, n] : callers_[static_cast<size_t>(q)]) {
       (void)n;
-      if (callees.count(q) > 0) {
-        out->push_back(rule);
-        break;
-      }
+      if (stamp_[static_cast<size_t>(c)] == seen) continue;
+      stamp_[static_cast<size_t>(c)] = seen;
+      out->push_back(c);
     }
   }
 }
@@ -157,61 +460,76 @@ void CallGraphCache::AppendCallersOf(
 std::unordered_map<LabelId, std::vector<LabelId>> CallGraphCache::Callers()
     const {
   std::unordered_map<LabelId, std::vector<LabelId>> callers;
-  for (const auto& [rule, sk] : skeletons_) {
-    for (const auto& [q, n] : sk.callees) {
+  for (size_t q = 0; q < callers_.size(); ++q) {
+    for (const auto& [c, n] : callers_[q]) {
       (void)n;
-      callers[q].push_back(rule);
+      callers[static_cast<LabelId>(q)].push_back(c);
     }
   }
   return callers;
 }
 
-std::unordered_map<LabelId, int> CallGraphCache::RefCounts(
-    const Grammar& g) const {
-  std::unordered_map<LabelId, int> counts;
-  counts.reserve(skeletons_.size());
-  for (LabelId r : g.Nonterminals()) counts[r] = 0;
-  for (const auto& [rule, sk] : skeletons_) {
-    (void)rule;
-    for (const auto& [q, n] : sk.callees) counts[q] += n;
-  }
-  return counts;
-}
-
-std::unordered_map<LabelId, RuleInterface> CallGraphCache::Interfaces(
-    const Grammar& g) const {
-  return Interfaces(g, AntiSl(g));
-}
-
-std::unordered_map<LabelId, RuleInterface> CallGraphCache::Interfaces(
-    const Grammar& g, const std::vector<LabelId>& anti_sl) const {
-  std::unordered_map<LabelId, RuleInterface> out;
-  out.reserve(anti_sl.size());
-  for (LabelId r : anti_sl) {
-    out[r] = InterfaceOf(g, r, out);
-  }
-  return out;
-}
-
-RuleInterface CallGraphCache::InterfaceOf(
-    const Grammar& g, LabelId rule,
-    const std::unordered_map<LabelId, RuleInterface>& resolved) const {
-  const Skeleton& sk = skeletons_.at(rule);
-  RuleInterface iface;
-  iface.root_label = g.IsNonterminal(sk.root_label)
-                         ? resolved.at(sk.root_label).root_label
-                         : sk.root_label;
-  iface.param_parent.resize(sk.param_parent.size());
-  for (size_t i = 0; i < sk.param_parent.size(); ++i) {
-    auto [pl, idx] = sk.param_parent[i];
-    if (g.IsNonterminal(pl)) {
-      iface.param_parent[i] =
-          resolved.at(pl).param_parent[static_cast<size_t>(idx - 1)];
-    } else {
-      iface.param_parent[i] = {pl, idx};
+void CallGraphCache::CheckInvariants(const Grammar& g) const {
+  std::vector<LabelId> rules = g.Nonterminals();
+  // Skeletons match a fresh extraction (covers SetCallees /
+  // NoteRootLabel patches), and positions are a strict anti-SL order.
+  std::vector<int> fresh_refs(skel_.size(), 0);
+  Skeleton sk;
+  for (LabelId r : rules) {
+    size_t idx = static_cast<size_t>(r);
+    SLG_CHECK_MSG(idx < skel_.size() && skel_[idx].live,
+                  "cache missing a live rule");
+    ExtractInto(g, r, &sk);
+    SLG_CHECK_MSG(sk.callees == skel_[idx].callees, "stale cached callees");
+    SLG_CHECK_MSG(sk.root_label == skel_[idx].root_label,
+                  "stale cached root label");
+    SLG_CHECK_MSG(sk.param_parent == skel_[idx].param_parent,
+                  "stale cached param parents");
+    SLG_CHECK_MSG(pos_[idx] >= 0, "live rule without a position");
+    for (const auto& [q, n] : sk.callees) {
+      fresh_refs[static_cast<size_t>(q)] += n;
+      SLG_CHECK_MSG(pos_[static_cast<size_t>(q)] < pos_[idx],
+                    "dynamic order is not anti-SL");
     }
   }
-  return iface;
+  // Caller adjacency inverts the skeletons exactly.
+  for (LabelId r : rules) {
+    size_t idx = static_cast<size_t>(r);
+    SLG_CHECK_MSG(refcount_[idx] == fresh_refs[idx], "stale refcount");
+    std::vector<std::pair<LabelId, int>> cs = callers_[idx];
+    std::sort(cs.begin(), cs.end());
+    std::vector<std::pair<LabelId, int>> expect;
+    for (LabelId c : rules) {
+      for (const auto& [q, n] : skel_[static_cast<size_t>(c)].callees) {
+        if (q == r) expect.emplace_back(c, n);
+      }
+    }
+    std::sort(expect.begin(), expect.end());
+    SLG_CHECK_MSG(cs == expect, "stale caller adjacency");
+  }
+  // Usage matches the from-scratch pass over the same skeletons.
+  std::vector<LabelId> order = AntiSlList(g);
+  std::vector<uint64_t> want(skel_.size(), 0);
+  want[static_cast<size_t>(g.start())] = 1;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    uint64_t u = want[static_cast<size_t>(*it)];
+    if (u == 0) continue;
+    for (const auto& [q, n] : skel_[static_cast<size_t>(*it)].callees) {
+      uint64_t& uq = want[static_cast<size_t>(q)];
+      uq = UsageSatAdd(uq, UsageTerm(u, n));
+    }
+  }
+  for (LabelId r : rules) {
+    SLG_CHECK_MSG(usage_[static_cast<size_t>(r)] == want[static_cast<size_t>(r)],
+                  "stale incremental usage");
+  }
+  // Interfaces match a full re-resolution.
+  for (LabelId r : order) {
+    size_t idx = static_cast<size_t>(r);
+    SLG_CHECK_MSG(iface_valid_[idx], "live rule without resolved interface");
+    RuleInterface ni = ResolveOne(g, r);
+    SLG_CHECK_MSG(ni == iface_[idx], "stale resolved interface");
+  }
 }
 
 }  // namespace slg

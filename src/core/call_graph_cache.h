@@ -1,21 +1,39 @@
 // Per-rule call-graph and interface skeleton cache for the
-// GrammarRePair driver.
+// GrammarRePair drivers — fully incremental.
 //
-// Every piece of per-round bookkeeping the driver needs — usage
-// (§IV-A), anti-SL order, the caller map, and the rule interfaces of
-// the incremental counting mode — is derivable from two per-rule
-// facts: which nonterminals a rule calls (with multiplicity), and the
-// "skeleton" of its root / parameter-parent positions. Recomputing
-// those facts only for the rules a round actually changed turns the
-// whole refresh into O(#rules + #call edges + |changed rules|) instead
-// of O(|G|) full scans per round.
+// Every piece of per-round bookkeeping the drivers need is maintained
+// in place, in time proportional to the round's damage, instead of
+// being recomputed from scratch per round:
+//
+//  * usage_G (§IV-A) lives in a dense per-rule array and is
+//    repropagated along the cached call graph only from the rules
+//    whose caller multiset changed, processing callers before callees
+//    (decreasing topological position) and stopping wherever the
+//    recomputed count is unchanged — which includes both ends of the
+//    saturation plateau at kUsageCap, so exponential grammars converge
+//    after a handful of hops;
+//  * the anti-SL (callees-first topological) order is a dynamic order
+//    maintained Pearce–Kelly style: edge deletions are free, and an
+//    edge insertion that violates the order triggers a bounded reorder
+//    of just the affected position window;
+//  * reference counts (call sites per rule) are dense and patched by
+//    the same edge diffs;
+//  * resolved rule interfaces (tree_links.h) are re-resolved for the
+//    transitive-caller closure of the rules whose skeleton changed —
+//    computed over the cached call graph *before* resolving, so deep
+//    resolution chains are covered by construction (a rule's resolved
+//    interface depends only on its own skeleton and its callees'
+//    resolved interfaces, and every such dependency is a call edge).
+//
+// After each Update() the drivers read the rules whose usage or
+// resolved interface actually changed from usage_changed() /
+// iface_changed() and touch exactly those.
 
 #ifndef SLG_CORE_CALL_GRAPH_CACHE_H_
 #define SLG_CORE_CALL_GRAPH_CACHE_H_
 
 #include <cstdint>
 #include <unordered_map>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -26,85 +44,134 @@ namespace slg {
 
 class CallGraphCache {
  public:
-  // Builds the cache for every rule of g.
+  // Builds the cache for every rule of g. The initial topological
+  // positions follow the same Kahn BFS the pre-incremental AntiSl()
+  // used, so the first AntiSlList() — and with it the scan order of
+  // the initial index build — is unchanged.
   void Build(const Grammar& g);
 
-  // Re-extracts the per-rule facts for the given rules; forgets the
-  // removed ones. Returns true if any re-extracted rule's callee
-  // multiset changed (or any rule was removed) — i.e. if the call
-  // graph, and with it usage and the anti-SL order, may have moved.
-  // Rounds that only restructure terminal material return false, and
-  // the localized driver skips the global usage/order refresh then.
-  bool Update(const Grammar& g, const std::vector<LabelId>& changed_or_added,
+  // Re-extracts the per-rule facts for the given rules, forgets the
+  // removed ones, then consumes any pending SetCallees/NoteRootLabel
+  // patches and incrementally refreshes usage, order, refcounts and
+  // interfaces. The rules whose usage / resolved interface moved are
+  // exposed via usage_changed() / iface_changed() until the next
+  // Update or Build.
+  void Update(const Grammar& g, const std::vector<LabelId>& changed_or_added,
               const std::vector<LabelId>& removed);
 
   // Patches a rule's cached root label without re-scanning it (used by
   // the pure-local replacement fast path, which can only change the
   // root label of the rule it operates on, never its callee multiset).
+  // Takes effect — including interface re-resolution — at the next
+  // Update().
   void NoteRootLabel(LabelId rule, LabelId root_label);
 
   // Patches a rule's cached callee multiset without re-scanning its
   // body (used by the localized driver, which tracks the start rule's
   // call sites explicitly and so knows the multiset exactly). The rule
   // must already be cached; `callees` is (callee, call-site count),
-  // unsorted.
+  // unsorted. Edge/refcount/usage effects land at the next Update().
   void SetCallees(LabelId rule, std::vector<std::pair<LabelId, int>> callees);
 
-  // usage_G per rule (saturating), from the cached call multiset. The
-  // anti-SL-order overloads skip the internal AntiSl() recomputation —
-  // the refresh step computes the order once and threads it through.
-  std::unordered_map<LabelId, uint64_t> Usage(const Grammar& g) const;
-  std::unordered_map<LabelId, uint64_t> Usage(
-      const Grammar& g, const std::vector<LabelId>& anti_sl) const;
+  // Dense usage_G by LabelId (saturating at kUsageCap); rules not in
+  // the grammar read 0.
+  const std::vector<uint64_t>& usage() const { return usage_; }
 
-  // Callees-first topological order (the anti-SL order).
-  std::vector<LabelId> AntiSl(const Grammar& g) const;
+  // Dense reference counts (call sites per callee) by LabelId.
+  const std::vector<int>& refcounts() const { return refcount_; }
 
-  // callee -> distinct callers.
+  // Rules whose usage / resolved interface changed in the last
+  // Update() (fresh rules always count as interface-changed).
+  // Deterministic order; no duplicates; removed rules excluded.
+  const std::vector<LabelId>& usage_changed() const { return usage_changed_; }
+  const std::vector<LabelId>& iface_changed() const { return iface_changed_; }
+
+  // Live rules that had zero references at Build() time (stale dead
+  // input the replacement engine would otherwise miss now that it
+  // tracks only decremented rules).
+  const std::vector<LabelId>& initial_zero_refs() const {
+    return initial_zero_refs_;
+  }
+
+  // Live rules sorted by the dynamic topological position: a valid
+  // anti-SL (callees-first) order.
+  std::vector<LabelId> AntiSlList(const Grammar& g) const;
+
+  // Sorts `rules` (live, duplicate-free) into anti-SL order.
+  void SortAntiSl(std::vector<LabelId>* rules) const;
+
+  // Appends every rule that calls a member of `callees` to `out`,
+  // each caller once — O(Σ caller-degree), via the dynamic caller
+  // adjacency.
+  void AppendCallersOf(const std::vector<LabelId>& callees,
+                       std::vector<LabelId>* out);
+
+  // The cached resolved interface of a live rule.
+  const RuleInterface& InterfaceAt(LabelId rule) const {
+    return iface_[static_cast<size_t>(rule)];
+  }
+
+  // callee -> distinct callers (test accessor).
   std::unordered_map<LabelId, std::vector<LabelId>> Callers() const;
 
-  // Appends every rule that calls a member of `callees` to `out`
-  // (each caller once, even if it calls several members). One sweep
-  // over the cached skeletons, no map materialization — the refresh
-  // step only ever needs the callers of the few rules whose interface
-  // changed this round.
-  void AppendCallersOf(const std::unordered_set<LabelId>& callees,
-                       std::vector<LabelId>* out) const;
-
-  // Reference counts (call sites per callee) summed from the cached
-  // skeletons — equals ComputeRefCounts(g) at O(#rules + #call edges)
-  // instead of O(|G|). The repair drivers feed this to the replacement
-  // engine every round.
-  std::unordered_map<LabelId, int> RefCounts(const Grammar& g) const;
-
-  // Transitively resolved rule interfaces (see tree_links.h), from the
-  // cached skeletons.
-  std::unordered_map<LabelId, RuleInterface> Interfaces(
-      const Grammar& g) const;
-  std::unordered_map<LabelId, RuleInterface> Interfaces(
-      const Grammar& g, const std::vector<LabelId>& anti_sl) const;
-
-  // Resolves one rule's interface from its skeleton, reading callee
-  // interfaces out of `resolved` (which must be current for every
-  // callee). Lets the localized driver maintain its interface map by
-  // a damage-proportional worklist instead of a full sweep per round.
-  RuleInterface InterfaceOf(
-      const Grammar& g, LabelId rule,
-      const std::unordered_map<LabelId, RuleInterface>& resolved) const;
+  // Cross-checks every incrementally maintained structure (skeletons,
+  // caller adjacency, refcounts, usage, topological validity of the
+  // order, resolved interfaces) against a from-scratch recompute;
+  // CHECK-fails on any mismatch. Drivers run it per round when
+  // GrammarRepairOptions.check_invariants is set.
+  void CheckInvariants(const Grammar& g) const;
 
  private:
   struct Skeleton {
-    // Distinct callees with call-site counts.
+    // Distinct callees with call-site counts, sorted by callee.
     std::vector<std::pair<LabelId, int>> callees;
-    // Root: label (may be a nonterminal).
-    LabelId root_label = kNoLabel;
     // Per parameter: (parent label, child index of the parameter).
     std::vector<std::pair<LabelId, int>> param_parent;
+    // Root: label (may be a nonterminal).
+    LabelId root_label = kNoLabel;
+    bool live = false;
   };
 
-  void Extract(const Grammar& g, LabelId rule);
+  void Grow(size_t n_labels);
+  void ExtractInto(const Grammar& g, LabelId rule, Skeleton* sk) const;
+  // Applies the edge diff old -> skel_[rule].callees: caller
+  // adjacency, refcounts, usage seeds, and order maintenance.
+  void ApplyCalleeDiff(LabelId rule,
+                       const std::vector<std::pair<LabelId, int>>& old);
+  void RemoveRuleState(LabelId rule);
+  // Restores pos_[callee] < pos_[caller], reordering the affected
+  // window if violated (Pearce–Kelly).
+  void InsertOrderEdge(LabelId callee, LabelId caller);
+  void PropagateUsage();
+  void ResolveInterfaces(const Grammar& g);
+  RuleInterface ResolveOne(const Grammar& g, LabelId rule) const;
+  uint32_t NextStamp() const;
 
-  std::unordered_map<LabelId, Skeleton> skeletons_;
+  std::vector<Skeleton> skel_;
+  // callee -> (caller, call-site count), unordered within.
+  std::vector<std::vector<std::pair<LabelId, int>>> callers_;
+  std::vector<uint64_t> usage_;
+  std::vector<int> refcount_;
+  std::vector<int64_t> pos_;  // topological position; -1 = not a rule
+  std::vector<RuleInterface> iface_;
+  std::vector<uint8_t> iface_valid_;
+  LabelId start_ = kNoLabel;
+  int64_t next_pos_ = 0;
+
+  std::vector<LabelId> usage_changed_;
+  std::vector<LabelId> iface_changed_;
+  std::vector<LabelId> initial_zero_refs_;
+  // Pending seeds consumed by the next Update(): rules whose caller
+  // multiset changed (usage) / whose skeleton changed (interfaces),
+  // and whole-multiset SetCallees patches (kept pending because they
+  // may reference rules not yet in the cache).
+  std::vector<LabelId> usage_dirty_;
+  std::vector<LabelId> iface_dirty_;
+  std::vector<std::pair<LabelId, std::vector<std::pair<LabelId, int>>>>
+      pending_callees_;
+
+  mutable std::vector<uint32_t> stamp_;
+  mutable uint32_t stamp_gen_ = 0;
 };
 
 }  // namespace slg

@@ -44,12 +44,21 @@ struct GrammarRepairOptions {
   // Record the grammar size after every round (enables the Fig. 2
   // blow-up measurement; costs one stats pass per round).
   bool track_sizes = false;
+  // Cross-check the incremental call-graph cache (usage, dynamic
+  // anti-SL order, refcounts, resolved interfaces) against a
+  // from-scratch recompute after every refresh; CHECK-fails on drift.
+  // Test-only: costs O(|G|) per round.
+  bool check_invariants = false;
 };
 
 struct GrammarRepairResult {
   Grammar grammar;
   int rounds = 0;
   int64_t replacements = 0;
+  // Whole-rule (re)scans the index performed across all rounds — the
+  // deterministic "did a refresh degenerate to O(#rules)?" signal the
+  // bench-regression gate tracks alongside wall time.
+  int64_t rules_rescanned = 0;
   // Only populated when track_sizes is set: grammar edge count after
   // each round (including pending X rules), plus the input size.
   std::vector<int64_t> size_trace;

@@ -8,14 +8,27 @@
 // RescanRules / AdjustWeight / AddGenerator / RemoveGenerator /
 // RemoveGeneratorAt / Take / MostFrequent.
 //
-// Two drivers share the pure-local fast path but differ in refresh
-// strategy:
+// Every per-round refresh is damage-proportional. The CallGraphCache
+// maintains usage counts, reference counts, the anti-SL order (a
+// dynamic topological order) and resolved interfaces incrementally;
+// after each Update() the drivers read back exactly the rules whose
+// usage or resolved interface moved and touch only those:
+//
+//  * rules to rescan = changed ∪ added ∪ callers of interface-changed
+//    rules (the caller closure is computed inside the cache over its
+//    call graph, so arbitrarily deep resolution chains are covered);
+//  * weight-only adjustments go to usage_changed() instead of a sweep
+//    over every rule (AdjustWeight is a no-op when usage is unchanged,
+//    so the result is identical);
+//  * the replacement engine receives the cache's live refcounts and
+//    sweeps only decremented rules for death.
+//
+// Two drivers share the pure-local fast path but differ in coverage:
 //
 //  * GrammarRePairWithIndex — the paper's Algorithm 1 with §IV-C
-//    incremental counting: the index covers every rule; after a round,
-//    changed rules and the callers of interface-changed rules are
-//    rescanned wholesale. This is the byte-stable reference every
-//    committed baseline depends on; its behavior must not drift.
+//    incremental counting: the index covers every rule. This is the
+//    byte-stable reference every committed baseline depends on; its
+//    behavior must not drift.
 //
 //  * LocalizedGrammarRePairWithIndex — the damage-localized engine. The index
 //    is seeded only from the damaged rules (plus their one-hop caller
@@ -49,6 +62,35 @@
 
 namespace slg {
 namespace internal {
+
+// Round-stamped membership bitmap: O(1) mark/test, O(1) per-round
+// reset (no clearing, no hashing, no re-sorting to dedupe).
+class RoundStamp {
+ public:
+  void BeginRound(size_t n_labels) {
+    if (stamp_.size() < n_labels) stamp_.resize(n_labels, 0);
+    if (++gen_ == 0) {
+      std::fill(stamp_.begin(), stamp_.end(), 0);
+      gen_ = 1;
+    }
+  }
+  // Marks r; returns true if it was not yet marked this round.
+  bool Mark(LabelId r) {
+    size_t idx = static_cast<size_t>(r);
+    if (idx >= stamp_.size()) stamp_.resize(idx + 1, 0);
+    if (stamp_[idx] == gen_) return false;
+    stamp_[idx] = gen_;
+    return true;
+  }
+  bool Marked(LabelId r) const {
+    size_t idx = static_cast<size_t>(r);
+    return idx < stamp_.size() && stamp_[idx] == gen_;
+  }
+
+ private:
+  std::vector<uint32_t> stamp_;
+  uint32_t gen_ = 0;
+};
 
 // ---- pure-local fast path (paper §IV-C neighbourhood updates) --------
 // Start-rule occurrences with terminal endpoints are replaced with
@@ -109,15 +151,15 @@ int64_t ReplacePureLocalGens(Grammar& g, Index& index, CallGraphCache& cache,
 template <typename Index>
 GrammarRepairResult GrammarRePairWithIndex(Grammar g,
                                            const GrammarRepairOptions& options) {
-  GrammarRepairResult result{Grammar(), 0, 0, {}, 0};
+  GrammarRepairResult result;
 
   CallGraphCache cache;
   cache.Build(g);
-  std::vector<LabelId> anti_sl0 = cache.AntiSl(g);
-  auto usage = cache.Usage(g, anti_sl0);
+  if (options.check_invariants) cache.CheckInvariants(g);
   Index index;
-  index.Build(g, usage, anti_sl0);
-  auto interfaces = cache.Interfaces(g, anti_sl0);
+  index.Build(g, cache.usage(), cache.AntiSlList(g));
+  result.rules_rescanned += g.RuleCount();
+  RoundStamp rescan_stamp;
 
   struct PendingRule {
     LabelId lhs;
@@ -158,10 +200,12 @@ GrammarRepairResult GrammarRePairWithIndex(Grammar g,
     if (!engine_gens.empty()) {
       // The cache reflects the grammar as of the last refresh; the
       // pure-local block above only merged terminal nodes, so the
-      // cached call counts are still exact.
-      auto refs0 = cache.RefCounts(g);
+      // cached call counts are still exact. initial_zero_refs covers
+      // rules that entered the run dead (the engine's death sweep
+      // visits only decremented rules otherwise).
       rr = ReplaceAllOccurrences(&g, *d, x, engine_gens, options.optimize,
-                                 nullptr, &refs0);
+                                 nullptr, &cache.refcounts(),
+                                 &cache.initial_zero_refs());
     }
     Tree pattern = MakePattern(*d, &g.labels());
     pending_edges += pattern.LiveCount() - 1;
@@ -177,44 +221,42 @@ GrammarRepairResult GrammarRePairWithIndex(Grammar g,
       continue;
     }
 
-    // ---- refresh (O(#rules + #call edges + |changed|)) ----------------
+    // ---- refresh (O(|damage|)) ----------------------------------------
     std::vector<LabelId> touched = rr.changed_rules;
     for (LabelId r : rr.added_rules) touched.push_back(r);
     cache.Update(g, touched, rr.removed_rules);
-    std::vector<LabelId> anti_sl = cache.AntiSl(g);
-    auto new_usage = cache.Usage(g, anti_sl);
+    if (options.check_invariants) cache.CheckInvariants(g);
 
     if (options.counting == CountingMode::kRecount) {
-      index.Build(g, new_usage, anti_sl);
+      index.Build(g, cache.usage(), cache.AntiSlList(g));
+      result.rules_rescanned += g.RuleCount();
     } else {
       // Rules whose trees changed must be rescanned; so must rules
-      // that call a rule whose interface (derived root label /
-      // parameter-parent labels) changed, since their generators'
-      // digrams may differ now.
-      auto new_interfaces = cache.Interfaces(g, anti_sl);
-      std::unordered_set<LabelId> rescan(rr.changed_rules.begin(),
-                                         rr.changed_rules.end());
-      for (LabelId r : rr.added_rules) rescan.insert(r);
-      std::unordered_set<LabelId> iface_changed;
-      for (const auto& [rule, iface] : new_interfaces) {
-        auto old = interfaces.find(rule);
-        if (old != interfaces.end() && old->second == iface) continue;
-        iface_changed.insert(rule);
+      // that call a rule whose resolved interface (derived root label
+      // / parameter-parent labels) changed, since their generators'
+      // digrams may differ now. The cache's interface worklist already
+      // propagated "dirty" through arbitrarily deep resolution chains,
+      // so iface_changed() is exact — no full sweep.
+      std::vector<LabelId> rescan = std::move(touched);
+      rescan_stamp.BeginRound(g.labels().size());
+      for (LabelId r : rescan) rescan_stamp.Mark(r);
+      size_t frontier = rescan.size();
+      cache.AppendCallersOf(cache.iface_changed(), &rescan);
+      size_t w = frontier;
+      for (size_t i = frontier; i < rescan.size(); ++i) {
+        if (rescan_stamp.Mark(rescan[i])) rescan[w++] = rescan[i];
       }
-      std::vector<LabelId> stale_callers;
-      cache.AppendCallersOf(iface_changed, &stale_callers);
-      for (LabelId c : stale_callers) rescan.insert(c);
+      rescan.resize(w);
       for (LabelId r : rr.removed_rules) index.DropRule(r);
       for (LabelId r : rescan) index.DropRule(r);
-      // Weight-only adjustments for untouched rules.
-      for (const auto& [rule, u] : new_usage) {
-        if (rescan.count(rule) == 0) index.AdjustWeight(rule, u);
+      // Weight-only adjustments, exactly where usage moved.
+      for (LabelId r : cache.usage_changed()) {
+        if (!rescan_stamp.Marked(r)) index.AdjustWeight(r, cache.usage()[r]);
       }
-      std::vector<LabelId> rescan_list(rescan.begin(), rescan.end());
-      index.RescanRules(g, new_usage, rescan_list, anti_sl);
-      interfaces = std::move(new_interfaces);
+      cache.SortAntiSl(&rescan);
+      index.RescanRules(g, cache.usage(), rescan);
+      result.rules_rescanned += static_cast<int64_t>(rescan.size());
     }
-    usage = std::move(new_usage);
     record_size();
   }
 
@@ -230,7 +272,10 @@ GrammarRepairResult GrammarRePairWithIndex(Grammar g,
 // Driver-side TrackedRuleHooks: keeps the digram index and the
 // call-site book of the start rule current through every engine
 // mutation, so the start rule never needs a rescan. usage(start) == 1
-// always, so all delta weights are exact.
+// always, so all delta weights are exact. (The call-site book also
+// feeds the cache's SetCallees patch, which detects start-rule call
+// multiset changes exactly — no separate "did an inline happen"
+// signal.)
 template <typename Index>
 class StartDeltaHooks : public TrackedRuleHooks {
  public:
@@ -244,7 +289,6 @@ class StartDeltaHooks : public TrackedRuleHooks {
                     const std::vector<NodeId>& args) override {
     // The edge into the call and the edges to its arguments are about
     // to be restructured; their stored occurrences go stale now.
-    ++inline_count_;
     index_->RemoveGeneratorAt(RuleNode{rule(), call});
     for (NodeId a : args) index_->RemoveGeneratorAt(RuleNode{rule(), a});
     auto it = callsites_->find(t.label(call));
@@ -308,53 +352,49 @@ class StartDeltaHooks : public TrackedRuleHooks {
     }
   }
 
-  // Inlines performed since the last call — the driver's cheap "did
-  // the start rule's call multiset change this round" signal.
-  int TakeInlineCount() {
-    int n = inline_count_;
-    inline_count_ = 0;
-    return n;
-  }
-
  private:
   Grammar* g_;
   Index* index_;
   CallSiteBook* callsites_;
-  int inline_count_ = 0;
 };
 
 template <typename Index>
 GrammarRepairResult LocalizedGrammarRePairWithIndex(
     Grammar g, const std::vector<LabelId>& damage,
     const GrammarRepairOptions& options) {
-  GrammarRepairResult result{Grammar(), 0, 0, {}, 0};
+  GrammarRepairResult result;
   const LabelId start = g.start();
 
   CallGraphCache cache;
   cache.Build(g);
-  std::vector<LabelId> anti_sl0 = cache.AntiSl(g);
-  auto usage = cache.Usage(g, anti_sl0);
+  if (options.check_invariants) cache.CheckInvariants(g);
   Index index;
-  // Rules currently covered by the index. Seed: the start rule (always
-  // tracked), the damage set, and its one-hop caller frontier — a
-  // caller's stored digrams resolve through its callees' derived roots
-  // and parameter parents, so occurrences adjacent to the damage cross
-  // into the callers.
-  std::unordered_set<LabelId> scanned;
+  // Rules currently covered by the index (dense bitmap). Seed: the
+  // start rule (always tracked), the damage set, and its one-hop
+  // caller frontier — a caller's stored digrams resolve through its
+  // callees' derived roots and parameter parents, so occurrences
+  // adjacent to the damage cross into the callers.
+  std::vector<uint8_t> scanned(g.labels().size(), 0);
+  auto scanned_bit = [&scanned](LabelId r) -> uint8_t& {
+    size_t idx = static_cast<size_t>(r);
+    if (idx >= scanned.size()) scanned.resize(idx + 1, 0);
+    return scanned[idx];
+  };
   {
-    auto callers = cache.Callers();
     std::vector<LabelId> seed;
     auto add = [&](LabelId r) {
       if (!g.HasRule(r)) return;  // stale damage ids are fine
-      if (scanned.insert(r).second) seed.push_back(r);
+      uint8_t& bit = scanned_bit(r);
+      if (bit == 0) {
+        bit = 1;
+        seed.push_back(r);
+      }
     };
     add(start);
     for (LabelId r : damage) add(r);
-    for (LabelId r : damage) {
-      auto it = callers.find(r);
-      if (it == callers.end()) continue;
-      for (LabelId c : it->second) add(c);
-    }
+    std::vector<LabelId> frontier;
+    cache.AppendCallersOf(damage, &frontier);
+    for (LabelId c : frontier) add(c);
     // When the damage closure already covers a sizable share of the
     // rule set, sparse seeding buys nothing (the one-time seed scan is
     // a rounding error next to the replacement rounds) but its partial
@@ -366,12 +406,11 @@ GrammarRepairResult LocalizedGrammarRePairWithIndex(
     if (4 * seed.size() >= static_cast<size_t>(g.RuleCount())) {
       for (LabelId r : g.Nonterminals()) add(r);
     }
-    index.RescanRules(g, usage, seed, anti_sl0);
+    cache.SortAntiSl(&seed);
+    index.RescanRules(g, cache.usage(), seed);
+    result.rules_rescanned += static_cast<int64_t>(seed.size());
   }
-  auto interfaces = cache.Interfaces(g, anti_sl0);
-  // usage and anti_sl persist across rounds and are recomputed only
-  // when the call graph actually moved (see calls_changed below).
-  std::vector<LabelId> anti_sl = std::move(anti_sl0);
+  RoundStamp rescan_stamp;
 
   // Call-site book of the start rule (callee -> call nodes), built
   // once and maintained by the hooks; powers the skeleton patch
@@ -422,9 +461,9 @@ GrammarRepairResult LocalizedGrammarRePairWithIndex(
 
     ReplacementResult rr;
     if (!engine_gens.empty()) {
-      auto refs0 = cache.RefCounts(g);
       rr = ReplaceAllOccurrences(&g, *d, x, engine_gens, options.optimize,
-                                 &hooks, &refs0);
+                                 &hooks, &cache.refcounts(),
+                                 &cache.initial_zero_refs());
     }
     Tree pattern = MakePattern(*d, &g.labels());
     pending_edges += pattern.LiveCount() - 1;
@@ -437,7 +476,7 @@ GrammarRepairResult LocalizedGrammarRePairWithIndex(
       continue;
     }
 
-    // ---- refresh (O(damage), never O(|start|)) ------------------------
+    // ---- refresh (O(damage), never O(|start|) or O(#rules)) -----------
     bool start_changed = false;
     std::vector<LabelId> touched;
     for (LabelId r : rr.changed_rules) {
@@ -451,7 +490,9 @@ GrammarRepairResult LocalizedGrammarRePairWithIndex(
     if (start_changed) {
       // The start rule's tree and index entries were delta-maintained
       // by the hooks; patch its cached skeleton from the call-site
-      // book instead of re-extracting the whole body.
+      // book instead of re-extracting the whole body. The cache diffs
+      // the multiset itself, so a round of inlines that nets out to no
+      // call change costs nothing downstream.
       std::vector<std::pair<LabelId, int>> counts;
       counts.reserve(callsites.size());
       for (const auto& [l, sites] : callsites) {
@@ -462,91 +503,83 @@ GrammarRepairResult LocalizedGrammarRePairWithIndex(
       cache.SetCallees(start, std::move(counts));
       cache.NoteRootLabel(start, ts.label(ts.root()));
     }
-    bool start_calls_changed = hooks.TakeInlineCount() > 0;
-    bool calls_changed = cache.Update(g, touched, rr.removed_rules) ||
-                         !rr.added_rules.empty() || start_calls_changed;
-    if (calls_changed) {
-      anti_sl = cache.AntiSl(g);
-      usage = cache.Usage(g, anti_sl);
-    }
+    cache.Update(g, touched, rr.removed_rules);
+    if (options.check_invariants) cache.CheckInvariants(g);
     for (LabelId r : rr.removed_rules) {
-      scanned.erase(r);
+      scanned_bit(r) = 0;
       callsites.erase(r);
     }
 
-    std::unordered_set<LabelId> rescan(touched.begin(), touched.end());
-    // Interface change detection mirrors the full driver: one sweep
-    // recomputing every rule's resolved interface from the (current)
-    // skeletons in anti-SL order. An incremental worklist looks
-    // cheaper, but resolved interfaces chain through arbitrarily long
-    // caller paths (an export rule's param parent resolving through
-    // three older rules into the region a replacement just rewrote),
-    // and change detection against a partially-stale map misses
-    // exactly the deep chains that matter; the sweep is O(#rules) and
-    // immune by construction.
-    auto new_interfaces = cache.Interfaces(g, anti_sl);
-    std::unordered_set<LabelId> iface_changed;
+    // Rules to rescan: the touched set plus the callers of every rule
+    // whose resolved interface changed — the cache computed that set
+    // through arbitrarily deep resolution chains before resolving, so
+    // no sweep over the rule set is needed. A non-start caller is
+    // (re)scanned wholesale — this doubles as the lazy index extension
+    // into previously untouched rules. The start rule is fixed up per
+    // call site (`ripple`) instead.
+    std::vector<LabelId> rescan = std::move(touched);
+    rescan_stamp.BeginRound(g.labels().size());
+    for (LabelId r : rescan) rescan_stamp.Mark(r);
+    size_t frontier = rescan.size();
+    cache.AppendCallersOf(cache.iface_changed(), &rescan);
+    size_t w = frontier;
+    for (size_t i = frontier; i < rescan.size(); ++i) {
+      LabelId c = rescan[i];
+      if (c != start && rescan_stamp.Mark(c)) rescan[w++] = c;
+    }
+    rescan.resize(w);
     std::vector<NodeId> ripple;
-    for (const auto& [rule, iface] : new_interfaces) {
-      auto old = interfaces.find(rule);
-      if (old != interfaces.end() && old->second == iface) continue;
-      iface_changed.insert(rule);
-      auto sit = callsites.find(rule);
+    for (LabelId r : cache.iface_changed()) {
+      auto sit = callsites.find(r);
       if (sit != callsites.end()) {
         for (NodeId n : sit->second) ripple.push_back(n);
       }
     }
-    interfaces = std::move(new_interfaces);
-    // Callers of an interface-changed rule hold stale digrams. A
-    // non-start caller is (re)scanned wholesale — this doubles as the
-    // lazy index extension into previously untouched rules. The start
-    // rule is fixed up per call site (`ripple`) instead.
-    std::vector<LabelId> stale_callers;
-    cache.AppendCallersOf(iface_changed, &stale_callers);
-    for (LabelId c : stale_callers) {
-      if (c != start) rescan.insert(c);
-    }
-    for (LabelId r : rescan) scanned.insert(r);
+    for (LabelId r : rescan) scanned_bit(r) = 1;
 
     if (options.counting == CountingMode::kRecount) {
       // Recount the covered region only: fresh index over the scanned
       // set (the localized counterpart of a full rebuild; start is
       // rescanned here — reference mode trades speed for simplicity).
       index = Index();
-      std::vector<LabelId> live(scanned.begin(), scanned.end());
-      index.RescanRules(g, usage, live, anti_sl);
+      std::vector<LabelId> live;
+      for (size_t i = 0; i < scanned.size(); ++i) {
+        if (scanned[i] != 0) live.push_back(static_cast<LabelId>(i));
+      }
+      cache.SortAntiSl(&live);
+      index.RescanRules(g, cache.usage(), live);
+      result.rules_rescanned += static_cast<int64_t>(live.size());
     } else {
       // Re-resolve the start-rule occurrences invalidated by the
       // interface changes: the call sites of each changed rule and
       // their argument edges — the only way start entries go stale
       // without its tree changing.
       if (!ripple.empty()) {
-        std::unordered_set<NodeId> nodes;
+        std::vector<NodeId> nodes;
         for (NodeId n : ripple) {
-          nodes.insert(n);
+          nodes.push_back(n);
           for (NodeId c = ts.first_child(n); c != kNilNode;
                c = ts.next_sibling(c)) {
-            nodes.insert(c);
+            nodes.push_back(c);
           }
         }
-        std::vector<NodeId> ordered(nodes.begin(), nodes.end());
-        std::sort(ordered.begin(), ordered.end());
-        for (NodeId n : ordered) index.RemoveGeneratorAt(RuleNode{start, n});
-        for (NodeId n : ordered) index.AddGenerator(g, RuleNode{start, n}, 1);
+        std::sort(nodes.begin(), nodes.end());
+        nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+        for (NodeId n : nodes) index.RemoveGeneratorAt(RuleNode{start, n});
+        for (NodeId n : nodes) index.AddGenerator(g, RuleNode{start, n}, 1);
       }
       for (LabelId r : rr.removed_rules) index.DropRule(r);
       for (LabelId r : rescan) index.DropRule(r);
-      if (calls_changed) {
-        // Weight-only adjustments for covered-but-untouched rules;
-        // when the call graph did not move, no usage moved either.
-        for (LabelId r : scanned) {
-          if (r != start && rescan.count(r) == 0) {
-            index.AdjustWeight(r, usage.at(r));
-          }
+      // Weight-only adjustments for covered-but-untouched rules,
+      // exactly where usage moved.
+      for (LabelId r : cache.usage_changed()) {
+        if (r != start && scanned_bit(r) != 0 && !rescan_stamp.Marked(r)) {
+          index.AdjustWeight(r, cache.usage()[r]);
         }
       }
-      std::vector<LabelId> rescan_list(rescan.begin(), rescan.end());
-      index.RescanRules(g, usage, rescan_list, anti_sl);
+      cache.SortAntiSl(&rescan);
+      index.RescanRules(g, cache.usage(), rescan);
+      result.rules_rescanned += static_cast<int64_t>(rescan.size());
     }
     record_size();
   }

@@ -85,15 +85,28 @@ struct VersionKeyHash {
 class Engine {
  public:
   Engine(Grammar* g, const Digram& alpha, LabelId x, bool optimize,
-         TrackedRuleHooks* hooks,
-         const std::unordered_map<LabelId, int>* refs0)
+         TrackedRuleHooks* hooks, const std::vector<int>* refs0,
+         const std::vector<LabelId>* stale_zero_refs)
       : g_(g), alpha_(alpha), x_(x), optimize_(optimize), hooks_(hooks),
-        refs0_in_(refs0) {}
+        refs0_in_(refs0), stale_zero_refs_(stale_zero_refs) {}
 
   ReplacementResult Run(const std::vector<RuleNode>& generators) {
-    refs0_ = refs0_in_ != nullptr ? *refs0_in_ : ComputeRefCounts(*g_);
+    if (refs0_in_ != nullptr) {
+      refs0_ = *refs0_in_;
+    } else {
+      // No caller-supplied counts: recount, and seed the dead sweep
+      // with every rule already at zero (with caller counts those are
+      // covered by stale_zero_refs instead).
+      refs0_.assign(g_->labels().size(), 0);
+      for (const auto& [r, n] : ComputeRefCounts(*g_)) {
+        refs0_[static_cast<size_t>(r)] = n;
+        if (n == 0) dead_candidates_.push_back(r);
+      }
+    }
     // Live reference counts, maintained through every grammar mutation
-    // below; RemoveDeadRules reads them instead of recounting O(|G|).
+    // below; RemoveDeadRules reads them and visits only the rules
+    // whose count was decremented, instead of recounting O(|G|) and
+    // sweeping O(#rules).
     refs_ = refs0_;
     CollectBaseFlags(generators);
     if (optimize_) {
@@ -222,7 +235,7 @@ class Engine {
     // Fragment export (Alg. 8): worthwhile only if the rule is
     // referenced more than once (the version content will otherwise
     // exist in a single place).
-    if (refs0_[key.rule] > 1) {
+    if (refs0_[static_cast<size_t>(key.rule)] > 1) {
       std::unordered_set<NodeId> marked;
       for (int flag : key.flags) {
         if (flag == 0) {
@@ -420,33 +433,59 @@ class Engine {
   NodeId InlineFlaggedCall(Tree* t, NodeId call, const Tree& body,
                            TrackedRuleHooks* hooks,
                            const std::vector<NodeId>& args) {
-    --refs_[t->label(call)];
+    LabelId callee = t->label(call);
+    --Ref(callee);
+    dead_candidates_.push_back(callee);
     if (hooks != nullptr) hooks->BeforeInline(*t, call, args);
     std::vector<NodeId> new_calls;
     NodeId copy_root = InlineCall(*g_, t, call, body, &new_calls);
-    for (NodeId n : new_calls) ++refs_[t->label(n)];
+    for (NodeId n : new_calls) ++Ref(t->label(n));
     if (hooks != nullptr) hooks->AfterInline(*t, copy_root, args);
     return copy_root;
   }
 
   // Reference-count deltas for a whole tree entering (+1) or leaving
   // (-1) the grammar — version adoption and fragment export.
+  // Decremented rules become dead-sweep candidates.
   void CountTreeRefs(const Tree& t, int delta) {
     t.VisitPreorder(t.root(), [&](NodeId v) {
       LabelId l = t.label(v);
-      if (g_->IsNonterminal(l)) refs_[l] += delta;
+      if (!g_->IsNonterminal(l)) return;
+      Ref(l) += delta;
+      if (delta < 0) dead_candidates_.push_back(l);
     });
+  }
+
+  // Live count slot for a label; fresh labels (export rules interned
+  // mid-round, x_) live past the entry-time array size.
+  int& Ref(LabelId l) {
+    size_t idx = static_cast<size_t>(l);
+    if (idx >= refs_.size()) refs_.resize(idx + 1, 0);
+    return refs_[idx];
   }
 
   // ---- cleanup -----------------------------------------------------------
 
   void RemoveDeadRules() {
     // The live counts were maintained through every mutation above, so
-    // no recount is needed; removing a rule releases its body's
-    // references, which may strand further rules (worklist fixpoint).
+    // no recount is needed — and only a rule whose count was
+    // decremented this round (or that entered the round at zero:
+    // stale_zero_refs / the recount fallback) can have reached zero,
+    // so those candidates are the whole sweep. Removing a rule
+    // releases its body's references, which may strand further rules
+    // (worklist fixpoint). The dead set is a fixpoint independent of
+    // visit order; candidates are sorted for a deterministic
+    // removed_rules sequence.
+    std::vector<LabelId> cand = std::move(dead_candidates_);
+    if (stale_zero_refs_ != nullptr) {
+      cand.insert(cand.end(), stale_zero_refs_->begin(),
+                  stale_zero_refs_->end());
+    }
+    std::sort(cand.begin(), cand.end());
+    cand.erase(std::unique(cand.begin(), cand.end()), cand.end());
     std::vector<LabelId> dead;
-    for (LabelId r : g_->Nonterminals()) {
-      if (r != g_->start() && refs_[r] == 0) dead.push_back(r);
+    for (LabelId r : cand) {
+      if (g_->HasRule(r) && r != g_->start() && Ref(r) == 0) dead.push_back(r);
     }
     for (size_t i = 0; i < dead.size(); ++i) {
       LabelId r = dead[i];
@@ -454,7 +493,7 @@ class Engine {
       body.VisitPreorder(body.root(), [&](NodeId v) {
         LabelId l = body.label(v);
         if (!g_->IsNonterminal(l)) return;
-        if (--refs_[l] == 0 && l != g_->start()) dead.push_back(l);
+        if (--Ref(l) == 0 && l != g_->start()) dead.push_back(l);
       });
       g_->RemoveRule(r);
       result_.removed_rules.push_back(r);
@@ -476,12 +515,14 @@ class Engine {
   LabelId x_;
   bool optimize_;
   TrackedRuleHooks* hooks_;
-  const std::unordered_map<LabelId, int>* refs0_in_;
-  std::unordered_map<LabelId, int> refs_;
+  const std::vector<int>* refs0_in_;
+  const std::vector<LabelId>* stale_zero_refs_;
+  std::vector<int> refs_;
+  std::vector<LabelId> dead_candidates_;
 
   std::vector<LabelId> base_rules_;
   std::unordered_set<LabelId> base_rules_set_;
-  std::unordered_map<LabelId, int> refs0_;
+  std::vector<int> refs0_;
   std::unordered_map<LabelId, std::unordered_map<NodeId, FlagSet>> base_flags_;
   std::unordered_map<VersionKey, int, VersionKeyHash> version_uses_;
   std::unordered_map<VersionKey, Tree, VersionKeyHash> versions_;
@@ -496,8 +537,10 @@ class Engine {
 ReplacementResult ReplaceAllOccurrences(
     Grammar* g, const Digram& alpha, LabelId x,
     const std::vector<RuleNode>& generators, bool optimize,
-    TrackedRuleHooks* hooks, const std::unordered_map<LabelId, int>* refs0) {
-  return Engine(g, alpha, x, optimize, hooks, refs0).Run(generators);
+    TrackedRuleHooks* hooks, const std::vector<int>* refs0,
+    const std::vector<LabelId>* stale_zero_refs) {
+  return Engine(g, alpha, x, optimize, hooks, refs0, stale_zero_refs)
+      .Run(generators);
 }
 
 }  // namespace slg

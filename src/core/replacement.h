@@ -25,7 +25,6 @@
 #define SLG_CORE_REPLACEMENT_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "src/core/repair_hooks.h"
@@ -54,14 +53,19 @@ struct ReplacementResult {
 // tracked rule is processed by targeted replacement at the flagged
 // sites instead of a whole-body scan whenever the digram's labels
 // differ (for a != b the occurrence list is exhaustive, so the scan
-// finds nothing more). `refs0`, if given, must equal
-// ComputeRefCounts(*g) at entry (the repair drivers derive it from
-// their call-graph cache in O(#rules) instead of O(|G|)).
+// finds nothing more). `refs0`, if given, must hold the reference
+// count of every rule at entry, densely indexed by LabelId (the repair
+// drivers hand over CallGraphCache::refcounts() for free). The
+// dead-rule sweep then visits only rules whose count was decremented
+// this round plus `stale_zero_refs` (rules the caller knows entered
+// the round at zero references — CallGraphCache::initial_zero_refs());
+// without refs0 the engine recounts and sweeps everything.
 ReplacementResult ReplaceAllOccurrences(
     Grammar* g, const Digram& alpha, LabelId x,
     const std::vector<RuleNode>& generators, bool optimize,
     TrackedRuleHooks* hooks = nullptr,
-    const std::unordered_map<LabelId, int>* refs0 = nullptr);
+    const std::vector<int>* refs0 = nullptr,
+    const std::vector<LabelId>* stale_zero_refs = nullptr);
 
 // Top-down greedy in-place replacement of every (a,i,b) pair of
 // terminal nodes in `t` by `x`. Exposed for tests. Returns the number

@@ -1,7 +1,6 @@
 #include "src/core/retrieve_occs.h"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "src/grammar/orders.h"
 
@@ -9,12 +8,14 @@ namespace slg {
 
 void GrammarDigramIndex::Build(
     const Grammar& g, const std::unordered_map<LabelId, uint64_t>& usage) {
-  Build(g, usage, AntiSlOrder(g));
+  std::vector<uint64_t> dense(g.labels().size(), 0);
+  for (const auto& [r, u] : usage) dense[static_cast<size_t>(r)] = u;
+  Build(g, dense, AntiSlOrder(g));
 }
 
-void GrammarDigramIndex::Build(
-    const Grammar& g, const std::unordered_map<LabelId, uint64_t>& usage,
-    const std::vector<LabelId>& anti_sl_order) {
+void GrammarDigramIndex::Build(const Grammar& g,
+                               const std::vector<uint64_t>& usage,
+                               const std::vector<LabelId>& anti_sl_order) {
   digrams_.clear();
   slots_.clear();
   slot_count_ = 0;
@@ -27,19 +28,15 @@ void GrammarDigramIndex::Build(
   max_count_ = 0;
   total_ = 0;
   for (LabelId r : anti_sl_order) {
-    ScanRule(g, r, usage.at(r));
+    ScanRule(g, r, usage[static_cast<size_t>(r)]);
   }
 }
 
-void GrammarDigramIndex::RescanRules(
-    const Grammar& g, const std::unordered_map<LabelId, uint64_t>& usage,
-    const std::vector<LabelId>& rules,
-    const std::vector<LabelId>& anti_sl_order) {
-  // Respect anti-SL order among the rescan set: the equal-label
-  // membership check may consult callee entries.
-  std::unordered_set<LabelId> want(rules.begin(), rules.end());
-  for (LabelId r : anti_sl_order) {
-    if (want.count(r) > 0) ScanRule(g, r, usage.at(r));
+void GrammarDigramIndex::RescanRules(const Grammar& g,
+                                     const std::vector<uint64_t>& usage,
+                                     const std::vector<LabelId>& rules) {
+  for (LabelId r : rules) {
+    ScanRule(g, r, usage[static_cast<size_t>(r)]);
   }
 }
 

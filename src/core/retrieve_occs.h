@@ -50,25 +50,24 @@ class GrammarDigramIndex {
  public:
   GrammarDigramIndex() = default;
 
-  // Full build: scans every rule in anti-SL order. The order may be
-  // supplied by the caller (e.g. from CallGraphCache) to avoid a full
-  // grammar scan; it must be a valid anti-SL order of g's rules.
+  // Full build: scans every rule in anti-SL order. Usage is a dense
+  // array indexed by LabelId (CallGraphCache::usage()); anti_sl_order
+  // must be a valid anti-SL order of g's rules. The map overload is a
+  // test/bench convenience that derives both.
+  void Build(const Grammar& g, const std::vector<uint64_t>& usage,
+             const std::vector<LabelId>& anti_sl_order);
   void Build(const Grammar& g,
              const std::unordered_map<LabelId, uint64_t>& usage);
-  void Build(const Grammar& g,
-             const std::unordered_map<LabelId, uint64_t>& usage,
-             const std::vector<LabelId>& anti_sl_order);
 
   // Drops every stored occurrence generated in `rule`.
   void DropRule(LabelId rule);
 
-  // Rescans the given rules (processed in anti-SL order relative to
-  // each other, as given by anti_sl_order over all rules). Their
-  // previous entries must have been dropped.
-  void RescanRules(const Grammar& g,
-                   const std::unordered_map<LabelId, uint64_t>& usage,
-                   const std::vector<LabelId>& rules,
-                   const std::vector<LabelId>& anti_sl_order);
+  // Rescans the given rules, in the given order — the caller provides
+  // them already duplicate-free and in anti-SL order (the equal-label
+  // membership check may consult callee entries), so the index never
+  // walks the full rule set. Previous entries must have been dropped.
+  void RescanRules(const Grammar& g, const std::vector<uint64_t>& usage,
+                   const std::vector<LabelId>& rules);
 
   // Adjusts weights of `rule`'s stored occurrences after usage changed
   // from its scan-time value to new_usage (no structural change).

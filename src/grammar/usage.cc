@@ -21,4 +21,22 @@ std::unordered_map<LabelId, uint64_t> ComputeUsage(const Grammar& g) {
   return usage;
 }
 
+std::vector<uint64_t> DenseUsage(const Grammar& g) {
+  std::vector<uint64_t> usage(g.labels().size(), 0);
+  usage[static_cast<size_t>(g.start())] = 1;
+  for (LabelId r : TopDownOrder(g)) {
+    uint64_t u = usage[static_cast<size_t>(r)];
+    if (u == 0) continue;
+    const Tree& t = g.rhs(r);
+    t.VisitPreorder(t.root(), [&](NodeId v) {
+      LabelId l = t.label(v);
+      if (g.IsNonterminal(l)) {
+        uint64_t& ul = usage[static_cast<size_t>(l)];
+        ul = UsageSatAdd(ul, u);
+      }
+    });
+  }
+  return usage;
+}
+
 }  // namespace slg

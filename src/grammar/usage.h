@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "src/grammar/grammar.h"
 
@@ -24,6 +25,11 @@ inline uint64_t UsageSatAdd(uint64_t a, uint64_t b) {
 // usage for every nonterminal, one top-down pass. Nonterminals that are
 // unreachable from the start rule get usage 0.
 std::unordered_map<LabelId, uint64_t> ComputeUsage(const Grammar& g);
+
+// Same, as a dense array indexed by LabelId (non-rule labels read 0) —
+// the from-scratch reference for the incrementally maintained
+// CallGraphCache::usage().
+std::vector<uint64_t> DenseUsage(const Grammar& g);
 
 }  // namespace slg
 

@@ -18,8 +18,14 @@
 //    shared subtrees and runs one TreeRePair pass over it (fast:
 //    tree-repair rounds over an input a sharing-factor smaller than
 //    the document); kGrammarRepair runs GrammarRePair over the full
-//    DAG grammar — the paper's grammar-input mode, better when
-//    per-rule machinery cost does not matter.
+//    DAG grammar — the paper's grammar-input mode. Re-measured after
+//    the incremental CallGraphCache made repair rounds damage-
+//    proportional (PR 7): the leg got 1.2-1.7x faster (the refresh
+//    sweeps are gone) but remains several times slower than the cut
+//    forest — the residual cost is the initial index build over
+//    thousands of tiny rules and per-round engine work, which full
+//    sharing inflates by construction — so kForestRepair stays the
+//    default.
 //
 // Keeping both modes lets the benches report the paper's comparison
 // and the harsher DAG-shared variant side by side (ROADMAP item).

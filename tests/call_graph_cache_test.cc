@@ -43,10 +43,15 @@ TEST(CallGraphCacheTest, UsageMatchesDirect) {
   CallGraphCache cache;
   cache.Build(g);
   auto direct = ComputeUsage(g);
-  auto cached = cache.Usage(g);
-  EXPECT_EQ(direct.size(), cached.size());
+  const std::vector<uint64_t>& cached = cache.usage();
   for (const auto& [rule, u] : direct) {
-    EXPECT_EQ(cached[rule], u) << g.labels().Name(rule);
+    ASSERT_LT(static_cast<size_t>(rule), cached.size());
+    EXPECT_EQ(cached[static_cast<size_t>(rule)], u) << g.labels().Name(rule);
+  }
+  // The dense helper must agree too.
+  std::vector<uint64_t> dense = DenseUsage(g);
+  for (const auto& [rule, u] : direct) {
+    EXPECT_EQ(dense[static_cast<size_t>(rule)], u) << g.labels().Name(rule);
   }
 }
 
@@ -54,8 +59,11 @@ TEST(CallGraphCacheTest, AntiSlIsValidTopologicalOrder) {
   Grammar g = SampleGrammar();
   CallGraphCache cache;
   cache.Build(g);
-  std::vector<LabelId> order = cache.AntiSl(g);
+  std::vector<LabelId> order = cache.AntiSlList(g);
   EXPECT_EQ(order.size(), static_cast<size_t>(g.RuleCount()));
+  // The initial order must match the Kahn BFS the pre-incremental code
+  // used, so committed grammar baselines cannot drift.
+  EXPECT_EQ(order, AntiSlOrder(g));
   // Every rule appears after all rules it calls.
   std::unordered_map<LabelId, size_t> pos;
   for (size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
@@ -74,9 +82,8 @@ TEST(CallGraphCacheTest, InterfacesMatchDirect) {
   CallGraphCache cache;
   cache.Build(g);
   auto direct = ComputeInterfaces(g);
-  auto cached = cache.Interfaces(g);
   for (const auto& [rule, iface] : direct) {
-    EXPECT_TRUE(cached[rule] == iface) << g.labels().Name(rule);
+    EXPECT_TRUE(cache.InterfaceAt(rule) == iface) << g.labels().Name(rule);
   }
 }
 
@@ -105,9 +112,47 @@ TEST(CallGraphCacheTest, UpdateTracksRuleChanges) {
   }
   cache.Update(g, {victim}, {});
   auto direct = ComputeUsage(g);
-  auto cached = cache.Usage(g);
   for (const auto& [rule, u] : direct) {
-    EXPECT_EQ(cached[rule], u) << g.labels().Name(rule);
+    EXPECT_EQ(cache.usage()[static_cast<size_t>(rule)], u)
+        << g.labels().Name(rule);
+  }
+  // Every incrementally maintained structure must survive the full
+  // cross-check after a partial update.
+  cache.CheckInvariants(g);
+}
+
+TEST(CallGraphCacheTest, ChangeListsAreExact) {
+  Grammar g = SampleGrammar();
+  CallGraphCache cache;
+  cache.Build(g);
+  auto usage_before = ComputeUsage(g);
+  // Inline the first call of some rule: its callee loses usage (and
+  // every transitive callee of that callee may too).
+  LabelId victim = kNoLabel;
+  g.ForEachRule([&](LabelId lhs, const Tree& rhs) {
+    if (victim != kNoLabel) return;
+    NodeId call = kNilNode;
+    rhs.VisitPreorder(rhs.root(), [&](NodeId v) {
+      if (call == kNilNode && g.IsNonterminal(rhs.label(v))) call = v;
+    });
+    if (call != kNilNode) victim = lhs;
+  });
+  ASSERT_NE(victim, kNoLabel);
+  {
+    Tree& t = g.rhs(victim);
+    NodeId call = kNilNode;
+    t.VisitPreorder(t.root(), [&](NodeId v) {
+      if (call == kNilNode && g.IsNonterminal(t.label(v))) call = v;
+    });
+    InlineCall(g, &t, call);
+  }
+  cache.Update(g, {victim}, {});
+  auto usage_after = ComputeUsage(g);
+  std::unordered_set<LabelId> reported(cache.usage_changed().begin(),
+                                       cache.usage_changed().end());
+  for (const auto& [rule, u] : usage_after) {
+    bool moved = usage_before.at(rule) != u;
+    EXPECT_EQ(reported.count(rule) > 0, moved) << g.labels().Name(rule);
   }
 }
 

@@ -34,25 +34,23 @@ class LegacyGrammarDigramIndex {
  public:
   LegacyGrammarDigramIndex() = default;
 
-  void Build(const Grammar& g,
-             const std::unordered_map<LabelId, uint64_t>& usage,
+  void Build(const Grammar& g, const std::vector<uint64_t>& usage,
              const std::vector<LabelId>& anti_sl_order) {
     table_.clear();
     by_rule_.clear();
     heap_ = {};
     total_ = 0;
     for (LabelId r : anti_sl_order) {
-      ScanRule(g, r, usage.at(r));
+      ScanRule(g, r, usage[static_cast<size_t>(r)]);
     }
   }
 
-  void RescanRules(const Grammar& g,
-                   const std::unordered_map<LabelId, uint64_t>& usage,
-                   const std::vector<LabelId>& rules,
-                   const std::vector<LabelId>& anti_sl_order) {
-    std::unordered_set<LabelId> want(rules.begin(), rules.end());
-    for (LabelId r : anti_sl_order) {
-      if (want.count(r) > 0) ScanRule(g, r, usage.at(r));
+  // Rules arrive duplicate-free and already in anti-SL order (the
+  // driver sorts against its dynamic topological positions).
+  void RescanRules(const Grammar& g, const std::vector<uint64_t>& usage,
+                   const std::vector<LabelId>& rules) {
+    for (LabelId r : rules) {
+      ScanRule(g, r, usage[static_cast<size_t>(r)]);
     }
   }
 

@@ -13,6 +13,13 @@ The bench JSON format is flat: {"benchmarks": [{"name": ..., <metric>:
   * context   — workload shape (edges, ops, period, renames, shards,
                 threads): must match the baseline exactly, otherwise
                 the runs are not comparable and the comparison fails.
+  * counters  — keys ending in "_rounds"/"_rescanned": deterministic
+                repair-effort counters (replacement rounds, whole-rule
+                index rescans). Any difference from the baseline fails
+                — a drifting rescan count means a per-round sweep
+                silently stopped being damage-proportional (or the
+                round structure changed), which no timing gate on a
+                noisy runner would catch.
   * sizes     — everything else (grammar edge counts, size ratios,
                 checkpoint counts): fully deterministic for a fixed
                 workload, so any increase beyond the threshold is a
@@ -34,6 +41,10 @@ IGNORED_KEYS = {"hardware_threads"}  # varies by runner, by design
 
 def is_timing(key):
     return key.endswith("_s") or key.endswith("_ms") or "speedup" in key
+
+
+def is_exact_counter(key):
+    return key.endswith("_rounds") or key.endswith("_rescanned")
 
 
 def load(path):
@@ -98,6 +109,14 @@ def main():
                         f"{name}/{key}: workload context changed "
                         f"({bv} -> {cv}); refresh the committed baseline "
                         f"together with the bench change")
+                continue
+            if is_exact_counter(key):
+                if bv != cv:
+                    failures.append(
+                        f"{name}/{key}: repair-effort counter changed "
+                        f"({bv:g} -> {cv:g}); exact match required — if "
+                        f"the round/rescan structure changed on purpose, "
+                        f"refresh the committed baseline")
                 continue
             # Deterministic size metric: smaller (or equal) is fine,
             # larger beyond the threshold is a regression.
