@@ -21,6 +21,7 @@
 #include "src/datasets/generators.h"
 #include "src/grammar/stats.h"
 #include "src/grammar/validate.h"
+#include "src/obs/session.h"
 #include "src/pipeline/sharded_compressor.h"
 #include "src/pipeline/thread_pool.h"
 #include "src/repair/tree_repair.h"
@@ -30,6 +31,7 @@ namespace slg {
 namespace {
 
 int Run(int argc, char** argv) {
+  obs::ObsSession obs_session(argc, argv);
   double scale = FlagDouble(argc, argv, "--scale", 0.3);
   uint64_t seed =
       static_cast<uint64_t>(FlagInt(argc, argv, "--seed", 20160516));

@@ -14,6 +14,8 @@
 #include "src/grammar/text_format.h"
 #include "src/grammar/usage.h"
 #include "src/grammar/value.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/repair/tree_repair.h"
 #include "src/update/batch.h"
 #include "src/update/path_isolation.h"
@@ -335,6 +337,56 @@ void BM_AntiSlMaintain(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * k);
 }
 BENCHMARK(BM_AntiSlMaintain)->RangeMultiplier(4)->Range(1, 1024);
+
+// --- observability primitives ---------------------------------------
+// The costs every instrumented hot path pays. Counter increments and
+// histogram records are always on (relaxed atomics); spans are a
+// relaxed load + branch when tracing is off and two clock reads + a
+// ring push when it is on. docs/OBSERVABILITY.md quotes these numbers.
+
+void BM_CounterInc(benchmark::State& state) {
+  obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("bench.micro_counter");
+  for (auto _ : state) {
+    c.Increment();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterInc);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  obs::Histogram& h =
+      obs::MetricsRegistry::Global().GetHistogram("bench.micro_histogram");
+  int64_t v = 0;
+  for (auto _ : state) {
+    h.Record(v++);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_SpanEnterExit(benchmark::State& state) {
+  // Tracing disabled — the production default every caller pays.
+  obs::SetTraceEnabled(false);
+  for (auto _ : state) {
+    obs::TraceSpan span("bench.micro_span");
+    benchmark::DoNotOptimize(&span);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanEnterExit);
+
+void BM_SpanEnterExitEnabled(benchmark::State& state) {
+  obs::SetTraceEnabled(true);
+  for (auto _ : state) {
+    obs::TraceSpan span("bench.micro_span");
+    benchmark::DoNotOptimize(&span);
+  }
+  obs::SetTraceEnabled(false);
+  obs::ClearTrace();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanEnterExitEnabled);
 
 }  // namespace
 }  // namespace slg

@@ -37,8 +37,20 @@
 // Grammar sizes, the size ratio, peak-space counts and the pool reuse
 // statistics are deterministic and CI-gated; timings advisory.
 //
-// Flags: --scale, --lscale, --uscale, --updates, --lupdates, --period,
-// --renames, --growth, --seed, --out.
+// A fourth section drives the sharded pipeline and the durable store
+// on one small corpus (at --sscale, default 0.1) so a single
+// instrumented run covers every subsystem: ShardedCompress (pinned
+// shard and thread counts — the output and the metrics row stay
+// hardware-independent), then a DurableDocument journal-append loop
+// and a recovery Open. Journal bytes and replayed batch counts are
+// read back from the metrics registry — the registry is the one
+// source of truth, and the journal-bytes counter is asserted against
+// the file's size on disk.
+//
+// Flags: --scale, --lscale, --uscale, --sscale, --updates, --lupdates,
+// --period, --renames, --growth, --seed, --out; plus --trace=out.json
+// and --metrics=out.json (obs::ObsSession) for a Chrome trace of the
+// whole run and a JSON snapshot of every registry metric.
 
 #include <algorithm>
 #include <cstdio>
@@ -51,7 +63,12 @@
 #include "src/datasets/generators.h"
 #include "src/grammar/stats.h"
 #include "src/grammar/value.h"
+#include "src/obs/metrics.h"
+#include "src/obs/session.h"
+#include "src/pipeline/sharded_compressor.h"
 #include "src/repair/tree_repair.h"
+#include "src/store/durable_document.h"
+#include "src/store/io.h"
 #include "src/update/batch.h"
 #include "src/update/udc.h"
 #include "src/update/update_ops.h"
@@ -61,7 +78,20 @@
 namespace slg {
 namespace {
 
+// The store writes a flat directory; empty it (and drop the directory
+// itself) so repeated runs start clean.
+void RemoveStoreDir(const std::string& dir) {
+  StatusOr<std::vector<std::string>> names = ListDir(dir);
+  if (names.ok()) {
+    for (const std::string& name : names.value()) {
+      (void)RemoveFile(JoinPath(dir, name), nullptr);
+    }
+  }
+  std::remove(dir.c_str());
+}
+
 int Run(int argc, char** argv) {
+  obs::ObsSession obs_session(argc, argv);
   double scale = FlagDouble(argc, argv, "--scale", 0.05);
   int updates = static_cast<int>(FlagInt(argc, argv, "--updates", 400));
   int period = static_cast<int>(FlagInt(argc, argv, "--period", 100));
@@ -238,9 +268,15 @@ int Run(int argc, char** argv) {
     // repair legs are timed. Rounds and whole-rule index (re)scans are
     // summed over all checkpoints — both are deterministic and CI-gated
     // (a rescan count creeping back toward rounds * #rules means a
-    // sweep silently stopped being damage-proportional).
-    auto replay = [&](bool localized, double* repair_s, int64_t* rounds,
-                      int64_t* rescanned) {
+    // sweep silently stopped being damage-proportional). The sums are
+    // read as metrics-registry deltas around each replay: the repair
+    // drivers publish repair.rounds / repair.rules_rescanned
+    // themselves, so the bench no longer keeps its own accumulators.
+    obs::Counter& rounds_counter =
+        obs::MetricsRegistry::Global().GetCounter("repair.rounds");
+    obs::Counter& rescanned_counter =
+        obs::MetricsRegistry::Global().GetCounter("repair.rules_rescanned");
+    auto replay = [&](bool localized, double* repair_s) {
       Grammar g = seed_grammar.Clone();
       size_t i = 0;
       while (i < w.ops.size()) {
@@ -257,18 +293,21 @@ int Run(int argc, char** argv) {
                 ? LocalizedGrammarRePair(std::move(g), damage, recompress)
                 : GrammarRePair(std::move(g), recompress);
         *repair_s += t.ElapsedSeconds();
-        *rounds += r.rounds;
-        *rescanned += r.rules_rescanned;
         g = std::move(r.grammar);
       }
       return ComputeStats(g).edge_count;
     };
     double full_rc = 0, local_rc = 0;
-    int64_t full_rounds = 0, full_rescanned = 0;
-    int64_t local_rounds = 0, local_rescanned = 0;
-    int64_t full_edges = replay(false, &full_rc, &full_rounds, &full_rescanned);
-    int64_t local_edges =
-        replay(true, &local_rc, &local_rounds, &local_rescanned);
+    int64_t rounds_before = rounds_counter.Value();
+    int64_t rescanned_before = rescanned_counter.Value();
+    int64_t full_edges = replay(false, &full_rc);
+    int64_t full_rounds = rounds_counter.Value() - rounds_before;
+    int64_t full_rescanned = rescanned_counter.Value() - rescanned_before;
+    rounds_before = rounds_counter.Value();
+    rescanned_before = rescanned_counter.Value();
+    int64_t local_edges = replay(true, &local_rc);
+    int64_t local_rounds = rounds_counter.Value() - rounds_before;
+    int64_t local_rescanned = rescanned_counter.Value() - rescanned_before;
 
     Timer adapt_timer;
     BatchApplyOptions aopts;
@@ -435,6 +474,103 @@ int Run(int argc, char** argv) {
               {"dag_rules_reused", static_cast<double>(reused_total)}});
   }
   utable.Print();
+
+  // --- sharded pipeline + durable store (one small corpus) -------------
+  // Pinned shard/thread counts: the grammar and the metrics row depend
+  // on the shard count only, so the numbers are identical on any
+  // machine. Journal bytes and replayed batches come from the metrics
+  // registry (the store publishes them); the byte counter is checked
+  // against the journal's on-disk size.
+  double sscale = FlagDouble(argc, argv, "--sscale", 0.1);
+  std::printf(
+      "\nSharded pipeline + durable store (EXI-Weblog, scale %.3g)\n\n",
+      sscale);
+  TablePrinter stable({"dataset", "#edges", "shards", "sharded-edges",
+                       "journal KiB", "batches", "replayed", "rec-edges"});
+  {
+    const CorpusInfo& info = InfoFor(Corpus::kExiWeblog);
+    XmlTree xml = GenerateCorpus(Corpus::kExiWeblog, sscale);
+    LabelTable labels;
+    Tree bin = EncodeBinary(xml, &labels);
+
+    ShardedCompressorOptions sopts;
+    sopts.num_shards = 4;
+    sopts.num_threads = 2;
+    sopts.min_shard_nodes = 512;
+    sopts.final_repair = FinalRepairMode::kFull;
+    sopts.merge_repair.repair.require_positive_savings = true;
+    ShardedCompressResult sharded =
+        ShardedCompress(Tree(bin), labels, sopts);
+    int64_t sharded_edges = ComputeStats(sharded.grammar).edge_count;
+
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    obs::Counter& journal_bytes_counter =
+        reg.GetCounter("store.journal.append_bytes");
+    obs::Counter& replayed_counter =
+        reg.GetCounter("store.journal.replayed_batches");
+
+    WorkloadOptions wopts;
+    wopts.num_ops = 80;
+    wopts.rename_fraction = 0.1;
+    wopts.seed = seed;
+    UpdateWorkload w = MakeUpdateWorkload(bin, labels, wopts);
+    GrammarRepairOptions recompress;
+    recompress.repair.require_positive_savings = true;
+    Grammar store_seed =
+        GrammarRePair(Grammar::ForTree(Tree(w.seed), labels), recompress)
+            .grammar;
+
+    std::string dir = "bench_updates_store";
+    RemoveStoreDir(dir);
+    DurableDocumentOptions dopts;
+    dopts.growth_trigger = 0;  // no rotations: keep one journal file
+    dopts.journal.policy = FsyncPolicy::kEveryN;
+    dopts.journal.every_n = 8;
+    int64_t bytes_before = journal_bytes_counter.Value();
+    StatusOr<DurableDocument> doc =
+        DurableDocument::Create(dir, store_seed.Clone(), dopts);
+    SLG_CHECK(doc.ok());
+    constexpr int kBatch = 4;
+    int64_t batches = 0;
+    for (size_t i = 0; i < w.ops.size(); i += kBatch) {
+      size_t end = std::min(w.ops.size(), i + kBatch);
+      std::vector<UpdateOp> batch(w.ops.begin() + static_cast<int64_t>(i),
+                                  w.ops.begin() + static_cast<int64_t>(end));
+      SLG_CHECK(doc.value().ApplyBatch(batch).ok());
+      ++batches;
+    }
+    SLG_CHECK(doc.value().Sync().ok());
+    SLG_CHECK(doc.value().Close().ok());
+    int64_t journal_bytes = journal_bytes_counter.Value() - bytes_before;
+    // The registry's byte count is the journal's size — the counter
+    // includes the file header, so the two agree exactly.
+    SLG_CHECK(journal_bytes ==
+              FileSize(JoinPath(dir, JournalFileName(1))).value());
+
+    int64_t replayed_before = replayed_counter.Value();
+    StatusOr<DurableDocument> back = DurableDocument::Open(dir, dopts);
+    SLG_CHECK(back.ok());
+    int64_t replayed = replayed_counter.Value() - replayed_before;
+    int64_t recovered_edges = ComputeStats(back.value().grammar()).edge_count;
+    (void)back.value().Close();
+    RemoveStoreDir(dir);
+
+    stable.AddRow({info.name, TablePrinter::Num(xml.EdgeCount()),
+                   TablePrinter::Num(sharded.shards_used),
+                   TablePrinter::Num(sharded_edges),
+                   TablePrinter::Num(journal_bytes / 1024),
+                   TablePrinter::Num(batches), TablePrinter::Num(replayed),
+                   TablePrinter::Num(recovered_edges)});
+    json.Add(std::string("store/") + info.name,
+             {{"edges", static_cast<double>(xml.EdgeCount())},
+              {"shards", static_cast<double>(sharded.shards_used)},
+              {"sharded_edges", static_cast<double>(sharded_edges)},
+              {"journal_bytes", static_cast<double>(journal_bytes)},
+              {"batches", static_cast<double>(batches)},
+              {"replayed_batches", static_cast<double>(replayed)},
+              {"recovered_edges", static_cast<double>(recovered_edges)}});
+  }
+  stable.Print();
 
   std::string out = FlagString(argc, argv, "--out", "BENCH_updates.json");
   if (json.WriteTo(out)) {

@@ -42,6 +42,7 @@
 #include "src/core/grammar_repair.h"
 #include "src/datasets/generators.h"
 #include "src/grammar/stats.h"
+#include "src/obs/session.h"
 #include "src/repair/tree_repair.h"
 #include "src/update/batch.h"
 #include "src/update/udc.h"
@@ -54,6 +55,7 @@ namespace slg {
 inline void RunUpdateOverheadBench(const std::vector<Corpus>& corpora,
                                    const char* figure_name, int argc,
                                    char** argv) {
+  obs::ObsSession obs_session(argc, argv);
   double scale = FlagDouble(argc, argv, "--scale", 0.2);
   int updates = static_cast<int>(FlagInt(argc, argv, "--updates", 1000));
   int period = static_cast<int>(FlagInt(argc, argv, "--period", 100));

@@ -6,6 +6,7 @@
 #include "src/grammar/stats.h"
 #include "src/grammar/validate.h"
 #include "src/grammar/value.h"
+#include "src/obs/trace.h"
 #include "src/pipeline/sharded_compressor.h"
 #include "src/pipeline/thread_pool.h"
 #include "src/update/batch.h"
@@ -18,6 +19,7 @@ namespace slg {
 
 StatusOr<CompressedXmlTree> CompressedXmlTree::FromXml(
     std::string_view xml, const CompressedXmlTreeOptions& options) {
+  obs::TraceSpan span("api.from_xml");
   StatusOr<XmlTree> parsed = ParseXml(xml);
   if (!parsed.ok()) return parsed.status();
   LabelTable labels;

@@ -68,8 +68,6 @@ void JsonBenchWriter::Add(
   records_.push_back(Record{name, metrics});
 }
 
-namespace {
-
 std::string JsonEscape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -94,8 +92,6 @@ std::string JsonEscape(const std::string& s) {
   }
   return out;
 }
-
-}  // namespace
 
 bool JsonBenchWriter::WriteTo(const std::string& path) const {
   std::FILE* f = std::fopen(path.c_str(), "w");

@@ -19,6 +19,11 @@ bool FlagBool(int argc, char** argv, const std::string& name);
 std::string FlagString(int argc, char** argv, const std::string& name,
                        const std::string& def);
 
+// Escapes `"` and `\` (and control characters, as \uXXXX) so `s` can
+// be embedded in a JSON string literal. Used for bench/metric names
+// and by the trace writer.
+std::string JsonEscape(const std::string& s);
+
 // Builds an argv for a google-benchmark binary that appends
 // --benchmark_out=<default_path> (JSON format) unless the caller
 // already passed a --benchmark_out flag. The returned pointers stay

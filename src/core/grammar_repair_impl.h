@@ -57,11 +57,27 @@
 #include "src/core/replacement.h"
 #include "src/core/tree_links.h"
 #include "src/grammar/stats.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/repair/digram.h"
 #include "src/repair/pruning.h"
 
 namespace slg {
 namespace internal {
+
+// Both drivers feed the same process-wide effort counters; a caller
+// reads deltas around a run to attribute them (docs/OBSERVABILITY.md).
+inline void RecordRepairMetrics(const GrammarRepairResult& result) {
+  static obs::Counter& rounds =
+      obs::MetricsRegistry::Global().GetCounter("repair.rounds");
+  static obs::Counter& rescanned =
+      obs::MetricsRegistry::Global().GetCounter("repair.rules_rescanned");
+  static obs::Counter& replacements =
+      obs::MetricsRegistry::Global().GetCounter("repair.replacements");
+  rounds.Add(result.rounds);
+  rescanned.Add(result.rules_rescanned);
+  replacements.Add(result.replacements);
+}
 
 // Round-stamped membership bitmap: O(1) mark/test, O(1) per-round
 // reset (no clearing, no hashing, no re-sorting to dedupe).
@@ -151,6 +167,7 @@ int64_t ReplacePureLocalGens(Grammar& g, Index& index, CallGraphCache& cache,
 template <typename Index>
 GrammarRepairResult GrammarRePairWithIndex(Grammar g,
                                            const GrammarRepairOptions& options) {
+  obs::TraceSpan span("repair.grammar");
   GrammarRepairResult result;
 
   CallGraphCache cache;
@@ -178,6 +195,7 @@ GrammarRepairResult GrammarRePairWithIndex(Grammar g,
   record_size();
 
   while (auto d = index.MostFrequent(g.labels(), options.repair)) {
+    obs::TraceSpan round_span("repair.round");
     LabelId x = g.labels().Fresh("X", DigramRank(*d, g.labels()));
     std::vector<RuleNode> gens = index.Take(*d);
 
@@ -263,6 +281,7 @@ GrammarRepairResult GrammarRePairWithIndex(Grammar g,
   for (PendingRule& p : pending) g.AddRule(p.lhs, std::move(p.pattern));
   if (options.repair.prune) Prune(&g);
 
+  RecordRepairMetrics(result);
   result.grammar = std::move(g);
   return result;
 }
@@ -362,6 +381,7 @@ template <typename Index>
 GrammarRepairResult LocalizedGrammarRePairWithIndex(
     Grammar g, const std::vector<LabelId>& damage,
     const GrammarRepairOptions& options) {
+  obs::TraceSpan span("repair.localized");
   GrammarRepairResult result;
   const LabelId start = g.start();
 
@@ -442,6 +462,7 @@ GrammarRepairResult LocalizedGrammarRePairWithIndex(
   record_size();
 
   while (auto d = index.MostFrequent(g.labels(), options.repair)) {
+    obs::TraceSpan round_span("repair.round");
     LabelId x = g.labels().Fresh("X", DigramRank(*d, g.labels()));
     std::vector<RuleNode> gens = index.Take(*d);
 
@@ -587,6 +608,7 @@ GrammarRepairResult LocalizedGrammarRePairWithIndex(
   for (PendingRule& p : pending) g.AddRule(p.lhs, std::move(p.pattern));
   if (options.repair.prune) Prune(&g);
 
+  RecordRepairMetrics(result);
   result.grammar = std::move(g);
   return result;
 }

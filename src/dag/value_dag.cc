@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "src/grammar/orders.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/tree/tree_hash.h"
 
 namespace slg {
@@ -76,6 +78,14 @@ StatusOr<NodeId> DagPool::Unfold(DagId d, Tree* out, int64_t max_nodes) const {
 }
 
 StatusOr<DagId> DagEvaluator::Eval(const Grammar& g, int64_t max_pool_nodes) {
+  obs::TraceSpan eval_span("dag.eval");
+  // memo_hits/misses are registry-global across every evaluator in the
+  // process; per-session attribution stays on DagEvalStats.
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  static obs::Counter& memo_hits = reg.GetCounter("dag.memo_hits");
+  static obs::Counter& memo_misses = reg.GetCounter("dag.memo_misses");
+  static obs::Counter& rules_reused_ctr = reg.GetCounter("dag.rules_reused");
+  static obs::Gauge& pool_nodes_gauge = reg.GetGauge("dag.pool_nodes");
   SLG_CHECK_MSG(g.HasRule(g.start()), "Eval() needs a start rule");
   SLG_CHECK_MSG(g.labels().Rank(g.start()) == 0, "start must be rank 0");
   const int64_t pool_before = pool_.size();
@@ -154,6 +164,7 @@ StatusOr<DagId> DagEvaluator::Eval(const Grammar& g, int64_t max_pool_nodes) {
     f.walk.push_back({f.body->root(), false});
     stack.push_back(std::move(f));
     ++stats_.expansions;
+    memo_misses.Increment();
   };
 
   DagId result = kNilDag;
@@ -162,6 +173,7 @@ StatusOr<DagId> DagEvaluator::Eval(const Grammar& g, int64_t max_pool_nodes) {
     auto hit = start_memo.find({});
     if (hit != start_memo.end()) {
       result = hit->second;
+      memo_hits.Increment();
     } else {
       push_frame(g.start(), {});
     }
@@ -207,6 +219,7 @@ StatusOr<DagId> DagEvaluator::Eval(const Grammar& g, int64_t max_pool_nodes) {
       auto hit = cache.memo.find(scratch_args);
       if (hit != cache.memo.end()) {
         f.vals.push_back(hit->second);
+        memo_hits.Increment();
       } else {
         push_frame(l, scratch_args);  // invalidates f; loop re-fetches
       }
@@ -222,6 +235,8 @@ StatusOr<DagId> DagEvaluator::Eval(const Grammar& g, int64_t max_pool_nodes) {
   }
   SLG_CHECK_MSG(result != kNilDag, "evaluation did not produce a root");
   stats_.nodes_added = pool_.size() - pool_before;
+  rules_reused_ctr.Add(stats_.rules_reused);
+  pool_nodes_gauge.Set(pool_.size());
   return result;
 }
 

@@ -1,0 +1,193 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+#include "src/bench_util/reporting.h"
+#include "src/common/check.h"
+
+namespace slg {
+namespace obs {
+
+int HistogramBucketFor(int64_t v) {
+  if (v <= 0) return 0;
+  // bucket = 1 + floor(log2(v)), capped at the overflow bucket.
+  int b = 64 - __builtin_clzll(static_cast<uint64_t>(v));
+  return b < kHistogramBuckets - 1 ? b : kHistogramBuckets - 1;
+}
+
+int64_t HistogramBucketLowerBound(int bucket) {
+  SLG_CHECK(bucket >= 0 && bucket < kHistogramBuckets);
+  if (bucket == 0) return 0;
+  return int64_t{1} << (bucket - 1);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    SLG_CHECK_MSG(it->second.first == MetricKind::kCounter, name.c_str());
+    return *static_cast<Counter*>(it->second.second);
+  }
+  counters_.emplace_back(name);
+  Counter* c = &counters_.back();
+  by_name_.emplace(name, std::make_pair(MetricKind::kCounter, c));
+  return *c;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    SLG_CHECK_MSG(it->second.first == MetricKind::kGauge, name.c_str());
+    return *static_cast<Gauge*>(it->second.second);
+  }
+  gauges_.emplace_back(name);
+  Gauge* g = &gauges_.back();
+  by_name_.emplace(name, std::make_pair(MetricKind::kGauge, g));
+  return *g;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    SLG_CHECK_MSG(it->second.first == MetricKind::kHistogram, name.c_str());
+    return *static_cast<Histogram*>(it->second.second);
+  }
+  histograms_.emplace_back(name);
+  Histogram* h = &histograms_.back();
+  by_name_.emplace(name, std::make_pair(MetricKind::kHistogram, h));
+  return *h;
+}
+
+std::vector<MetricsRegistry::SnapshotEntry> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SnapshotEntry> out;
+  out.reserve(by_name_.size());
+  for (const auto& [name, entry] : by_name_) {  // map: already name-sorted
+    SnapshotEntry e;
+    e.name = name;
+    e.kind = entry.first;
+    switch (entry.first) {
+      case MetricKind::kCounter:
+        e.value = static_cast<const Counter*>(entry.second)->Value();
+        break;
+      case MetricKind::kGauge:
+        e.value = static_cast<const Gauge*>(entry.second)->Value();
+        break;
+      case MetricKind::kHistogram: {
+        const auto* h = static_cast<const Histogram*>(entry.second);
+        e.value = h->Count();
+        e.sum = h->Sum();
+        e.buckets.resize(kHistogramBuckets);
+        for (int i = 0; i < kHistogramBuckets; ++i) {
+          e.buckets[i] = h->BucketCount(i);
+        }
+        break;
+      }
+    }
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+void MetricsRegistry::AddToJson(JsonBenchWriter* writer,
+                                const std::string& row_name) const {
+  std::vector<std::pair<std::string, double>> metrics;
+  for (const SnapshotEntry& e : Snapshot()) {
+    if (e.kind == MetricKind::kHistogram) {
+      metrics.emplace_back(e.name + "_count", static_cast<double>(e.value));
+      metrics.emplace_back(e.name + "_sum", static_cast<double>(e.sum));
+    } else {
+      metrics.emplace_back(e.name, static_cast<double>(e.value));
+    }
+  }
+  writer->Add(row_name, metrics);
+}
+
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; our dotted names map
+// '.' (and anything else illegal) to '_'.
+std::string PromName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+void Append(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::string out;
+  for (const SnapshotEntry& e : Snapshot()) {
+    std::string p = PromName(e.name);
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        Append(&out, "# TYPE %s counter\n%s %" PRId64 "\n", p.c_str(),
+               p.c_str(), e.value);
+        break;
+      case MetricKind::kGauge:
+        Append(&out, "# TYPE %s gauge\n%s %" PRId64 "\n", p.c_str(), p.c_str(),
+               e.value);
+        break;
+      case MetricKind::kHistogram: {
+        Append(&out, "# TYPE %s histogram\n", p.c_str());
+        int last = kHistogramBuckets - 1;
+        while (last > 0 && e.buckets[last] == 0) --last;
+        int64_t cumulative = 0;
+        for (int i = 0; i <= last; ++i) {
+          cumulative += e.buckets[i];
+          // Upper bound of bucket i is the lower bound of bucket i+1.
+          if (i == kHistogramBuckets - 1) break;
+          Append(&out, "%s_bucket{le=\"%" PRId64 "\"} %" PRId64 "\n",
+                 p.c_str(), HistogramBucketLowerBound(i + 1) - 1, cumulative);
+        }
+        Append(&out, "%s_bucket{le=\"+Inf\"} %" PRId64 "\n", p.c_str(),
+               e.value);
+        Append(&out, "%s_sum %" PRId64 "\n%s_count %" PRId64 "\n", p.c_str(),
+               e.sum, p.c_str(), e.value);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Counter& c : counters_) {
+    c.value_.store(0, std::memory_order_relaxed);
+  }
+  for (Gauge& g : gauges_) {
+    g.value_.store(0, std::memory_order_relaxed);
+  }
+  for (Histogram& h : histograms_) {
+    for (auto& b : h.buckets_) b.store(0, std::memory_order_relaxed);
+    h.sum_.store(0, std::memory_order_relaxed);
+    h.count_.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace obs
+}  // namespace slg

@@ -1,0 +1,175 @@
+// Process-wide metrics registry: named counters, gauges and
+// power-of-two histograms shared by every subsystem.
+//
+// Design goals (docs/OBSERVABILITY.md has the full rationale):
+//
+//  * Hot-path updates are a single relaxed atomic RMW — no locks, no
+//    allocation, no string hashing. Callers resolve a name to a handle
+//    once (typically via a function-local static) and keep it.
+//  * Registration is thread-safe and idempotent: the first
+//    GetCounter("x") creates the metric, later calls return the same
+//    cell. Re-registering a name under a different kind aborts — a
+//    name means one thing process-wide.
+//  * Snapshot() gives a consistent-enough view (each cell read once,
+//    relaxed) that exports to JSON (JsonBenchWriter) and
+//    Prometheus-style text.
+//
+// Handles returned by the registry are stable for the process
+// lifetime; ResetForTest() zeroes values but never invalidates them.
+
+#ifndef SLG_OBS_METRICS_H_
+#define SLG_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace slg {
+
+class JsonBenchWriter;
+
+namespace obs {
+
+// Histogram layout: 64 fixed power-of-two buckets.
+//   bucket 0         : v <= 0          (underflow; 0 for well-formed input)
+//   bucket i, 1..62  : 2^(i-1) <= v < 2^i
+//   bucket 63        : v >= 2^62       (overflow)
+inline constexpr int kHistogramBuckets = 64;
+
+// Bucket index for a recorded value (exposed for tests).
+int HistogramBucketFor(int64_t v);
+// Inclusive lower bound of a bucket (0 for bucket 0).
+int64_t HistogramBucketLowerBound(int bucket);
+
+// A monotonically increasing counter. fetch_add(relaxed) on update.
+class Counter {
+ public:
+  // Create via MetricsRegistry::GetCounter; standalone instances are
+  // legal but unregistered (handy in tests).
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment() { Add(1); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+
+  const std::string name_;
+  std::atomic<int64_t> value_{0};
+};
+
+// A point-in-time value. Set/Add for levels (queue depth), UpdateMax
+// for high-water marks.
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void UpdateMax(int64_t v) {
+    int64_t cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+
+  const std::string name_;
+  std::atomic<int64_t> value_{0};
+};
+
+// A fixed-boundary power-of-two histogram (layout above) plus an exact
+// sum and count. Record is three relaxed RMWs.
+class Histogram {
+ public:
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(int64_t v) {
+    buckets_[HistogramBucketFor(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  int64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  int64_t BucketCount(int bucket) const {
+    return buckets_[bucket].load(std::memory_order_relaxed);
+  }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+
+  const std::string name_;
+  std::atomic<int64_t> buckets_[kHistogramBuckets] = {};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> count_{0};
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  // Resolve-or-create. Aborts if `name` is already registered as a
+  // different kind. The returned reference is valid forever.
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  struct SnapshotEntry {
+    std::string name;
+    MetricKind kind;
+    int64_t value = 0;  // counter / gauge value; histogram count
+    int64_t sum = 0;    // histogram only
+    std::vector<int64_t> buckets;  // histogram only (kHistogramBuckets)
+  };
+  // All metrics, sorted by name. Values are relaxed reads — exact once
+  // writers are quiescent, approximate while they run.
+  std::vector<SnapshotEntry> Snapshot() const;
+
+  // Appends one bench row named `row_name` with every scalar metric as
+  // a key: counters and gauges as `<name>`, histograms as
+  // `<name>_count` / `<name>_sum`.
+  void AddToJson(JsonBenchWriter* writer,
+                 const std::string& row_name = "metrics") const;
+
+  // Prometheus text exposition ('.' in names becomes '_';
+  // histograms emit _bucket{le=...}, _sum, _count).
+  std::string PrometheusText() const;
+
+  // Zeroes every cell; handles stay valid. Tests and bench sections
+  // use this to read per-phase deltas without re-registering.
+  void ResetForTest();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  // deque: stable addresses across growth.
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+  std::map<std::string, std::pair<MetricKind, void*>> by_name_;
+};
+
+}  // namespace obs
+}  // namespace slg
+
+#endif  // SLG_OBS_METRICS_H_

@@ -1,0 +1,47 @@
+#include "src/obs/session.h"
+
+#include <cstdio>
+
+#include "src/bench_util/reporting.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace slg {
+namespace obs {
+
+ObsSession::ObsSession(int argc, char** argv)
+    : trace_path_(FlagString(argc, argv, "--trace", "")),
+      metrics_path_(FlagString(argc, argv, "--metrics", "")) {
+  if (!trace_path_.empty()) SetTraceEnabled(true);
+}
+
+void ObsSession::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (!trace_path_.empty()) {
+    SetTraceEnabled(false);
+    if (WriteChromeTrace(trace_path_)) {
+      std::fprintf(stderr, "trace: %s (%lld events, %lld dropped)\n",
+                   trace_path_.c_str(),
+                   static_cast<long long>(TraceEventCount()),
+                   static_cast<long long>(TraceDroppedCount()));
+    } else {
+      std::fprintf(stderr, "trace: failed to write %s\n", trace_path_.c_str());
+    }
+  }
+  if (!metrics_path_.empty()) {
+    JsonBenchWriter w;
+    MetricsRegistry::Global().AddToJson(&w);
+    if (w.WriteTo(metrics_path_)) {
+      std::fprintf(stderr, "metrics: %s\n", metrics_path_.c_str());
+    } else {
+      std::fprintf(stderr, "metrics: failed to write %s\n",
+                   metrics_path_.c_str());
+    }
+  }
+}
+
+ObsSession::~ObsSession() { Finish(); }
+
+}  // namespace obs
+}  // namespace slg

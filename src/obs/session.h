@@ -1,0 +1,40 @@
+// Bench/tool glue: one object that turns --trace=out.json /
+// --metrics=out.json into a profiling run. Construct it first thing in
+// main; when it goes out of scope it writes the Chrome trace and the
+// metrics snapshot (one JsonBenchWriter row named "metrics") to the
+// requested paths. With neither flag present it does nothing and
+// tracing stays disabled.
+
+#ifndef SLG_OBS_SESSION_H_
+#define SLG_OBS_SESSION_H_
+
+#include <string>
+
+namespace slg {
+namespace obs {
+
+class ObsSession {
+ public:
+  // Parses --trace= and --metrics= from argv; enables tracing when
+  // --trace is present.
+  ObsSession(int argc, char** argv);
+  ~ObsSession();
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  // Writes the requested outputs now (idempotent; the destructor then
+  // skips them). Lets benches flush before printing a summary.
+  void Finish();
+
+  bool tracing() const { return !trace_path_.empty(); }
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+  bool finished_ = false;
+};
+
+}  // namespace obs
+}  // namespace slg
+
+#endif  // SLG_OBS_SESSION_H_

@@ -1,0 +1,164 @@
+#include "src/obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/bench_util/reporting.h"
+
+namespace slg {
+namespace obs {
+
+namespace internal {
+std::atomic<bool> g_trace_enabled{false};
+
+int64_t TraceNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace internal
+
+namespace {
+
+constexpr int64_t kDefaultBufferCapacity = 32768;
+
+struct TraceEvent {
+  const char* name;
+  const char* cat;
+  int64_t start_ns;
+  int64_t dur_ns;
+};
+
+// One ring per thread. The mutex serializes the owning thread's Push
+// against a dumping/clearing thread — uncontended in steady state, so
+// the enabled-path cost is a clock read plus an uncontended lock.
+struct ThreadBuffer {
+  explicit ThreadBuffer(int tid_in, int64_t capacity)
+      : tid(tid_in), ring(static_cast<size_t>(capacity)) {}
+
+  void Push(const TraceEvent& e) {
+    std::lock_guard<std::mutex> lock(mu);
+    ring[static_cast<size_t>(next % static_cast<int64_t>(ring.size()))] = e;
+    ++next;
+  }
+
+  const int tid;
+  std::mutex mu;
+  std::vector<TraceEvent> ring;
+  int64_t next = 0;  // total pushed; ring holds the last ring.size()
+};
+
+struct Collector {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  int next_tid = 1;
+  int64_t capacity = kDefaultBufferCapacity;
+};
+
+Collector& GetCollector() {
+  static Collector* collector = new Collector();
+  return *collector;
+}
+
+ThreadBuffer& LocalBuffer() {
+  // The shared_ptr keeps the buffer alive in the collector after the
+  // thread exits, so short-lived pool threads still get dumped.
+  thread_local std::shared_ptr<ThreadBuffer> local = [] {
+    Collector& c = GetCollector();
+    std::lock_guard<std::mutex> lock(c.mu);
+    auto buf = std::make_shared<ThreadBuffer>(c.next_tid++, c.capacity);
+    c.buffers.push_back(buf);
+    return buf;
+  }();
+  return *local;
+}
+
+}  // namespace
+
+namespace internal {
+void RecordSpan(const char* name, const char* cat, int64_t start_ns,
+                int64_t end_ns) {
+  LocalBuffer().Push(TraceEvent{name, cat, start_ns, end_ns - start_ns});
+}
+}  // namespace internal
+
+void SetTraceEnabled(bool enabled) {
+  internal::g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool WriteChromeTrace(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [\n");
+  Collector& c = GetCollector();
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(c.mu);
+    buffers = c.buffers;
+  }
+  bool first = true;
+  for (const auto& buf : buffers) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    int64_t size = static_cast<int64_t>(buf->ring.size());
+    int64_t count = buf->next < size ? buf->next : size;
+    int64_t begin = buf->next - count;  // oldest surviving event
+    for (int64_t i = begin; i < buf->next; ++i) {
+      const TraceEvent& e = buf->ring[static_cast<size_t>(i % size)];
+      // Chrome trace "ts"/"dur" are microseconds; fractional keeps ns.
+      std::fprintf(f,
+                   "%s  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+                   "\"pid\": 1, \"tid\": %d, \"ts\": %.3f, \"dur\": %.3f}",
+                   first ? "" : ",\n", JsonEscape(e.name).c_str(),
+                   JsonEscape(e.cat).c_str(), buf->tid, e.start_ns / 1e3,
+                   e.dur_ns / 1e3);
+      first = false;
+    }
+  }
+  std::fprintf(f, "\n]}\n");
+  return std::fclose(f) == 0;
+}
+
+int64_t TraceEventCount() {
+  Collector& c = GetCollector();
+  std::lock_guard<std::mutex> lock(c.mu);
+  int64_t total = 0;
+  for (const auto& buf : c.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    int64_t size = static_cast<int64_t>(buf->ring.size());
+    total += buf->next < size ? buf->next : size;
+  }
+  return total;
+}
+
+int64_t TraceDroppedCount() {
+  Collector& c = GetCollector();
+  std::lock_guard<std::mutex> lock(c.mu);
+  int64_t dropped = 0;
+  for (const auto& buf : c.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    int64_t size = static_cast<int64_t>(buf->ring.size());
+    if (buf->next > size) dropped += buf->next - size;
+  }
+  return dropped;
+}
+
+void ClearTrace() {
+  Collector& c = GetCollector();
+  std::lock_guard<std::mutex> lock(c.mu);
+  for (const auto& buf : c.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    buf->next = 0;
+  }
+}
+
+void SetTraceBufferCapacity(int64_t events) {
+  Collector& c = GetCollector();
+  std::lock_guard<std::mutex> lock(c.mu);
+  c.capacity = events > 0 ? events : kDefaultBufferCapacity;
+}
+
+}  // namespace obs
+}  // namespace slg

@@ -1,0 +1,89 @@
+// Scoped tracing with Chrome trace-event JSON output.
+//
+// A TraceSpan marks a region of one thread's time. When tracing is
+// enabled (SetTraceEnabled(true)) the span records a complete
+// ("ph":"X") event into a per-thread ring buffer on destruction;
+// WriteChromeTrace() dumps every thread's events as a JSON file that
+// loads directly in Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+// Cost model:
+//  * Disabled (the default): the constructor is one relaxed atomic
+//    load and a branch — no clock read, no allocation, no lock. This
+//    is the path every production caller pays; bench_micro measures
+//    it (docs/OBSERVABILITY.md).
+//  * Enabled: two steady_clock reads plus a short critical section on
+//    the calling thread's own buffer mutex (uncontended except
+//    against a concurrent dump). Buffers are fixed-size rings —
+//    tracing never allocates after a thread's first span, and a
+//    too-long run overwrites its oldest events rather than growing.
+//
+// Span names/categories must be string literals (or otherwise outlive
+// the dump): the buffer stores the pointers, not copies.
+
+#ifndef SLG_OBS_TRACE_H_
+#define SLG_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace slg {
+namespace obs {
+
+namespace internal {
+extern std::atomic<bool> g_trace_enabled;
+void RecordSpan(const char* name, const char* cat, int64_t start_ns,
+                int64_t end_ns);
+int64_t TraceNowNs();
+}  // namespace internal
+
+void SetTraceEnabled(bool enabled);
+inline bool TraceEnabled() {
+  return internal::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+// RAII span. `name` and `cat` must be string literals.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* cat = "slg") {
+    if (TraceEnabled()) {
+      name_ = name;
+      cat_ = cat;
+      start_ns_ = internal::TraceNowNs();
+    }
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      internal::RecordSpan(name_, cat_, start_ns_, internal::TraceNowNs());
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  const char* cat_ = nullptr;
+  int64_t start_ns_ = 0;
+};
+
+// Writes all recorded events as Chrome trace-event JSON. Returns
+// false on I/O failure. Safe to call while spans are still being
+// recorded on other threads (each buffer is locked while copied).
+bool WriteChromeTrace(const std::string& path);
+
+// Recorded (i.e. still resident in some ring) + dropped event counts,
+// summed over all threads that ever traced. Test/diagnostic helpers.
+int64_t TraceEventCount();
+int64_t TraceDroppedCount();
+
+// Discards all recorded events (buffers stay registered).
+void ClearTrace();
+
+// Ring capacity, in events per thread, applied to buffers created
+// after the call. Pass 0 to restore the default (32768).
+void SetTraceBufferCapacity(int64_t events);
+
+}  // namespace obs
+}  // namespace slg
+
+#endif  // SLG_OBS_TRACE_H_

@@ -6,6 +6,8 @@
 #include "src/common/check.h"
 #include "src/common/timer.h"
 #include "src/grammar/stats.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/pipeline/merge.h"
 #include "src/pipeline/partition.h"
 #include "src/pipeline/thread_pool.h"
@@ -81,6 +83,17 @@ int BoundaryDeepen(Grammar* g, const RepairOptions& shard_repair) {
 
 ShardedCompressResult ShardedCompress(Tree t, const LabelTable& labels,
                                       const ShardedCompressorOptions& options) {
+  // The registry histograms mirror the per-call ShardedCompressResult
+  // timings: the struct attributes a single run (bench rows need the
+  // per-corpus max), the histograms aggregate across every run in the
+  // process.
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  static obs::Histogram& partition_us = reg.GetHistogram("pipeline.partition_us");
+  static obs::Histogram& shard_us = reg.GetHistogram("pipeline.shard_us");
+  static obs::Histogram& merge_us = reg.GetHistogram("pipeline.merge_us");
+  static obs::Histogram& final_us = reg.GetHistogram("pipeline.final_us");
+
+  obs::TraceSpan compress_span("pipeline.sharded_compress");
   int threads =
       options.num_threads > 0 ? options.num_threads : ThreadPool::HardwareThreads();
   int shards = options.num_shards > 0 ? options.num_shards : threads;
@@ -89,23 +102,27 @@ ShardedCompressResult ShardedCompress(Tree t, const LabelTable& labels,
   Timer phase;
 
   TreePartition partition;
-  if (shards <= 1 || t.LiveCount() < options.min_shard_nodes) {
-    // Single-shard fast path: no cut, no hole placement — adopt the
-    // tree instead of paying PartitionTree's full copy.
-    partition.labels = labels;
-    partition.hole = partition.labels.Fresh("hole", 0);
-    partition.total_nodes = t.LiveCount();
-    partition.segments.push_back(std::move(t));
-  } else {
-    PartitionOptions popts;
-    popts.num_shards = shards;
-    popts.min_shard_nodes = options.min_shard_nodes;
-    partition = PartitionTree(t, labels, popts);
+  {
+    obs::TraceSpan span("pipeline.partition");
+    if (shards <= 1 || t.LiveCount() < options.min_shard_nodes) {
+      // Single-shard fast path: no cut, no hole placement — adopt the
+      // tree instead of paying PartitionTree's full copy.
+      partition.labels = labels;
+      partition.hole = partition.labels.Fresh("hole", 0);
+      partition.total_nodes = t.LiveCount();
+      partition.segments.push_back(std::move(t));
+    } else {
+      PartitionOptions popts;
+      popts.num_shards = shards;
+      popts.min_shard_nodes = options.min_shard_nodes;
+      partition = PartitionTree(t, labels, popts);
+    }
   }
   const int k = static_cast<int>(partition.segments.size());
   result.shards_used = k;
   result.threads_used = std::min(threads, k);
   result.partition_ms = phase.ElapsedMillis();
+  partition_us.Record(static_cast<int64_t>(result.partition_ms * 1000.0));
 
   // Per-shard TreeRePair runs share nothing mutable: each one copies
   // the partition's label table and owns its segment tree and digram
@@ -116,6 +133,7 @@ ShardedCompressResult ShardedCompress(Tree t, const LabelTable& labels,
   const LabelTable& shard_labels = partition.labels;
   const RepairOptions& shard_repair = options.shard_repair;
   ParallelFor(k, result.threads_used, [&](int64_t i) {
+    obs::TraceSpan span("pipeline.shard");
     Timer shard_timer;
     TreeRepairResult r =
         TreeRePair(std::move(partition.segments[static_cast<size_t>(i)]),
@@ -128,26 +146,36 @@ ShardedCompressResult ShardedCompress(Tree t, const LabelTable& labels,
   for (double ms : shard_ms) {
     result.shard_sum_ms += ms;
     result.shard_max_ms = std::max(result.shard_max_ms, ms);
+    shard_us.Record(static_cast<int64_t>(ms * 1000.0));
   }
 
   phase.Reset();
-  Grammar merged =
-      MergeShardGrammars(shard_grammars, partition.labels, partition.hole);
-  result.merged_edges_before_final = ComputeStats(merged).edge_count;
+  Grammar merged;
+  {
+    obs::TraceSpan span("pipeline.merge");
+    merged =
+        MergeShardGrammars(shard_grammars, partition.labels, partition.hole);
+    result.merged_edges_before_final = ComputeStats(merged).edge_count;
+  }
   result.merge_ms = phase.ElapsedMillis();
+  merge_us.Record(static_cast<int64_t>(result.merge_ms * 1000.0));
 
   phase.Reset();
-  if (options.final_repair != FinalRepairMode::kNone) {
-    TopLevelRepair(&merged, options.shard_repair);
-  }
-  if (options.final_repair == FinalRepairMode::kFull) {
-    result.final_rounds += BoundaryDeepen(&merged, options.shard_repair);
-    GrammarRepairResult r =
-        GrammarRePair(std::move(merged), options.merge_repair);
-    merged = std::move(r.grammar);
-    result.final_rounds += r.rounds;
+  {
+    obs::TraceSpan span("pipeline.final");
+    if (options.final_repair != FinalRepairMode::kNone) {
+      TopLevelRepair(&merged, options.shard_repair);
+    }
+    if (options.final_repair == FinalRepairMode::kFull) {
+      result.final_rounds += BoundaryDeepen(&merged, options.shard_repair);
+      GrammarRepairResult r =
+          GrammarRePair(std::move(merged), options.merge_repair);
+      merged = std::move(r.grammar);
+      result.final_rounds += r.rounds;
+    }
   }
   result.final_ms = phase.ElapsedMillis();
+  final_us.Record(static_cast<int64_t>(result.final_ms * 1000.0));
   result.grammar = std::move(merged);
   return result;
 }

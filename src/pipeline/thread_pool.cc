@@ -4,10 +4,33 @@
 #include <atomic>
 #include <utility>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace slg {
 
 namespace {
 thread_local bool t_on_worker_thread = false;
+
+// Handles resolved once for the whole process; the pool is shared, so
+// per-pool attribution would be meaningless anyway.
+struct PoolMetrics {
+  obs::Gauge& queue_depth;
+  obs::Counter& tasks;
+  obs::Histogram& queue_wait_us;
+  obs::Histogram& task_us;
+
+  static PoolMetrics& Get() {
+    static PoolMetrics* m = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+      return new PoolMetrics{reg.GetGauge("pool.queue_depth"),
+                             reg.GetCounter("pool.tasks"),
+                             reg.GetHistogram("pool.queue_wait_us"),
+                             reg.GetHistogram("pool.task_us")};
+    }();
+    return *m;
+  }
+};
 }  // namespace
 
 bool ThreadPool::OnWorkerThread() { return t_on_worker_thread; }
@@ -30,9 +53,10 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  PoolMetrics::Get().queue_depth.Add(1);
   {
     std::unique_lock<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(QueuedTask{std::move(task), obs::internal::TraceNowNs()});
   }
   work_cv_.notify_one();
 }
@@ -44,8 +68,9 @@ void ThreadPool::Wait() {
 
 void ThreadPool::WorkerLoop() {
   t_on_worker_thread = true;
+  PoolMetrics& metrics = PoolMetrics::Get();
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -54,7 +79,15 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++active_;
     }
-    task();
+    metrics.queue_depth.Add(-1);
+    int64_t start_ns = obs::internal::TraceNowNs();
+    metrics.queue_wait_us.Record((start_ns - task.enqueue_ns) / 1000);
+    {
+      obs::TraceSpan span("pool.task");
+      task.fn();
+    }
+    metrics.task_us.Record((obs::internal::TraceNowNs() - start_ns) / 1000);
+    metrics.tasks.Increment();
     {
       std::unique_lock<std::mutex> lock(mu_);
       --active_;

@@ -58,10 +58,17 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
+  // Queue entries carry their enqueue timestamp so the worker can
+  // report queue-wait latency (pool.queue_wait_us) when it dequeues.
+  struct QueuedTask {
+    std::function<void()> fn;
+    int64_t enqueue_ns;
+  };
+
   std::mutex mu_;
   std::condition_variable work_cv_;   // signals workers: queue or stop
   std::condition_variable idle_cv_;   // signals Wait(): all drained
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   std::vector<std::thread> threads_;
   int active_ = 0;
   bool stop_ = false;

@@ -11,6 +11,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/repair/digram.h"
 #include "src/repair/pruning.h"
 #include "src/repair/tree_repair.h"
@@ -58,6 +60,7 @@ void AddNeighborhood(const Tree& t, Index* index, NodeId x) {
 template <typename Index>
 TreeRepairResult TreeRePairWithIndex(Tree t, const LabelTable& labels,
                                      const RepairOptions& options) {
+  obs::TraceSpan span("tree_repair");
   LabelTable table = labels;  // own a mutable copy for fresh X labels
   Index index(&table);
   index.Build(t);
@@ -85,6 +88,16 @@ TreeRepairResult TreeRePairWithIndex(Tree t, const LabelTable& labels,
   Grammar g = Grammar::ForTree(std::move(t), std::move(table));
   for (PendingRule& r : rules) g.AddRule(r.lhs, std::move(r.pattern));
   if (options.prune) Prune(&g);
+
+  // Aggregate adds at the end of the run — nothing in the replacement
+  // loop above touches the registry, so the disabled-tracing cost of a
+  // whole compression is one branch plus two relaxed RMWs.
+  static obs::Counter& runs =
+      obs::MetricsRegistry::Global().GetCounter("tree_repair.runs");
+  static obs::Counter& replacements =
+      obs::MetricsRegistry::Global().GetCounter("tree_repair.digrams_replaced");
+  runs.Increment();
+  replacements.Add(replaced);
 
   return TreeRepairResult{std::move(g), replaced};
 }

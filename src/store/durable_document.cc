@@ -5,6 +5,8 @@
 
 #include "src/grammar/stats.h"
 #include "src/grammar/validate.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/store/io.h"
 #include "src/store/snapshot.h"
 #include "src/update/batch.h"
@@ -68,6 +70,7 @@ Status DurableDocument::ApplyEncodedBatch(std::string_view encoded) {
 }
 
 Status DurableDocument::ApplyBatch(const std::vector<UpdateOp>& ops) {
+  obs::TraceSpan span("store.apply_batch");
   if (poisoned_) {
     return Status::FailedPrecondition(
         "document is poisoned by an earlier durability failure; reopen to "
@@ -125,6 +128,7 @@ void DurableDocument::RecompressForCheckpoint() {
 }
 
 Status DurableDocument::Checkpoint() {
+  obs::TraceSpan span("store.checkpoint");
   if (poisoned_) {
     return Status::FailedPrecondition(
         "document is poisoned by an earlier durability failure");
@@ -196,6 +200,9 @@ Status DurableDocument::Close() {
 
 StatusOr<DurableDocument> DurableDocument::Open(
     const std::string& dir, const DurableDocumentOptions& options) {
+  obs::TraceSpan span("store.recover");
+  static obs::Counter& replayed_batches =
+      obs::MetricsRegistry::Global().GetCounter("store.journal.replayed_batches");
   FaultInjector* fi = options.fault_injector;
   StatusOr<LoadedSnapshot> loaded = LoadLatestSnapshot(dir);
   if (!loaded.ok()) return loaded.status();
@@ -239,6 +246,7 @@ StatusOr<DurableDocument> DurableDocument::Open(
                                 applied.message());
       }
       ++doc.recovery_.batches_replayed;
+      replayed_batches.Increment();
     }
     if (replay.ends_with_checkpoint) {
       // Re-run the interrupted rotation. Recompression is a pure

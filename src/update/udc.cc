@@ -6,6 +6,7 @@
 
 #include "src/common/timer.h"
 #include "src/grammar/value.h"
+#include "src/obs/trace.h"
 #include "src/repair/tree_repair.h"
 
 namespace slg {
@@ -74,6 +75,7 @@ Grammar SplitRepairedForest(const DagForest& meta, TreeRepairResult tr) {
 }  // namespace
 
 StatusOr<UdcResult> UdcSession::Run(const Grammar& g) {
+  obs::TraceSpan span("udc.run");
   if (options_.mode == UdcOptions::Mode::kClassic) {
     return RunClassic(g, options_.tree_repair, options_.max_nodes);
   }

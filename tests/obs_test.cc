@@ -1,0 +1,300 @@
+// Tests for the observability layer (src/obs/): metrics registry
+// semantics (kinds, handles, snapshots, exports), histogram bucket
+// boundaries, concurrent updates (exercised under TSan in CI), and
+// the trace-span ring buffers + Chrome trace JSON writer.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/bench_util/reporting.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace slg {
+namespace obs {
+namespace {
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// --- histogram bucket layout -----------------------------------------
+
+TEST(HistogramBucketTest, ZeroAndNegativeGoToUnderflow) {
+  EXPECT_EQ(HistogramBucketFor(0), 0);
+  EXPECT_EQ(HistogramBucketFor(-1), 0);
+  EXPECT_EQ(HistogramBucketFor(INT64_MIN), 0);
+}
+
+TEST(HistogramBucketTest, ExactPowerOfTwoBoundaries) {
+  // Bucket i (1..62) covers [2^(i-1), 2^i): an exact power of two is
+  // the *lower* boundary of its bucket.
+  EXPECT_EQ(HistogramBucketFor(1), 1);
+  EXPECT_EQ(HistogramBucketFor(2), 2);
+  EXPECT_EQ(HistogramBucketFor(3), 2);
+  EXPECT_EQ(HistogramBucketFor(4), 3);
+  EXPECT_EQ(HistogramBucketFor(7), 3);
+  EXPECT_EQ(HistogramBucketFor(8), 4);
+  EXPECT_EQ(HistogramBucketFor(1024), 11);
+  EXPECT_EQ(HistogramBucketFor(1025), 11);
+  EXPECT_EQ(HistogramBucketFor(2047), 11);
+  EXPECT_EQ(HistogramBucketFor(2048), 12);
+}
+
+TEST(HistogramBucketTest, OverflowBucketCatchesHugeValues) {
+  EXPECT_EQ(HistogramBucketFor((int64_t{1} << 62) - 1), 62);
+  EXPECT_EQ(HistogramBucketFor(int64_t{1} << 62), 63);
+  EXPECT_EQ(HistogramBucketFor(INT64_MAX), 63);
+}
+
+TEST(HistogramBucketTest, LowerBoundsMatchBucketFor) {
+  EXPECT_EQ(HistogramBucketLowerBound(0), 0);
+  for (int b = 1; b < kHistogramBuckets; ++b) {
+    int64_t lo = HistogramBucketLowerBound(b);
+    EXPECT_EQ(HistogramBucketFor(lo), b) << "bucket " << b;
+    if (b > 1) {
+      EXPECT_EQ(HistogramBucketFor(lo - 1), b - 1) << "bucket " << b;
+    }
+  }
+}
+
+// --- registry semantics ----------------------------------------------
+
+TEST(MetricsRegistryTest, SameNameSameHandle) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter& a = reg.GetCounter("obs_test.same_handle");
+  Counter& b = reg.GetCounter("obs_test.same_handle");
+  EXPECT_EQ(&a, &b);
+  Gauge& g1 = reg.GetGauge("obs_test.same_gauge");
+  Gauge& g2 = reg.GetGauge("obs_test.same_gauge");
+  EXPECT_EQ(&g1, &g2);
+  Histogram& h1 = reg.GetHistogram("obs_test.same_histogram");
+  Histogram& h2 = reg.GetHistogram("obs_test.same_histogram");
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(MetricsRegistryTest, CounterGaugeHistogramBasics) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter& c = reg.GetCounter("obs_test.basics_counter");
+  int64_t c0 = c.Value();
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), c0 + 42);
+
+  Gauge& g = reg.GetGauge("obs_test.basics_gauge");
+  g.Set(7);
+  EXPECT_EQ(g.Value(), 7);
+  g.Add(-3);
+  EXPECT_EQ(g.Value(), 4);
+  g.UpdateMax(10);
+  EXPECT_EQ(g.Value(), 10);
+  g.UpdateMax(2);  // smaller: no change
+  EXPECT_EQ(g.Value(), 10);
+
+  Histogram& h = reg.GetHistogram("obs_test.basics_histogram");
+  int64_t n0 = h.Count(), s0 = h.Sum();
+  h.Record(0);
+  h.Record(1);
+  h.Record(1000);
+  EXPECT_EQ(h.Count(), n0 + 3);
+  EXPECT_EQ(h.Sum(), s0 + 1001);
+  EXPECT_GE(h.BucketCount(HistogramBucketFor(1000)), 1);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedAndComplete) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("obs_test.snap_b").Add(2);
+  reg.GetCounter("obs_test.snap_a").Add(1);
+  std::vector<MetricsRegistry::SnapshotEntry> snap = reg.Snapshot();
+  ASSERT_GE(snap.size(), 2u);
+  int64_t found = 0;
+  for (size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_LT(snap[i - 1].name, snap[i].name);
+  }
+  for (const auto& e : snap) {
+    if (e.name == "obs_test.snap_a" || e.name == "obs_test.snap_b") ++found;
+  }
+  EXPECT_EQ(found, 2);
+}
+
+TEST(MetricsRegistryTest, JsonExportRoundTrips) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("obs_test.json_counter").Add(5);
+  reg.GetHistogram("obs_test.json_histogram").Record(3);
+  JsonBenchWriter w;
+  reg.AddToJson(&w, "obs_test_metrics");
+  const std::string path = "obs_test_metrics.json";
+  ASSERT_TRUE(w.WriteTo(path));
+  std::string contents = ReadAll(path);
+  std::remove(path.c_str());
+  EXPECT_NE(contents.find("\"obs_test_metrics\""), std::string::npos);
+  EXPECT_NE(contents.find("\"obs_test.json_counter\""), std::string::npos);
+  EXPECT_NE(contents.find("\"obs_test.json_histogram_count\""),
+            std::string::npos);
+  EXPECT_NE(contents.find("\"obs_test.json_histogram_sum\""),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, PrometheusTextExport) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("obs_test.prom_counter").Add(3);
+  reg.GetHistogram("obs_test.prom_histogram").Record(5);
+  std::string text = reg.PrometheusText();
+  // '.' becomes '_' in Prometheus names.
+  EXPECT_NE(text.find("obs_test_prom_counter"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_histogram_bucket"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_histogram_sum"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_histogram_count"), std::string::npos);
+}
+
+// --- concurrency (meaningful under TSan) ------------------------------
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsAreExact) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter& c = reg.GetCounter("obs_test.concurrent_counter");
+  Histogram& h = reg.GetHistogram("obs_test.concurrent_histogram");
+  const int64_t c0 = c.Value();
+  const int64_t n0 = h.Count();
+  const int64_t s0 = h.Sum();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c, &h] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.Increment();
+        h.Record(i % 100);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.Value(), c0 + int64_t{kThreads} * kPerThread);
+  EXPECT_EQ(h.Count(), n0 + int64_t{kThreads} * kPerThread);
+  // sum of (0..99) per thread pass: 4950 per 100 records.
+  EXPECT_EQ(h.Sum(), s0 + int64_t{kThreads} * (kPerThread / 100) * 4950);
+}
+
+TEST(MetricsRegistryTest, ConcurrentRegistrationIsSafe) {
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<Counter*> handles(kThreads, nullptr);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &handles] {
+      handles[static_cast<size_t>(t)] =
+          &MetricsRegistry::Global().GetCounter("obs_test.race_counter");
+      handles[static_cast<size_t>(t)]->Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(handles[0], handles[static_cast<size_t>(t)]);
+  }
+  EXPECT_GE(handles[0]->Value(), kThreads);
+}
+
+// --- tracing ----------------------------------------------------------
+
+// Structural check, not a full JSON parser: balanced braces/brackets,
+// the required top-level keys, and parseability of every event line.
+void ExpectValidChromeTrace(const std::string& contents,
+                            const std::vector<std::string>& expected_names) {
+  EXPECT_NE(contents.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(contents.find("\"displayTimeUnit\""), std::string::npos);
+  int64_t braces = 0, brackets = 0;
+  for (char ch : contents) {
+    if (ch == '{') ++braces;
+    if (ch == '}') --braces;
+    if (ch == '[') ++brackets;
+    if (ch == ']') --brackets;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  for (const std::string& name : expected_names) {
+    EXPECT_NE(contents.find("\"name\": \"" + name + "\""), std::string::npos)
+        << name;
+  }
+}
+
+TEST(TraceTest, DisabledSpansRecordNothing) {
+  SetTraceEnabled(false);
+  ClearTrace();
+  int64_t before = TraceEventCount();
+  {
+    TraceSpan outer("obs_test.disabled_outer");
+    TraceSpan inner("obs_test.disabled_inner");
+  }
+  EXPECT_EQ(TraceEventCount(), before);
+}
+
+TEST(TraceTest, NestedAndMultiThreadSpansProduceValidJson) {
+  SetTraceEnabled(true);
+  ClearTrace();
+  {
+    TraceSpan outer("obs_test.outer");
+    {
+      TraceSpan inner("obs_test.inner");
+    }
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 50; ++i) {
+        TraceSpan span("obs_test.worker");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  SetTraceEnabled(false);
+
+  EXPECT_GE(TraceEventCount(), 2 + 4 * 50);
+  const std::string path = "obs_test_trace.json";
+  ASSERT_TRUE(WriteChromeTrace(path));
+  std::string contents = ReadAll(path);
+  std::remove(path.c_str());
+  ExpectValidChromeTrace(
+      contents, {"obs_test.outer", "obs_test.inner", "obs_test.worker"});
+  ClearTrace();
+}
+
+TEST(TraceTest, RingBufferOverwritesOldestAndCountsDrops) {
+  // A tiny capacity applies to buffers created after the call, so the
+  // overwrite path must run on a fresh thread.
+  SetTraceBufferCapacity(8);
+  SetTraceEnabled(true);
+  int64_t dropped_before = TraceDroppedCount();
+  std::thread t([] {
+    for (int i = 0; i < 100; ++i) {
+      TraceSpan span("obs_test.ring");
+    }
+  });
+  t.join();
+  SetTraceEnabled(false);
+  EXPECT_GE(TraceDroppedCount() - dropped_before, 100 - 8);
+  SetTraceBufferCapacity(0);  // restore default
+  ClearTrace();
+}
+
+TEST(TraceTest, EmptyTraceStillWritesValidJson) {
+  SetTraceEnabled(false);
+  ClearTrace();
+  const std::string path = "obs_test_trace_empty.json";
+  ASSERT_TRUE(WriteChromeTrace(path));
+  std::string contents = ReadAll(path);
+  std::remove(path.c_str());
+  ExpectValidChromeTrace(contents, {});
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace slg

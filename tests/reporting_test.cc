@@ -1,8 +1,13 @@
-// Tests for the bench harness utilities (flag parsing, table output).
+// Tests for the bench harness utilities (flag parsing, table output,
+// JSON escaping).
 
 #include "src/bench_util/reporting.h"
 
 #include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 
 namespace slg {
 namespace {
@@ -32,6 +37,41 @@ TEST(TablePrinterTest, PrintsWithoutCrashing) {
   t.AddRow({"1", "2"});
   t.AddRow({"333333", "4"});
   t.Print();  // smoke: aligned output to stdout
+}
+
+TEST(JsonEscapeTest, PassesPlainStringsThrough) {
+  EXPECT_EQ(JsonEscape(""), "");
+  EXPECT_EQ(JsonEscape("updates/EXI-Weblog"), "updates/EXI-Weblog");
+  EXPECT_EQ(JsonEscape("dots.and_underscores-1"), "dots.and_underscores-1");
+}
+
+TEST(JsonEscapeTest, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("\"\\\""), "\\\"\\\\\\\"");
+}
+
+TEST(JsonEscapeTest, EscapesControlCharactersAsUnicode) {
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\u000ab");
+  EXPECT_EQ(JsonEscape("a\tb"), "a\\u0009b");
+  EXPECT_EQ(JsonEscape(std::string("a\0b", 3)), "a\\u0000b");
+}
+
+TEST(JsonBenchWriterTest, EscapesNamesAndKeysInOutput) {
+  JsonBenchWriter w;
+  w.Add("row\"with\\specials", {{"key\"1", 1.0}, {"plain", 2.5}});
+  const std::string path = "reporting_test_escape.json";
+  ASSERT_TRUE(w.WriteTo(path));
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string contents = ss.str();
+  std::remove(path.c_str());
+  EXPECT_NE(contents.find("\"row\\\"with\\\\specials\""), std::string::npos);
+  EXPECT_NE(contents.find("\"key\\\"1\": 1"), std::string::npos);
+  EXPECT_NE(contents.find("\"plain\": 2.5"), std::string::npos);
+  // No raw (unescaped) quote inside the name survives.
+  EXPECT_EQ(contents.find("row\"with"), std::string::npos);
 }
 
 }  // namespace

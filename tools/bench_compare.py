@@ -7,19 +7,25 @@ Usage:
 The bench JSON format is flat: {"benchmarks": [{"name": ..., <metric>:
 <number>, ...}]}. Metrics fall into three classes, decided by name:
 
-  * timings   — keys ending in "_s"/"_ms" or containing "speedup":
+  * timings   — keys ending in "_s"/"_ms" or containing "speedup", and
+                latency metrics exported by the obs registry (keys with
+                a "_us"/"_ns" component, e.g. fsync_us_sum):
                 machine-dependent (CI runners are 1-core and +-30%
                 noisy). Reported for information, never gating.
   * context   — workload shape (edges, ops, period, renames, shards,
                 threads): must match the baseline exactly, otherwise
                 the runs are not comparable and the comparison fails.
-  * counters  — keys ending in "_rounds"/"_rescanned": deterministic
-                repair-effort counters (replacement rounds, whole-rule
-                index rescans). Any difference from the baseline fails
-                — a drifting rescan count means a per-round sweep
-                silently stopped being damage-proportional (or the
-                round structure changed), which no timing gate on a
-                noisy runner would catch.
+  * counters  — keys ending in "_rounds"/"_rescanned" (repair-effort
+                counters: replacement rounds, whole-rule index
+                rescans), "_bytes"/"_batches" (journal bytes and
+                replay counts from the durable store), or
+                "_nodes"/"_peak"/"_reused"/"_hits"/"_misses" (DAG pool
+                and memo statistics). All deterministic for a fixed
+                workload; any difference from the baseline fails — a
+                drifting rescan count means a per-round sweep silently
+                stopped being damage-proportional, a drifting byte
+                count means the journal format changed, and no timing
+                gate on a noisy runner would catch either.
   * sizes     — everything else (grammar edge counts, size ratios,
                 checkpoint counts): fully deterministic for a fixed
                 workload, so any increase beyond the threshold is a
@@ -27,24 +33,39 @@ The bench JSON format is flat: {"benchmarks": [{"name": ..., <metric>:
                 job. Improvements pass with a note suggesting a
                 baseline refresh.
 
+Rows named "metrics" (the obs::MetricsRegistry snapshot written by a
+bench's --metrics=out.json flag) are gated strictly: every non-timing
+numeric key must match the baseline exactly — registry counters that
+reach the snapshot are deterministic by construction (the benches pin
+shard/thread counts), so any drift is a behavior change.
+
 Exit status: 0 clean, 1 regression or baseline mismatch, 2 usage/IO.
 """
 
 import argparse
 import json
+import re
 import sys
 
 CONTEXT_KEYS = {"batches", "edges", "ops", "period", "renames", "shards",
                 "threads"}
 IGNORED_KEYS = {"hardware_threads"}  # varies by runner, by design
 
+EXACT_SUFFIXES = ("_rounds", "_rescanned", "_bytes", "_batches", "_nodes",
+                  "_peak", "_reused", "_hits", "_misses")
+
 
 def is_timing(key):
-    return key.endswith("_s") or key.endswith("_ms") or "speedup" in key
+    return (key.endswith("_s") or key.endswith("_ms") or "speedup" in key
+            or re.search(r"_(us|ns)(_|$)", key) is not None)
 
 
 def is_exact_counter(key):
-    return key.endswith("_rounds") or key.endswith("_rescanned")
+    return key.endswith(EXACT_SUFFIXES)
+
+
+def is_metrics_row(name):
+    return name == "metrics" or name.startswith("metrics/")
 
 
 def load(path):
@@ -110,13 +131,13 @@ def main():
                         f"({bv} -> {cv}); refresh the committed baseline "
                         f"together with the bench change")
                 continue
-            if is_exact_counter(key):
+            if is_exact_counter(key) or is_metrics_row(name):
                 if bv != cv:
                     failures.append(
-                        f"{name}/{key}: repair-effort counter changed "
+                        f"{name}/{key}: deterministic counter changed "
                         f"({bv:g} -> {cv:g}); exact match required — if "
-                        f"the round/rescan structure changed on purpose, "
-                        f"refresh the committed baseline")
+                        f"the behavior changed on purpose, refresh the "
+                        f"committed baseline")
                 continue
             # Deterministic size metric: smaller (or equal) is fine,
             # larger beyond the threshold is a regression.
