@@ -81,7 +81,7 @@ Prepared PrepareWorkload(double scale, int num_batches, int batch_size,
 
 DurableDocumentOptions StoreOptions(FsyncPolicy policy, int every_n) {
   DurableDocumentOptions opts;
-  opts.growth_trigger = 0;  // no rotations: isolate append/replay cost
+  opts.update.growth_trigger = 0;  // no rotations: isolate append/replay cost
   opts.journal.policy = policy;
   opts.journal.every_n = every_n;
   return opts;

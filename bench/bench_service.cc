@@ -1,0 +1,211 @@
+// Concurrent serving throughput: DocumentService read ops/sec as the
+// reader count grows while one writer streams batches and the merge
+// thread folds the overlay — the claim under test being that readers
+// are never blocked (throughput scales with reader count instead of
+// collapsing when merges run).
+//
+// Per corpus and per reader count R in {1,2,4,8}: a fresh service on
+// the same compressed seed, R reader threads hammering LabelAt /
+// FindElement / version against atomically-loaded snapshots, the main
+// thread applying --batches batches of --batch ops and forcing a merge
+// every --merge-every batches via Flush(). Merges ride the Flush
+// schedule (growth_trigger 0), so the merge work — count and
+// rules_rescanned, the damage-proportionality counter — is
+// deterministic and identical across reader counts: both are CI-gated
+// exactly via tools/bench_compare.py, as is the final grammar size
+// (within the size threshold). Read/write rates are advisory timings.
+// Every run ends by checking the served document byte-identical
+// (ToXml) against a single-threaded replay of the same ops on the
+// plain binary tree.
+//
+// Writes BENCH_service.json (override with --out=...). Run with
+// --trace=trace.json to see service.write / service.merge /
+// service.read spans, --metrics=m.json for the registry snapshot.
+//
+// Flags: --scale, --batches, --batch, --merge-every, --seed, --out.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/bench_util/reporting.h"
+#include "src/common/timer.h"
+#include "src/core/grammar_repair.h"
+#include "src/datasets/generators.h"
+#include "src/obs/session.h"
+#include "src/service/document_service.h"
+#include "src/workload/update_workload.h"
+#include "src/xml/binary_encoding.h"
+#include "src/xml/xml_writer.h"
+
+namespace slg {
+namespace {
+
+struct Prepared {
+  Grammar seed;
+  std::vector<std::vector<UpdateOp>> batches;
+  std::string final_xml;  // single-threaded tree replay, the ground truth
+  int64_t total_ops = 0;
+};
+
+Prepared PrepareWorkload(Corpus corpus, double scale, int num_batches,
+                         int batch_size, uint64_t seed) {
+  XmlTree xml = GenerateCorpus(corpus, scale);
+  LabelTable labels;
+  Tree bin = EncodeBinary(xml, &labels);
+  WorkloadOptions wopts;
+  wopts.num_ops = num_batches * batch_size;
+  wopts.rename_fraction = 0.15;
+  wopts.seed = seed;
+  UpdateWorkload w = MakeUpdateWorkload(bin, labels, wopts);
+
+  Prepared p;
+  Tree ref(w.seed);
+  for (const UpdateOp& op : w.ops) ApplyOpToTree(&ref, op);
+  p.final_xml = WriteXml(DecodeBinary(ref, labels).take(), {});
+  GrammarRepairOptions ropts;
+  ropts.repair.require_positive_savings = true;
+  p.seed =
+      GrammarRePair(Grammar::ForTree(std::move(w.seed), labels), ropts).grammar;
+  for (size_t i = 0; i < w.ops.size(); i += static_cast<size_t>(batch_size)) {
+    size_t end = std::min(w.ops.size(), i + static_cast<size_t>(batch_size));
+    p.batches.emplace_back(w.ops.begin() + i, w.ops.begin() + end);
+    p.total_ops += static_cast<int64_t>(end - i);
+  }
+  return p;
+}
+
+struct RunResult {
+  double read_ops_s = 0;
+  double write_batches_s = 0;
+  int64_t merges = 0;
+  int64_t rules_rescanned = 0;
+  int64_t final_edges = 0;
+};
+
+RunResult RunOnce(const Prepared& p, int num_readers, int merge_every) {
+  ServiceOptions opts;
+  opts.update.growth_trigger = 0;  // merges ride the Flush schedule only
+  std::unique_ptr<DocumentService> svc =
+      DocumentService::FromGrammar(p.seed.Clone(), opts).take();
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> reads{0};
+  std::vector<std::thread> readers;
+  readers.reserve(static_cast<size_t>(num_readers));
+  const std::string root_tag = svc->OpenReader().LabelAt(1).take();
+  for (int i = 0; i < num_readers; ++i) {
+    readers.emplace_back([&svc, &stop, &reads, &root_tag, i] {
+      int64_t local = 0;
+      int64_t pos = 1 + i;
+      while (!stop.load(std::memory_order_relaxed)) {
+        DocumentService::Reader r = svc->OpenReader();
+        int64_t n = r.BinaryNodeCount();
+        pos = pos % n + 1;
+        if (r.LabelAt(pos).ok()) ++local;
+        if (r.FindElement(root_tag, 1).ok()) ++local;
+      }
+      reads.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+
+  Timer timer;
+  auto writer = svc->OpenWriter();
+  int since_merge = 0;
+  for (const std::vector<UpdateOp>& batch : p.batches) {
+    SLG_CHECK_MSG(writer.Apply(batch).ok(), "service bench batch must apply");
+    if (++since_merge >= merge_every) {
+      SLG_CHECK(svc->Flush().ok());
+      since_merge = 0;
+    }
+  }
+  SLG_CHECK(svc->Flush().ok());
+  double elapsed_s = timer.ElapsedSeconds();
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+
+  // Served document == single-threaded replay, byte for byte.
+  SLG_CHECK_MSG(svc->OpenReader().ToXml().take() == p.final_xml,
+                "served document diverged from single-threaded replay");
+
+  DocumentService::Stats st = svc->GetStats();
+  RunResult r;
+  r.read_ops_s = static_cast<double>(reads.load()) / elapsed_s;
+  r.write_batches_s = static_cast<double>(p.batches.size()) / elapsed_s;
+  r.merges = st.merges;
+  r.rules_rescanned = st.merge_rules_rescanned;
+  r.final_edges = svc->OpenReader().CompressedSize();
+  return r;
+}
+
+int Run(int argc, char** argv) {
+  obs::ObsSession obs_session(argc, argv);
+  double scale = FlagDouble(argc, argv, "--scale", 0.05);
+  int num_batches = static_cast<int>(FlagInt(argc, argv, "--batches", 40));
+  int batch_size = static_cast<int>(FlagInt(argc, argv, "--batch", 4));
+  int merge_every = static_cast<int>(FlagInt(argc, argv, "--merge-every", 8));
+  uint64_t seed = static_cast<uint64_t>(FlagInt(argc, argv, "--seed", 17));
+  std::string out = FlagString(argc, argv, "--out", "BENCH_service.json");
+
+  struct CorpusRow {
+    const char* name;
+    Corpus corpus;
+  };
+  const CorpusRow kCorpora[] = {
+      {"weblog", Corpus::kExiWeblog},
+      {"medline", Corpus::kMedline},
+  };
+  const int kReaderCounts[] = {1, 2, 4, 8};
+
+  JsonBenchWriter json;
+  std::printf(
+      "DocumentService serving throughput (scale %.3g, %d batches x %d ops, "
+      "merge every %d)\n\n",
+      scale, num_batches, batch_size, merge_every);
+
+  for (const CorpusRow& row : kCorpora) {
+    Prepared p =
+        PrepareWorkload(row.corpus, scale, num_batches, batch_size, seed);
+    TablePrinter table({"readers", "read ops/s", "write batches/s", "merges",
+                        "rules rescanned", "edges"});
+    for (int readers : kReaderCounts) {
+      RunResult r = RunOnce(p, readers, merge_every);
+      table.AddRow({TablePrinter::Num(readers), TablePrinter::Fixed(r.read_ops_s, 0),
+                    TablePrinter::Fixed(r.write_batches_s, 1),
+                    TablePrinter::Num(r.merges),
+                    TablePrinter::Num(r.rules_rescanned),
+                    TablePrinter::Num(r.final_edges)});
+      json.Add(std::string("service/") + row.name + "/r" +
+                   std::to_string(readers),
+               {{"readers", static_cast<double>(readers)},
+                {"batches", static_cast<double>(num_batches)},
+                {"ops", static_cast<double>(p.total_ops)},
+                {"read_ops_s", r.read_ops_s},
+                {"write_batches_s", r.write_batches_s},
+                {"merges", static_cast<double>(r.merges)},
+                {"rules_rescanned", static_cast<double>(r.rules_rescanned)},
+                {"final_edges", static_cast<double>(r.final_edges)},
+                {"hardware_threads", static_cast<double>(
+                                         std::thread::hardware_concurrency())}});
+    }
+    std::printf("%s\n", row.name);
+    table.Print();
+    std::printf("\n");
+  }
+
+  if (!json.WriteTo(out)) {
+    std::fprintf(stderr, "warning: could not write %s\n", out.c_str());
+  } else {
+    std::printf("wrote %s\n", out.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace slg
+
+int main(int argc, char** argv) { return slg::Run(argc, argv); }

@@ -523,7 +523,7 @@ int Run(int argc, char** argv) {
     std::string dir = "bench_updates_store";
     RemoveStoreDir(dir);
     DurableDocumentOptions dopts;
-    dopts.growth_trigger = 0;  // no rotations: keep one journal file
+    dopts.update.growth_trigger = 0;  // no rotations: keep one journal file
     dopts.journal.policy = FsyncPolicy::kEveryN;
     dopts.journal.every_n = 8;
     int64_t bytes_before = journal_bytes_counter.Value();

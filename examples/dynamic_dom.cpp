@@ -15,13 +15,13 @@
 
 namespace {
 
-slg::CompressedXmlTree MakeFeed(const slg::CompressedXmlTreeOptions& opts) {
+slg::CompressedXmlTree MakeFeed(const slg::UpdateOptions& opts) {
   std::string xml = "<feed>";
   for (int i = 0; i < 300; ++i) {
     xml += "<item><title/><link/><summary/><published/></item>";
   }
   xml += "</feed>";
-  return slg::CompressedXmlTree::FromXml(xml, opts).take();
+  return slg::CompressedXmlTree::FromXml(xml, {}, opts).take();
 }
 
 void Mutate(slg::CompressedXmlTree* doc, slg::Rng* rng) {
@@ -52,8 +52,8 @@ int main() {
   slg::Rng rng_a(42);
   slg::Rng rng_b(42);
 
-  slg::CompressedXmlTreeOptions naive_opts;   // never recompresses
-  slg::CompressedXmlTreeOptions managed_opts;
+  slg::UpdateOptions naive_opts;              // never recompresses
+  slg::UpdateOptions managed_opts;
   managed_opts.auto_recompress_every = 25;    // GrammarRePair every 25 ops
 
   slg::CompressedXmlTree naive = MakeFeed(naive_opts);

@@ -3,112 +3,51 @@
 #include <utility>
 
 #include "src/grammar/binary_format.h"
-#include "src/grammar/stats.h"
 #include "src/grammar/validate.h"
-#include "src/grammar/value.h"
 #include "src/obs/trace.h"
-#include "src/pipeline/sharded_compressor.h"
-#include "src/pipeline/thread_pool.h"
 #include "src/update/batch.h"
-#include "src/update/update_ops.h"
 #include "src/xml/binary_encoding.h"
 #include "src/xml/xml_parser.h"
-#include "src/xml/xml_writer.h"
 
 namespace slg {
 
 StatusOr<CompressedXmlTree> CompressedXmlTree::FromXml(
-    std::string_view xml, const CompressedXmlTreeOptions& options) {
+    std::string_view xml, const CompressOptions& compress,
+    const UpdateOptions& update) {
   obs::TraceSpan span("api.from_xml");
-  StatusOr<XmlTree> parsed = ParseXml(xml);
-  if (!parsed.ok()) return parsed.status();
-  LabelTable labels;
-  Tree bin = EncodeBinary(parsed.value(), &labels);
-  // Dispatch on the *shard* count — the documented determinism knob.
-  // num_shards == 1 takes the sequential path whatever the thread
-  // count; num_shards == 0 follows the (resolved) thread count.
-  int resolved_threads = options.num_threads == 0
-                             ? ThreadPool::HardwareThreads()
-                             : options.num_threads;
-  bool use_sharded = options.num_shards > 1 ||
-                     (options.num_shards == 0 && resolved_threads > 1);
-  if (use_sharded) {
-    ShardedCompressorOptions sharded;
-    sharded.num_threads = options.num_threads;
-    sharded.num_shards = options.num_shards;
-    // options.repair governs every repair the pipeline runs: the
-    // shard runs and the top-level pass take the RepairOptions (the
-    // pipeline re-disables per-shard pruning — a pipeline invariant,
-    // see ShardedCompressorOptions), the kFull tier the whole struct.
-    sharded.shard_repair = options.repair.repair;
-    sharded.shard_repair.prune = false;
-    sharded.merge_repair = options.repair;
-    ShardedCompressResult r = ShardedCompress(std::move(bin), labels, sharded);
-    return CompressedXmlTree(std::move(r.grammar), options);
-  }
-  Grammar g = Grammar::ForTree(std::move(bin), std::move(labels));
-  GrammarRepairResult r = GrammarRePair(std::move(g), options.repair);
-  return CompressedXmlTree(std::move(r.grammar), options);
+  StatusOr<std::shared_ptr<const GrammarSnapshot>> snap =
+      CompressXmlToSnapshot(xml, compress);
+  if (!snap.ok()) return snap.status();
+  return CompressedXmlTree(snap.take(), update);
 }
 
 StatusOr<CompressedXmlTree> CompressedXmlTree::FromGrammar(
-    Grammar g, const CompressedXmlTreeOptions& options) {
+    Grammar g, const UpdateOptions& update) {
   SLG_RETURN_IF_ERROR(Validate(g));
-  return CompressedXmlTree(std::move(g), options);
+  return CompressedXmlTree(GrammarSnapshot::Make(std::move(g)), update);
 }
 
-int64_t CompressedXmlTree::ElementCount() const {
-  return ValueElementCount(grammar_);
-}
-
-int64_t CompressedXmlTree::BinaryNodeCount() const {
-  return ValueNodeCount(grammar_);
-}
-
-int64_t CompressedXmlTree::CompressedSize() const {
-  return ComputeStats(grammar_).edge_count;
-}
-
-StatusOr<std::string> CompressedXmlTree::LabelAt(int64_t preorder) {
-  // Isolation partially decompresses into the start rule even for a
-  // read, so it damages the grammar like an update does — harvest the
-  // set, or Recompress() could never fold the inlined copies back.
-  BatchUpdater batch(&grammar_);
-  StatusOr<NodeId> u = batch.Isolate(preorder);
-  if (!u.ok()) return u.status();
-  std::string name(
-      grammar_.labels().Name(grammar_.rhs(grammar_.start()).label(u.value())));
-  NoteDamage(batch.DamagedRules());
-  return name;
-}
-
-StatusOr<int64_t> CompressedXmlTree::FindElement(std::string_view tag,
-                                                 int64_t k) const {
-  StatusOr<Tree> tree = Value(grammar_);
-  if (!tree.ok()) return tree.status();
-  const Tree& t = tree.value();
-  LabelId want = grammar_.labels().Find(tag);
-  if (want == kNoLabel) return Status::NotFound("tag never occurs");
-  int64_t pre = 0;
-  int64_t found = 0;
-  int64_t result = -1;
-  t.VisitPreorder(t.root(), [&](NodeId v) {
-    ++pre;
-    if (result < 0 && t.label(v) == want && ++found == k) result = pre;
-  });
-  if (result < 0) {
-    return Status::NotFound("fewer than k occurrences of tag");
-  }
-  return result;
+StatusOr<CompressedXmlTree> CompressedXmlTree::FromSnapshot(
+    std::shared_ptr<const GrammarSnapshot> snapshot,
+    const UpdateOptions& update) {
+  if (snapshot == nullptr) return Status::InvalidArgument("null snapshot");
+  return CompressedXmlTree(std::move(snapshot), update);
 }
 
 Status CompressedXmlTree::Rename(int64_t preorder, std::string_view new_tag) {
-  // One-op batches, exactly like the atomic operations in
-  // update_ops.cc — except the damage set is harvested so Recompress()
-  // can seed the localized repair with the inlined-rule frontier.
-  BatchUpdater batch(&grammar_);
-  SLG_RETURN_IF_ERROR(batch.Rename(preorder, new_tag));
-  NoteDamage(batch.DamagedRules());
+  // Clone-modify-swap: the update runs on a private clone, so any
+  // failure discards the clone and the published snapshot — and with
+  // it Serialize(), the damage set, the counter — is untouched.
+  Grammar next = snap_->grammar().Clone();
+  std::vector<LabelId> damage;
+  {
+    BatchUpdater batch(&next);
+    SLG_RETURN_IF_ERROR(batch.Rename(preorder, new_tag));
+    damage = batch.DamagedRules();
+    batch.Finish();
+  }
+  NoteDamage(damage);
+  snap_ = GrammarSnapshot::Make(std::move(next), snap_->version() + 1);
   ++updates_since_recompress_;
   MaybeAutoRecompress();
   return Status::Ok();
@@ -118,21 +57,35 @@ Status CompressedXmlTree::InsertXmlBefore(int64_t preorder,
                                           std::string_view xml_fragment) {
   StatusOr<XmlTree> parsed = ParseXml(xml_fragment);
   if (!parsed.ok()) return parsed.status();
-  LabelTable& labels = grammar_.labels();
-  Tree frag = EncodeBinary(parsed.value(), &labels);
-  BatchUpdater batch(&grammar_);
-  SLG_RETURN_IF_ERROR(batch.InsertBefore(preorder, frag));
-  NoteDamage(batch.DamagedRules());
+  Grammar next = snap_->grammar().Clone();
+  // The fragment's labels are interned into the clone's table; on
+  // failure the clone is dropped, table extension included.
+  Tree frag = EncodeBinary(parsed.value(), &next.labels());
+  std::vector<LabelId> damage;
+  {
+    BatchUpdater batch(&next);
+    SLG_RETURN_IF_ERROR(batch.InsertBefore(preorder, frag));
+    damage = batch.DamagedRules();
+    batch.Finish();
+  }
+  NoteDamage(damage);
+  snap_ = GrammarSnapshot::Make(std::move(next), snap_->version() + 1);
   ++updates_since_recompress_;
   MaybeAutoRecompress();
   return Status::Ok();
 }
 
 Status CompressedXmlTree::Delete(int64_t preorder) {
-  BatchUpdater batch(&grammar_);
-  SLG_RETURN_IF_ERROR(batch.Delete(preorder));
-  batch.Finish();  // drops the snapshot, then garbage-collects
-  NoteDamage(batch.DamagedRules());
+  Grammar next = snap_->grammar().Clone();
+  std::vector<LabelId> damage;
+  {
+    BatchUpdater batch(&next);
+    SLG_RETURN_IF_ERROR(batch.Delete(preorder));
+    damage = batch.DamagedRules();
+    batch.Finish();  // drops the snapshot, then garbage-collects
+  }
+  NoteDamage(damage);
+  snap_ = GrammarSnapshot::Make(std::move(next), snap_->version() + 1);
   ++updates_since_recompress_;
   MaybeAutoRecompress();
   return Status::Ok();
@@ -143,17 +96,16 @@ void CompressedXmlTree::Recompress() {
   // rule (every update isolates its path there) plus the rules whose
   // bodies those isolations inlined — without the frontier the copies
   // in the start rule could never be folded back (see
-  // BatchUpdater::DamagedRules). (Move the set out before the move
-  // consumes grammar_.)
+  // BatchUpdater::DamagedRules).
   std::vector<LabelId> damage = std::move(pending_damage_);
   pending_damage_.clear();
   pending_damage_seen_.clear();
+  Grammar g = snap_->grammar().Clone();
   GrammarRepairResult r =
-      options_.localized_recompress && updates_since_recompress_ > 0
-          ? LocalizedGrammarRePair(std::move(grammar_), damage,
-                                   options_.repair)
-          : GrammarRePair(std::move(grammar_), options_.repair);
-  grammar_ = std::move(r.grammar);
+      options_.localized && updates_since_recompress_ > 0
+          ? LocalizedGrammarRePair(std::move(g), damage, options_.repair)
+          : GrammarRePair(std::move(g), options_.repair);
+  snap_ = GrammarSnapshot::Make(std::move(r.grammar), snap_->version() + 1);
   updates_since_recompress_ = 0;
 }
 
@@ -171,24 +123,14 @@ void CompressedXmlTree::MaybeAutoRecompress() {
 }
 
 std::string CompressedXmlTree::Serialize() const {
-  return SerializeGrammar(grammar_);
+  return SerializeGrammar(snap_->grammar());
 }
 
 StatusOr<CompressedXmlTree> CompressedXmlTree::Deserialize(
-    std::string_view bytes, const CompressedXmlTreeOptions& options) {
+    std::string_view bytes, const UpdateOptions& update) {
   StatusOr<Grammar> g = DeserializeGrammar(bytes);
   if (!g.ok()) return g.status();
-  return CompressedXmlTree(g.take(), options);
-}
-
-StatusOr<std::string> CompressedXmlTree::ToXml(bool pretty) const {
-  StatusOr<Tree> tree = Value(grammar_);
-  if (!tree.ok()) return tree.status();
-  StatusOr<XmlTree> xml = DecodeBinary(tree.value(), grammar_.labels());
-  if (!xml.ok()) return xml.status();
-  XmlWriteOptions opts;
-  opts.pretty = pretty;
-  return WriteXml(xml.value(), opts);
+  return CompressedXmlTree(GrammarSnapshot::Make(g.take()), update);
 }
 
 }  // namespace slg

@@ -1,4 +1,4 @@
-// CompressedXmlTree — the library's user-facing facade.
+// CompressedXmlTree — the single-threaded user-facing facade.
 //
 // A mutable, always-compressed in-memory XML document: parse or adopt
 // a document, keep it as an SLCF grammar, apply updates (rename /
@@ -6,123 +6,138 @@
 // with GrammarRePair — the workflow the paper proposes for dynamic
 // DOM-like trees.
 //
+// Since the service redesign this is a thin owner of the same
+// immutable GrammarSnapshot type DocumentService serves concurrently
+// (src/service/snapshot.h): queries run against the snapshot's
+// navigation indexes without touching the grammar, and every mutation
+// is clone-modify-swap. Two consequences worth relying on:
+//
+//   * Reads are const and non-mutating. LabelAt runs on the grammar
+//     DAG in O(depth × rank) without isolating (the old facade
+//     partially decompressed the path into the start rule); likewise
+//     FindElement never materializes the document.
+//   * Error contract, enforced by tests/api_test.cc: a mutator that
+//     returns a non-OK Status leaves the tree byte-identically
+//     unchanged — same Serialize() image, same pending damage, same
+//     update counter; nothing to roll back, no partial application.
+//
 // Nodes are addressed by the 1-based preorder position in the *binary*
 // first-child/next-sibling encoding (⊥ slots included); use
-// FindElement to resolve the n-th element with a given tag.
+// FindElement to resolve the n-th node with a given tag.
 //
 // Example (see examples/quickstart.cpp):
 //   auto doc = CompressedXmlTree::FromXml("<log>...</log>").take();
 //   doc.InsertXmlBefore(5, "<entry><ip/></entry>");
 //   doc.Recompress();
 //   std::string xml = doc.ToXml().take();
+//
+// Handing the document to the concurrent service is zero-copy:
+//   auto svc = DocumentService::FromSnapshot(doc.Snapshot()).take();
 
 #ifndef SLG_API_COMPRESSED_XML_TREE_H_
 #define SLG_API_COMPRESSED_XML_TREE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
+#include "src/api/options.h"
 #include "src/common/status.h"
-#include "src/core/grammar_repair.h"
 #include "src/grammar/grammar.h"
+#include "src/service/snapshot.h"
 
 namespace slg {
-
-struct CompressedXmlTreeOptions {
-  CompressedXmlTreeOptions() {
-    // Documents get recompressed repeatedly; skip the replace-then-
-    // prune churn (see RepairOptions::require_positive_savings).
-    repair.repair.require_positive_savings = true;
-  }
-
-  GrammarRepairOptions repair;
-  // If > 0, Rename/Insert/Delete trigger Recompress() automatically
-  // after this many updates.
-  int auto_recompress_every = 0;
-  // Recompress() after updates runs the damage-localized repair seeded
-  // at the start rule (updates isolate every edited path there) —
-  // checkpoint cost proportional to the damage, final size within a
-  // few percent of a full GrammarRePair (see LocalizedGrammarRePair).
-  // Off, or when no update happened since the last recompression,
-  // Recompress() runs the full paper pipeline.
-  bool localized_recompress = true;
-  // Initial compression (FromXml): values > 1 route through the
-  // sharded parallel pipeline (src/pipeline/sharded_compressor.h) —
-  // partition, per-shard TreeRePair on num_threads threads, merge,
-  // final boundary repair — with `repair` governing the repair runs
-  // (its RepairOptions drive the shard and top-level passes).
-  // num_threads == 0 uses all hardware threads; num_shards == 0 means
-  // one shard per thread. The output grammar depends on the shard
-  // count, never on the thread count: num_shards == 1 keeps the
-  // sequential GrammarRePair path whatever num_threads says, and
-  // num_shards == 0 ties the shard count to the (resolved) thread
-  // count — pin num_shards for machine-independent output. The
-  // default (1 thread, 0 shards) is the sequential path.
-  int num_threads = 1;
-  int num_shards = 0;
-};
 
 class CompressedXmlTree {
  public:
   // Parses and compresses an XML document (element structure only).
   static StatusOr<CompressedXmlTree> FromXml(
-      std::string_view xml, const CompressedXmlTreeOptions& options = {});
+      std::string_view xml, const CompressOptions& compress = {},
+      const UpdateOptions& update = {});
 
   // Adopts an existing grammar (must be a valid binary XML encoding).
   static StatusOr<CompressedXmlTree> FromGrammar(
-      Grammar g, const CompressedXmlTreeOptions& options = {});
+      Grammar g, const UpdateOptions& update = {});
 
-  // --- queries -----------------------------------------------------------
+  // Adopts a snapshot (e.g. from a DocumentService reader) without
+  // copying the grammar.
+  static StatusOr<CompressedXmlTree> FromSnapshot(
+      std::shared_ptr<const GrammarSnapshot> snapshot,
+      const UpdateOptions& update = {});
+
+  // --- queries (const, non-mutating) -------------------------------------
 
   // Number of element nodes / binary nodes of the represented document.
-  int64_t ElementCount() const;
-  int64_t BinaryNodeCount() const;
+  int64_t ElementCount() const { return snap_->element_count(); }
+  int64_t BinaryNodeCount() const { return snap_->node_count(); }
 
   // Grammar size in edges (the compression measure of the benches).
-  int64_t CompressedSize() const;
+  int64_t CompressedSize() const { return snap_->edges(); }
 
-  // Label at a binary preorder position (isolates the path).
-  StatusOr<std::string> LabelAt(int64_t preorder);
+  // Label at a binary preorder position; OutOfRange past the document.
+  StatusOr<std::string> LabelAt(int64_t preorder) const {
+    return snap_->LabelAt(preorder);
+  }
 
-  // Binary preorder position of the k-th (1-based) element with the
-  // given tag, or NotFound. O(document) — decompresses transiently.
-  StatusOr<int64_t> FindElement(std::string_view tag, int64_t k = 1) const;
+  // Binary preorder position of the k-th (1-based) node with the given
+  // tag, or NotFound. Runs on the grammar DAG — never decompresses.
+  StatusOr<int64_t> FindElement(std::string_view tag, int64_t k = 1) const {
+    return snap_->FindElement(tag, k);
+  }
 
   // --- updates -----------------------------------------------------------
+  //
+  // Each returns OK and advances the document by exactly one update,
+  // or returns an error and leaves the document unchanged (identical
+  // Serialize() bytes — the clone the update ran on is discarded).
+  // Failure cases: a preorder outside [1, BinaryNodeCount()], a rename
+  // or delete addressing a ⊥ slot, a rename whose target is a
+  // nonterminal or parameter name, malformed fragment XML.
 
   Status Rename(int64_t preorder, std::string_view new_tag);
   Status InsertXmlBefore(int64_t preorder, std::string_view xml_fragment);
   Status Delete(int64_t preorder);
 
-  // Runs GrammarRePair over the current grammar.
+  // Recompresses now: the damage-localized repair when
+  // UpdateOptions::localized is set and updates happened since the
+  // last repair, the full GrammarRePair otherwise.
   void Recompress();
 
   int UpdatesSinceRecompress() const { return updates_since_recompress_; }
 
   // --- export ------------------------------------------------------------
 
-  StatusOr<std::string> ToXml(bool pretty = false) const;
+  StatusOr<std::string> ToXml(bool pretty = false) const {
+    return snap_->ToXml(pretty);
+  }
 
   // Compact binary image of the compressed document; Deserialize
   // restores it without recompressing.
   std::string Serialize() const;
   static StatusOr<CompressedXmlTree> Deserialize(
-      std::string_view bytes, const CompressedXmlTreeOptions& options = {});
+      std::string_view bytes, const UpdateOptions& update = {});
 
-  const Grammar& grammar() const { return grammar_; }
+  const Grammar& grammar() const { return snap_->grammar(); }
+
+  // The current snapshot — shared, immutable, pinned by the caller
+  // independently of this tree's further mutations. The zero-copy
+  // bridge to DocumentService::FromSnapshot.
+  std::shared_ptr<const GrammarSnapshot> Snapshot() const { return snap_; }
 
  private:
-  CompressedXmlTree(Grammar g, const CompressedXmlTreeOptions& options)
-      : grammar_(std::move(g)), options_(options) {}
+  CompressedXmlTree(std::shared_ptr<const GrammarSnapshot> snap,
+                    const UpdateOptions& update)
+      : snap_(std::move(snap)), options_(update) {}
 
   void MaybeAutoRecompress();
   void NoteDamage(const std::vector<LabelId>& rules);
 
-  Grammar grammar_;
-  CompressedXmlTreeOptions options_;
+  std::shared_ptr<const GrammarSnapshot> snap_;
+  UpdateOptions options_;
   int updates_since_recompress_ = 0;
   // Damage accumulated by the updates since the last recompression —
   // the start rule plus every rule whose body isolation inlined there

@@ -1,0 +1,261 @@
+#include "src/core/snapshot_nav.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/grammar/value.h"
+
+namespace slg {
+
+namespace {
+
+// Sentinel for "no parameter below this node": any real parameter
+// index compares smaller.
+constexpr int32_t kNoParamBelow = std::numeric_limits<int32_t>::max();
+
+}  // namespace
+
+SnapshotNav::SnapshotNav(const Grammar* g, const RuleMeta* meta)
+    : g_(g), meta_(meta) {
+  rules_.resize(static_cast<size_t>(meta_->num_labels()));
+  g_->ForEachRule([&](LabelId lhs, const Tree& t) {
+    RuleIndex& idx = rules_[static_cast<size_t>(lhs)];
+    std::vector<NodeId> order = t.Preorder();
+    NodeId max_id = 0;
+    for (NodeId v : order) max_id = std::max(max_id, v);
+    size_t n = static_cast<size_t>(max_id) + 1;
+    idx.static_size.assign(n, 0);
+    idx.param_lo.assign(n, kNoParamBelow);
+    idx.param_hi.assign(n, 0);
+    // Reverse preorder = children before parents: one bottom-up pass.
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      NodeId v = *it;
+      LabelId l = t.label(v);
+      // SegTotal is the node's own material: 1 for a terminal, 0 for a
+      // parameter, |val(l)| minus parameter substitutions for a call —
+      // whose children are exactly the arguments summed below.
+      int64_t s = meta_->SegTotal(l);
+      int32_t lo = kNoParamBelow;
+      int32_t hi = 0;
+      if (int pj = meta_->ParamIndex(l); pj > 0) lo = hi = pj;
+      for (NodeId c = t.first_child(v); c != kNilNode; c = t.next_sibling(c)) {
+        size_t ci = static_cast<size_t>(c);
+        s = SizeSatAdd(s, idx.static_size[ci]);
+        lo = std::min(lo, idx.param_lo[ci]);
+        hi = std::max(hi, idx.param_hi[ci]);
+      }
+      size_t vi = static_cast<size_t>(v);
+      idx.static_size[vi] = s;
+      idx.param_lo[vi] = lo;
+      idx.param_hi[vi] = hi;
+    }
+  });
+  const RuleIndex& start = IndexOf(g_->start());
+  NodeId root = meta_->RhsRoot(g_->start());
+  derived_size_ = start.static_size[static_cast<size_t>(root)];
+}
+
+int64_t SnapshotNav::DerivedIn(const Frame& f, NodeId v) const {
+  const RuleIndex& idx = IndexOf(f.rule);
+  size_t vi = static_cast<size_t>(v);
+  int64_t s = idx.static_size[vi];
+  int32_t lo = idx.param_lo[vi];
+  int32_t hi = idx.param_hi[vi];
+  if (lo <= hi) {
+    s = SizeSatAdd(s, f.size_prefix[static_cast<size_t>(hi)] -
+                          f.size_prefix[static_cast<size_t>(lo) - 1]);
+  }
+  return s;
+}
+
+StatusOr<LabelId> SnapshotNav::LabelAt(int64_t preorder) const {
+  if (preorder < 1 || preorder > derived_size_) {
+    return Status::OutOfRange("preorder position outside the document");
+  }
+  // k counts positions remaining within the derived subtree of the
+  // current node; k == 1 at a terminal means "this is the node".
+  int64_t k = preorder;
+  std::vector<Frame> frames;
+  frames.push_back(Frame{g_->start(), kNilNode, {}, {}});
+  NodeId v = meta_->RhsRoot(g_->start());
+  for (;;) {
+    const Frame& f = frames.back();
+    const Tree& t = meta_->Rhs(f.rule);
+    LabelId l = t.label(v);
+    if (int pj = meta_->ParamIndex(l); pj > 0) {
+      // Parameter: the derived subtree is the call's pj-th argument —
+      // resume there, in the caller's context. k is unchanged.
+      NodeId call = f.call;
+      frames.pop_back();
+      v = meta_->Rhs(frames.back().rule).Child(call, pj);
+      continue;
+    }
+    if (meta_->IsNonterminal(l)) {
+      // Call: descend into the body. The body root derives the same
+      // subtree as the call node, so k is unchanged; precompute the
+      // argument-size prefix sums the body's parameter ranges need.
+      Frame nf;
+      nf.rule = l;
+      nf.call = v;
+      nf.size_prefix.resize(static_cast<size_t>(meta_->Rank(l)) + 1);
+      nf.size_prefix[0] = 0;
+      size_t j = 0;
+      for (NodeId c = t.first_child(v); c != kNilNode; c = t.next_sibling(c)) {
+        nf.size_prefix[j + 1] = SizeSatAdd(nf.size_prefix[j], DerivedIn(f, c));
+        ++j;
+      }
+      NodeId body = meta_->RhsRoot(l);
+      frames.push_back(std::move(nf));
+      v = body;
+      continue;
+    }
+    // Terminal: this node holds preorder position 1 of its subtree.
+    if (k == 1) return l;
+    --k;
+    NodeId next = kNilNode;
+    for (NodeId c = t.first_child(v); c != kNilNode; c = t.next_sibling(c)) {
+      int64_t d = DerivedIn(f, c);
+      if (k <= d) {
+        next = c;
+        break;
+      }
+      k -= d;
+    }
+    SLG_CHECK_MSG(next != kNilNode, "derived-size index inconsistent");
+    v = next;
+  }
+}
+
+void SnapshotNav::BuildOccIndex(LabelId want, OccIndex* occ) const {
+  occ->val.assign(rules_.size(), -1);
+  occ->static_occ.resize(rules_.size());
+  // Iterative post-order over the rule DAG: a rule is computed once
+  // every callee's count is known. Straight-line grammars are acyclic,
+  // so the worklist terminates; a rule re-pushed by several callers
+  // pops immediately once computed.
+  std::vector<LabelId> stack;
+  stack.push_back(g_->start());
+  while (!stack.empty()) {
+    LabelId r = stack.back();
+    if (occ->val[static_cast<size_t>(r)] >= 0) {
+      stack.pop_back();
+      continue;
+    }
+    const Tree& t = meta_->Rhs(r);
+    std::vector<NodeId> order = t.Preorder();
+    bool ready = true;
+    for (NodeId v : order) {
+      LabelId l = t.label(v);
+      if (meta_->IsNonterminal(l) && occ->val[static_cast<size_t>(l)] < 0) {
+        stack.push_back(l);
+        ready = false;
+      }
+    }
+    if (!ready) continue;
+    NodeId max_id = 0;
+    for (NodeId v : order) max_id = std::max(max_id, v);
+    std::vector<int64_t>& so = occ->static_occ[static_cast<size_t>(r)];
+    so.assign(static_cast<size_t>(max_id) + 1, 0);
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      NodeId v = *it;
+      LabelId l = t.label(v);
+      int64_t o = 0;
+      if (meta_->IsNonterminal(l)) {
+        o = occ->val[static_cast<size_t>(l)];
+      } else if (meta_->ParamIndex(l) == 0 && l == want) {
+        o = 1;
+      }
+      for (NodeId c = t.first_child(v); c != kNilNode; c = t.next_sibling(c)) {
+        o = SizeSatAdd(o, so[static_cast<size_t>(c)]);
+      }
+      so[static_cast<size_t>(v)] = o;
+    }
+    occ->val[static_cast<size_t>(r)] = so[static_cast<size_t>(t.root())];
+    stack.pop_back();
+  }
+}
+
+int64_t SnapshotNav::OccIn(const OccIndex& occ, const Frame& f,
+                           NodeId v) const {
+  const RuleIndex& idx = IndexOf(f.rule);
+  size_t vi = static_cast<size_t>(v);
+  int64_t o = occ.static_occ[static_cast<size_t>(f.rule)][vi];
+  int32_t lo = idx.param_lo[vi];
+  int32_t hi = idx.param_hi[vi];
+  if (lo <= hi) {
+    o = SizeSatAdd(o, f.occ_prefix[static_cast<size_t>(hi)] -
+                          f.occ_prefix[static_cast<size_t>(lo) - 1]);
+  }
+  return o;
+}
+
+StatusOr<int64_t> SnapshotNav::FindLabel(LabelId want, int64_t k) const {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (want == kNoLabel || static_cast<size_t>(want) >= rules_.size()) {
+    return Status::NotFound("tag never occurs");
+  }
+  OccIndex occ;
+  BuildOccIndex(want, &occ);
+  if (occ.val[static_cast<size_t>(g_->start())] < k) {
+    return Status::NotFound("fewer than k occurrences of tag");
+  }
+  // Same descent as LabelAt, steering by occurrence counts while
+  // accumulating the preorder position from subtree sizes. pos counts
+  // the nodes strictly before the current subtree.
+  int64_t pos = 0;
+  std::vector<Frame> frames;
+  frames.push_back(Frame{g_->start(), kNilNode, {}, {}});
+  NodeId v = meta_->RhsRoot(g_->start());
+  for (;;) {
+    const Frame& f = frames.back();
+    const Tree& t = meta_->Rhs(f.rule);
+    LabelId l = t.label(v);
+    if (int pj = meta_->ParamIndex(l); pj > 0) {
+      NodeId call = f.call;
+      frames.pop_back();
+      v = meta_->Rhs(frames.back().rule).Child(call, pj);
+      continue;
+    }
+    if (meta_->IsNonterminal(l)) {
+      Frame nf;
+      nf.rule = l;
+      nf.call = v;
+      size_t rank = static_cast<size_t>(meta_->Rank(l));
+      nf.size_prefix.resize(rank + 1);
+      nf.occ_prefix.resize(rank + 1);
+      nf.size_prefix[0] = 0;
+      nf.occ_prefix[0] = 0;
+      size_t j = 0;
+      for (NodeId c = t.first_child(v); c != kNilNode; c = t.next_sibling(c)) {
+        nf.size_prefix[j + 1] = SizeSatAdd(nf.size_prefix[j], DerivedIn(f, c));
+        nf.occ_prefix[j + 1] = SizeSatAdd(nf.occ_prefix[j], OccIn(occ, f, c));
+        ++j;
+      }
+      NodeId body = meta_->RhsRoot(l);
+      frames.push_back(std::move(nf));
+      v = body;
+      continue;
+    }
+    if (l == want) {
+      if (k == 1) return pos + 1;
+      --k;
+    }
+    pos = SizeSatAdd(pos, 1);
+    NodeId next = kNilNode;
+    for (NodeId c = t.first_child(v); c != kNilNode; c = t.next_sibling(c)) {
+      int64_t oc = OccIn(occ, f, c);
+      if (k <= oc) {
+        next = c;
+        break;
+      }
+      k -= oc;
+      pos = SizeSatAdd(pos, DerivedIn(f, c));
+    }
+    SLG_CHECK_MSG(next != kNilNode, "occurrence index inconsistent");
+    v = next;
+  }
+}
+
+}  // namespace slg

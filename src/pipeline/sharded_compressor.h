@@ -57,7 +57,7 @@ struct ShardedCompressorOptions {
     // The kFull pass recompresses an already near-optimal grammar;
     // without this it replays the full replace-then-prune churn on
     // every marginal digram — thousands of rounds that pruning undoes
-    // again. (Same reasoning as CompressedXmlTreeOptions.)
+    // again. (Same reasoning as UpdateOptions.)
     merge_repair.repair.require_positive_savings = true;
   }
 

@@ -1,0 +1,37 @@
+#include "src/service/overlay_view.h"
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace slg {
+
+namespace {
+
+obs::Counter& ReadsCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("service.reads");
+  return c;
+}
+
+}  // namespace
+
+StatusOr<std::string> OverlayView::LabelAt(int64_t preorder) const {
+  obs::TraceSpan span("service.read");
+  ReadsCounter().Increment();
+  return snapshot().LabelAt(preorder);
+}
+
+StatusOr<int64_t> OverlayView::FindElement(std::string_view tag,
+                                           int64_t k) const {
+  obs::TraceSpan span("service.read");
+  ReadsCounter().Increment();
+  return snapshot().FindElement(tag, k);
+}
+
+StatusOr<std::string> OverlayView::ToXml(bool pretty) const {
+  obs::TraceSpan span("service.read");
+  ReadsCounter().Increment();
+  return snapshot().ToXml(pretty);
+}
+
+}  // namespace slg

@@ -102,10 +102,10 @@ Status DurableDocument::ApplyBatch(const std::vector<UpdateOp>& ops) {
   }
   Status logged = journal_->AppendBatch(encoded);
   if (!logged.ok()) return Poison(std::move(logged));
-  if (options_.growth_trigger > 0 &&
-      ops_since_checkpoint_ >= options_.min_checkpoint_ops &&
+  if (options_.update.growth_trigger > 0 &&
+      ops_since_checkpoint_ >= options_.update.min_checkpoint_ops &&
       pending_edges_ >
-          static_cast<int64_t>(options_.growth_trigger *
+          static_cast<int64_t>(options_.update.growth_trigger *
                                static_cast<double>(base_edges_))) {
     return Checkpoint();
   }
@@ -115,10 +115,10 @@ Status DurableDocument::ApplyBatch(const std::vector<UpdateOp>& ops) {
 void DurableDocument::RecompressForCheckpoint() {
   Grammar g = std::move(g_);
   GrammarRepairResult r =
-      (options_.localized && !pending_damage_.empty())
+      (options_.update.localized && !pending_damage_.empty())
           ? LocalizedGrammarRePair(std::move(g), pending_damage_,
-                                   options_.repair)
-          : GrammarRePair(std::move(g), options_.repair);
+                                   options_.update.repair)
+          : GrammarRePair(std::move(g), options_.update.repair);
   g_ = std::move(r.grammar);
   pending_damage_.clear();
   pending_damage_seen_.clear();

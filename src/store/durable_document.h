@@ -38,6 +38,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/api/options.h"
 #include "src/common/status.h"
 #include "src/core/grammar_repair.h"
 #include "src/grammar/grammar.h"
@@ -49,27 +50,20 @@ namespace slg {
 
 struct DurableDocumentOptions {
   DurableDocumentOptions() {
-    // Same rationale as CompressedXmlTreeOptions: the grammar gets
-    // recompressed at every checkpoint, so skip replace-then-prune
-    // churn.
-    repair.repair.require_positive_savings = true;
+    // Serving from disk checkpoints adaptively by default: rotate when
+    // the gross edges added since the last checkpoint exceed
+    // update.growth_trigger * (grammar edges at that checkpoint), but
+    // not before update.min_checkpoint_ops operations. <= 0 disables
+    // automatic checkpoints (call Checkpoint() explicitly).
+    update.growth_trigger = 0.5;
   }
 
   JournalOptions journal;
 
-  // Adaptive checkpoint trigger, same semantics as BatchApplyOptions:
-  // rotate when the gross edges added since the last checkpoint exceed
-  // growth_trigger * (grammar edges at that checkpoint), but not
-  // before min_checkpoint_ops operations. <= 0 disables automatic
-  // checkpoints (call Checkpoint() explicitly).
-  double growth_trigger = 0.5;
-  int min_checkpoint_ops = 64;
-
-  // Checkpoints recompress with the damage-localized repair seeded
-  // from the batches' damage sets (BatchUpdater::DamagedRules); off
-  // runs the full pipeline.
-  bool localized = true;
-  GrammarRepairOptions repair;
+  // Recompression policy for checkpoints (repair options, localized
+  // vs. full, adaptive trigger) — the same UpdateOptions every other
+  // surface (CompressedXmlTree, DocumentService) takes.
+  UpdateOptions update;
 
   // Borrowed; nullptr (production) injects nothing. The injector is
   // consulted on every file operation the document performs.

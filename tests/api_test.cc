@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
+#include <string>
+
 namespace slg {
 namespace {
 
@@ -35,7 +39,7 @@ TEST(CompressedXmlTreeTest, ShardedCompressionRoundTrips) {
   }
   xml += "</log>";
 
-  CompressedXmlTreeOptions options;
+  CompressOptions options;
   options.num_threads = 4;
   options.num_shards = 6;
   auto doc_or = CompressedXmlTree::FromXml(xml, options);
@@ -113,10 +117,135 @@ TEST(CompressedXmlTreeTest, RecompressShrinksAfterUpdates) {
   EXPECT_EQ(doc.ElementCount(), 13 + 6 * 4);
 }
 
+// --- error contract ----------------------------------------------------
+//
+// A mutator that returns a non-OK Status leaves the tree
+// byte-identically unchanged: same Serialize() image, same counters.
+// Each test drives one documented failure path.
+
+CompressedXmlTree MakeDoc() {
+  auto doc = CompressedXmlTree::FromXml(kDoc);
+  SLG_CHECK(doc.ok());
+  return doc.take();
+}
+
+void ExpectUnchangedAfter(CompressedXmlTree* doc,
+                          const std::function<Status(CompressedXmlTree*)>& op) {
+  const std::string before = doc->Serialize();
+  const int updates = doc->UpdatesSinceRecompress();
+  Status st = op(doc);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(doc->Serialize(), before) << st.ToString();
+  EXPECT_EQ(doc->UpdatesSinceRecompress(), updates);
+}
+
+TEST(CompressedXmlTreeErrorContract, RenameOutOfRange) {
+  CompressedXmlTree doc = MakeDoc();
+  ExpectUnchangedAfter(&doc, [](CompressedXmlTree* d) {
+    return d->Rename(0, "x");
+  });
+  ExpectUnchangedAfter(&doc, [&](CompressedXmlTree* d) {
+    return d->Rename(d->BinaryNodeCount() + 1, "x");
+  });
+  ExpectUnchangedAfter(&doc, [](CompressedXmlTree* d) {
+    return d->Rename(-7, "x");
+  });
+}
+
+TEST(CompressedXmlTreeErrorContract, RenameNilSlot) {
+  CompressedXmlTree doc = MakeDoc();
+  // The last binary preorder position of any document is a ⊥ slot
+  // (the root's missing next-sibling); renaming ⊥ is not an update.
+  ExpectUnchangedAfter(&doc, [&](CompressedXmlTree* d) {
+    return d->Rename(d->BinaryNodeCount(), "x");
+  });
+}
+
+TEST(CompressedXmlTreeErrorContract, RenameToReservedName) {
+  CompressedXmlTree doc = MakeDoc();
+  // "~" spells ⊥ and "$1" a parameter in the text format; both are
+  // rejected as element names rather than corrupting the alphabet.
+  ExpectUnchangedAfter(&doc, [](CompressedXmlTree* d) {
+    return d->Rename(1, "~");
+  });
+  ExpectUnchangedAfter(&doc, [](CompressedXmlTree* d) {
+    return d->Rename(1, "$1");
+  });
+}
+
+TEST(CompressedXmlTreeErrorContract, InsertFailures) {
+  CompressedXmlTree doc = MakeDoc();
+  // Malformed fragment XML — rejected at parse, before any cloning.
+  ExpectUnchangedAfter(&doc, [](CompressedXmlTree* d) {
+    return d->InsertXmlBefore(2, "<a><b></a>");
+  });
+  // Fragment labels ("zzz") must not leak into the table on failure:
+  // the serialized image embeds the table, so the byte-compare above
+  // would catch it — make the failure arrive after the fragment.
+  ExpectUnchangedAfter(&doc, [&](CompressedXmlTree* d) {
+    return d->InsertXmlBefore(d->BinaryNodeCount() + 5, "<zzz/>");
+  });
+  ExpectUnchangedAfter(&doc, [](CompressedXmlTree* d) {
+    return d->InsertXmlBefore(0, "<a/>");
+  });
+}
+
+TEST(CompressedXmlTreeErrorContract, DeleteFailures) {
+  CompressedXmlTree doc = MakeDoc();
+  ExpectUnchangedAfter(&doc, [](CompressedXmlTree* d) {
+    return d->Delete(0);
+  });
+  ExpectUnchangedAfter(&doc, [&](CompressedXmlTree* d) {
+    return d->Delete(d->BinaryNodeCount() + 1);
+  });
+  // Deleting a ⊥ slot is not an update either.
+  ExpectUnchangedAfter(&doc, [&](CompressedXmlTree* d) {
+    return d->Delete(d->BinaryNodeCount());
+  });
+}
+
+TEST(CompressedXmlTreeErrorContract, FailedOpDoesNotPoisonLaterOps) {
+  CompressedXmlTree doc = MakeDoc();
+  EXPECT_FALSE(doc.Rename(1000000, "x").ok());
+  auto pos = doc.FindElement("date", 1);
+  ASSERT_TRUE(pos.ok());
+  ASSERT_TRUE(doc.Rename(pos.value(), "timestamp").ok());
+  EXPECT_EQ(doc.UpdatesSinceRecompress(), 1);
+  doc.Recompress();
+  EXPECT_NE(doc.ToXml().value().find("<timestamp/>"), std::string::npos);
+}
+
+TEST(CompressedXmlTreeTest, QueriesAreNonMutating) {
+  CompressedXmlTree doc = MakeDoc();
+  const std::string before = doc.Serialize();
+  ASSERT_TRUE(doc.LabelAt(1).ok());
+  EXPECT_EQ(doc.LabelAt(1).value(), "log");
+  ASSERT_TRUE(doc.FindElement("status", 3).ok());
+  ASSERT_TRUE(doc.ToXml().ok());
+  EXPECT_EQ(doc.ElementCount(), 13);
+  // The old facade isolated paths (and so rewrote the grammar) on
+  // LabelAt; the snapshot facade must not.
+  EXPECT_EQ(doc.Serialize(), before);
+  EXPECT_EQ(doc.UpdatesSinceRecompress(), 0);
+}
+
+TEST(CompressedXmlTreeTest, SnapshotBridgeIsStable) {
+  CompressedXmlTree doc = MakeDoc();
+  std::shared_ptr<const GrammarSnapshot> snap = doc.Snapshot();
+  ASSERT_TRUE(doc.Rename(1, "journal").ok());
+  // The caller's snapshot pins the pre-update document.
+  EXPECT_EQ(snap->ToXml().value(), kDoc);
+  EXPECT_NE(doc.ToXml().value(), kDoc);
+  // And adopting a snapshot round-trips.
+  auto doc2 = CompressedXmlTree::FromSnapshot(snap);
+  ASSERT_TRUE(doc2.ok());
+  EXPECT_EQ(doc2.value().ToXml().value(), kDoc);
+}
+
 TEST(CompressedXmlTreeTest, AutoRecompress) {
-  CompressedXmlTreeOptions opts;
+  UpdateOptions opts;
   opts.auto_recompress_every = 3;
-  auto doc_or = CompressedXmlTree::FromXml(kDoc, opts);
+  auto doc_or = CompressedXmlTree::FromXml(kDoc, {}, opts);
   ASSERT_TRUE(doc_or.ok());
   CompressedXmlTree doc = doc_or.take();
   for (int i = 0; i < 3; ++i) {

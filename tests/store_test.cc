@@ -130,8 +130,8 @@ void MakeScenario(Corpus corpus, double scale, int num_ops, int batch_size,
 
 DurableDocumentOptions StoreOpts(FaultInjector* fi = nullptr) {
   DurableDocumentOptions opts;
-  opts.growth_trigger = 0.3;
-  opts.min_checkpoint_ops = 4;
+  opts.update.growth_trigger = 0.3;
+  opts.update.min_checkpoint_ops = 4;
   opts.fault_injector = fi;
   return opts;
 }
@@ -189,9 +189,9 @@ class MirrorDoc {
 
   void Rotate() {
     GrammarRepairResult r =
-        (opts_.localized && !damage_.empty())
-            ? LocalizedGrammarRePair(std::move(g_), damage_, opts_.repair)
-            : GrammarRePair(std::move(g_), opts_.repair);
+        (opts_.update.localized && !damage_.empty())
+            ? LocalizedGrammarRePair(std::move(g_), damage_, opts_.update.repair)
+            : GrammarRePair(std::move(g_), opts_.update.repair);
     g_ = std::move(r.grammar);
     damage_.clear();
     seen_.clear();
@@ -438,7 +438,7 @@ TEST(DurableDocumentCorruptionSweep, OpenNeverCrashesOnMangledFiles) {
   std::string dir = NewDir("sweep");
   {
     DurableDocumentOptions opts = StoreOpts();
-    opts.growth_trigger = 0;  // rotate only at the explicit checkpoint
+    opts.update.growth_trigger = 0;  // rotate only at the explicit checkpoint
     StatusOr<DurableDocument> created =
         DurableDocument::Create(dir, sc.start.Clone(), opts);
     ASSERT_TRUE(created.ok());
@@ -558,7 +558,7 @@ TEST(DurableDocumentFallback, CorruptNewestSnapshotFallsBackAndHeals) {
   std::string final_bytes;
   {
     DurableDocumentOptions opts = StoreOpts();
-    opts.growth_trigger = 0;
+    opts.update.growth_trigger = 0;
     StatusOr<DurableDocument> created =
         DurableDocument::Create(dir, sc.start.Clone(), opts);
     ASSERT_TRUE(created.ok());

@@ -12,8 +12,8 @@ The bench JSON format is flat: {"benchmarks": [{"name": ..., <metric>:
                 a "_us"/"_ns" component, e.g. fsync_us_sum):
                 machine-dependent (CI runners are 1-core and +-30%
                 noisy). Reported for information, never gating.
-  * context   — workload shape (edges, ops, period, renames, shards,
-                threads): must match the baseline exactly, otherwise
+  * context   — workload shape (edges, ops, period, readers, renames,
+                shards, threads): must match the baseline exactly, otherwise
                 the runs are not comparable and the comparison fails.
   * counters  — keys ending in "_rounds"/"_rescanned" (repair-effort
                 counters: replacement rounds, whole-rule index
@@ -47,8 +47,8 @@ import json
 import re
 import sys
 
-CONTEXT_KEYS = {"batches", "edges", "ops", "period", "renames", "shards",
-                "threads"}
+CONTEXT_KEYS = {"batches", "edges", "ops", "period", "readers", "renames",
+                "shards", "threads"}
 IGNORED_KEYS = {"hardware_threads"}  # varies by runner, by design
 
 EXACT_SUFFIXES = ("_rounds", "_rescanned", "_bytes", "_batches", "_nodes",
