@@ -47,6 +47,12 @@ DurableDocumentOptions MakeDurableOptions(const ServiceOptions& o) {
   DurableDocumentOptions d;
   d.journal = o.journal;
   d.update = o.update;
+  // The embedded store never checkpoints itself: its adaptive trigger
+  // would recompress + snapshot synchronously inside the write path
+  // while mu_ is held (stalling every writer and the merge splice) and
+  // duplicate the recompression the merge thread already does. The
+  // merge thread drives Checkpoint() explicitly instead, off mu_.
+  d.update.growth_trigger = 0;
   d.fault_injector = o.fault_injector;
   return d;
 }
@@ -260,9 +266,15 @@ Status DocumentService::CommitLocked(Grammar next,
   // is durable per the fsync policy before any reader can see it. A
   // journal failure publishes nothing (the store poisons itself; the
   // served state stays at the last acknowledged version).
+  // The payload is encoded against the SERVICE lineage's table and
+  // handed to the durable store in that self-contained, name-based
+  // form: the store decodes it against its own table, whose LabelIds
+  // diverge from ours as soon as a merge or a checkpoint mints Fresh()
+  // labels — raw service ids would resolve to the wrong names there.
   std::string encoded = EncodeBatch(ops, next.labels());
   if (durable_) {
-    SLG_RETURN_IF_ERROR(durable_->ApplyBatch(ops));
+    std::lock_guard<std::mutex> dlk(durable_mu_);
+    SLG_RETURN_IF_ERROR(durable_->ApplyEncodedBatch(encoded));
   }
   auto snap = GrammarSnapshot::Make(std::move(next), acked_batches_ + 1);
   auto ns = std::make_shared<ServiceState>();
@@ -370,6 +382,17 @@ void DocumentService::MergeOnce(std::unique_lock<std::mutex>& lk) {
     }
   }
   int64_t elapsed_us = static_cast<int64_t>(timer.ElapsedSeconds() * 1e6);
+
+  // The durable store's checkpoint rides the merge cadence, still off
+  // mu_ (MakeDurableOptions disabled its own in-write-path trigger):
+  // writers racing this block only on durable_mu_ for the rotation's
+  // duration, readers not at all. A checkpoint failure poisons the
+  // store and surfaces as FailedPrecondition on the next write — the
+  // same failure model as any other durability-path error.
+  if (durable_ && options_.update.growth_trigger > 0) {
+    std::lock_guard<std::mutex> dlk(durable_mu_);
+    (void)durable_->Checkpoint();
+  }
 
   lk.lock();
   ++merges_;

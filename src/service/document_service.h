@@ -11,20 +11,23 @@
 //   * writers — OpenWriter() hands out a handle whose batch
 //     application runs under one writer mutex: clone the effective
 //     grammar, apply the batch (BatchUpdater), journal it
-//     (DurableDocument, when configured — journal-then-ack), then
-//     publish the result as the new overlay with one atomic
-//     shared_ptr swap. A failed batch publishes nothing: batches are
-//     atomic, the document is unchanged;
+//     (DurableDocument, when configured — journal-then-ack; the store
+//     receives the name-based EncodeBatch payload, since its LabelIds
+//     diverge from the service lineage's once either side mints fresh
+//     labels), then publish the result as the new overlay with one
+//     atomic shared_ptr swap. A failed batch publishes nothing:
+//     batches are atomic, the document is unchanged;
 //   * a background merge thread — when the overlay's gross added
 //     edges exceed UpdateOptions::growth_trigger of the base (with
 //     the min_checkpoint_ops floor), it recompresses the overlay
 //     off-lock (LocalizedGrammarRePair seeded with exactly the
 //     overlay's damage, per MergeStrategy) and splices the result in:
 //     batches acknowledged during the merge are replayed from their
-//     journal-codec encoding onto the new base. In-flight readers are
-//     never blocked and keep their pinned versions alive via
-//     shared_ptr reference counting — the RCU reclamation argument in
-//     docs/SERVICE.md.
+//     journal-codec encoding onto the new base. In durable mode the
+//     merge thread also drives the store's checkpoint rotation, off
+//     the writer lock. In-flight readers are never blocked and keep
+//     their pinned versions alive via shared_ptr reference counting —
+//     the RCU reclamation argument in docs/SERVICE.md.
 //
 // API redesign: this is the surface that unifies CompressedXmlTree
 // (single-threaded facade over the same GrammarSnapshot type, see
@@ -213,6 +216,11 @@ class DocumentService {
   // via atomic_store. The pointed-to state is immutable.
   std::shared_ptr<const ServiceState> state_;
   std::vector<PendingBatch> pending_;  // acked but unmerged, in order
+  // Serializes durable_ between the write path (mu_ then durable_mu_)
+  // and the merge thread's explicit Checkpoint() (durable_mu_ alone,
+  // never while holding mu_) — the one-way order makes deadlock
+  // impossible and keeps checkpoint rotations off the writer lock.
+  std::mutex durable_mu_;
   std::optional<DurableDocument> durable_;
   std::optional<UdcSession> udc_;  // merge thread only (kUdc)
 

@@ -51,7 +51,7 @@ StatusOr<DurableDocument> DurableDocument::Create(
   return StatusOr<DurableDocument>(std::move(doc));
 }
 
-Status DurableDocument::ApplyEncodedBatch(std::string_view encoded) {
+Status DurableDocument::ReplayEncodedBatch(std::string_view encoded) {
   std::vector<UpdateOp> ops;
   SLG_RETURN_IF_ERROR(DecodeBatch(encoded, &g_.labels(), &ops));
   BatchUpdater batch(&g_);
@@ -69,8 +69,7 @@ Status DurableDocument::ApplyEncodedBatch(std::string_view encoded) {
   return Status::Ok();
 }
 
-Status DurableDocument::ApplyBatch(const std::vector<UpdateOp>& ops) {
-  obs::TraceSpan span("store.apply_batch");
+Status DurableDocument::Writable() const {
   if (poisoned_) {
     return Status::FailedPrecondition(
         "document is poisoned by an earlier durability failure; reopen to "
@@ -79,25 +78,43 @@ Status DurableDocument::ApplyBatch(const std::vector<UpdateOp>& ops) {
   if (!journal_) {
     return Status::FailedPrecondition("document is closed");
   }
-  // Validate rename targets up front: EncodeBatch resolves op.label
-  // against the table and an out-of-range id must fail cleanly before
-  // anything is mutated or journaled.
+  return Status::Ok();
+}
+
+Status DurableDocument::ValidateOpLabels(
+    const std::vector<UpdateOp>& ops) const {
+  const LabelId size = g_.labels().size();
   for (const UpdateOp& op : ops) {
     if (op.kind == UpdateOp::Kind::kRename &&
-        (op.label < 0 || op.label >= g_.labels().size())) {
+        (op.label < 0 || op.label >= size)) {
       return Status::InvalidArgument(
           "rename op label id " + std::to_string(op.label) +
           " is not in the document's label table");
     }
+    if (op.kind == UpdateOp::Kind::kInsert) {
+      LabelId bad = kNoLabel;
+      op.fragment.VisitPreorder(op.fragment.root(), [&](NodeId v) {
+        LabelId l = op.fragment.label(v);
+        if ((l < 0 || l >= size) && bad == kNoLabel) bad = l;
+      });
+      if (bad != kNoLabel) {
+        return Status::InvalidArgument(
+            "insert fragment label id " + std::to_string(bad) +
+            " is not in the document's label table");
+      }
+    }
   }
-  std::string encoded = EncodeBatch(ops, g_.labels());
-  // Apply the DECODED batch, not `ops`: the live path then interns
-  // journal-carried label names in exactly the order replay will, so a
-  // recovered grammar is byte-identical to the live one.
-  Status applied = ApplyEncodedBatch(encoded);
+  return Status::Ok();
+}
+
+Status DurableDocument::CommitEncoded(std::string_view encoded) {
+  // Apply the DECODED batch, not the caller's ops: the live path then
+  // interns journal-carried label names in exactly the order replay
+  // will, so a recovered grammar is byte-identical to the live one.
+  Status applied = ReplayEncodedBatch(encoded);
   if (!applied.ok()) {
-    // The batch may have mutated the grammar before failing; the only
-    // consistent copies are on disk now.
+    // The batch may have mutated the grammar (or interned labels)
+    // before failing; the only consistent copies are on disk now.
     return Poison(std::move(applied));
   }
   Status logged = journal_->AppendBatch(encoded);
@@ -110,6 +127,22 @@ Status DurableDocument::ApplyBatch(const std::vector<UpdateOp>& ops) {
     return Checkpoint();
   }
   return Status::Ok();
+}
+
+Status DurableDocument::ApplyBatch(const std::vector<UpdateOp>& ops) {
+  obs::TraceSpan span("store.apply_batch");
+  SLG_RETURN_IF_ERROR(Writable());
+  // Validate every label id the ops can reach before encoding:
+  // EncodeBatch indexes the table unchecked, and an alien id (another
+  // document's lineage) must fail cleanly, not read out of bounds.
+  SLG_RETURN_IF_ERROR(ValidateOpLabels(ops));
+  return CommitEncoded(EncodeBatch(ops, g_.labels()));
+}
+
+Status DurableDocument::ApplyEncodedBatch(std::string_view encoded) {
+  obs::TraceSpan span("store.apply_batch");
+  SLG_RETURN_IF_ERROR(Writable());
+  return CommitEncoded(encoded);
 }
 
 void DurableDocument::RecompressForCheckpoint() {
@@ -236,7 +269,7 @@ StatusOr<DurableDocument> DurableDocument::Open(
     }
     JournalReplay replay = replayed.take();
     for (const std::string& encoded : replay.batches) {
-      Status applied = doc.ApplyEncodedBatch(encoded);
+      Status applied = doc.ReplayEncodedBatch(encoded);
       if (!applied.ok()) {
         // A committed, CRC-valid record that cannot be applied means
         // the corruption beat the checksum (or the writer was buggy);

@@ -6,9 +6,10 @@
 //   journal-<g>.wal     batches applied since snapshot g (journal.h)
 //
 // Commit protocol, in order:
-//   1. ApplyBatch applies the *decoded* batch to the in-memory grammar
-//      (so live application interns labels exactly like replay will),
-//      then appends it to journal g and fsyncs per FsyncPolicy.
+//   1. ApplyBatch / ApplyEncodedBatch applies the *decoded* batch to
+//      the in-memory grammar (so live application interns labels
+//      exactly like replay will), then appends it to journal g and
+//      fsyncs per FsyncPolicy.
 //   2. A checkpoint appends a kCheckpoint marker to journal g and
 //      fsyncs it UNCONDITIONALLY — the fallback chain snapshot g +
 //      journal g must be complete before the rotation starts — then
@@ -99,7 +100,20 @@ class DurableDocument {
   // Applies one batch atomically-on-recovery: either the whole batch
   // is journaled (and survives per the fsync policy) or, after a
   // crash, none of it is. May rotate per the adaptive trigger.
+  // Every label id reachable from the ops (rename targets, insert
+  // fragment nodes) must be valid in THIS document's label table;
+  // alien ids are rejected with InvalidArgument before anything is
+  // mutated or journaled.
   Status ApplyBatch(const std::vector<UpdateOp>& ops);
+
+  // Same commit protocol, but from a batch already in journal-codec
+  // form (an EncodeBatch payload — label *names*, never ids, so it is
+  // valid against any table). Decodes against this document's own
+  // table (interning unseen names), applies, and journals the same
+  // bytes. This is the write path for callers whose grammar lineage —
+  // and therefore whose LabelIds — diverges from this store's, e.g.
+  // DocumentService after a merge has minted Fresh() labels.
+  Status ApplyEncodedBatch(std::string_view encoded);
 
   // Forces a checkpoint rotation now.
   Status Checkpoint();
@@ -127,10 +141,23 @@ class DurableDocument {
                   const DurableDocumentOptions& options)
       : dir_(std::move(dir)), options_(options), g_(std::move(g)) {}
 
+  // FailedPrecondition if the document is poisoned or closed.
+  Status Writable() const;
+
+  // Rejects any op holding a label id outside this document's table —
+  // rename targets and every node of an insert fragment. EncodeBatch
+  // indexes the table without bounds checks, so this must run first.
+  Status ValidateOpLabels(const std::vector<UpdateOp>& ops) const;
+
   // Decodes `encoded` against the document's label table and applies
   // it through a fresh BatchUpdater, harvesting damage — the one apply
   // path shared by the live side and replay.
-  Status ApplyEncodedBatch(std::string_view encoded);
+  Status ReplayEncodedBatch(std::string_view encoded);
+
+  // The shared commit tail: apply the decoded payload, append the same
+  // bytes to the journal, maybe rotate per the adaptive trigger. Any
+  // failure poisons the document.
+  Status CommitEncoded(std::string_view encoded);
 
   // The rotation's recompress step (shared by Checkpoint and replay).
   void RecompressForCheckpoint();

@@ -339,6 +339,48 @@ TEST(DocumentServiceTest, DurableServiceRecovers) {
   RemoveTree(dir);
 }
 
+TEST(DocumentServiceTest, DurableServiceRecoversUnseenTagsAcrossMerges) {
+  std::string dir = NewDir("unseen");
+  ServiceOptions opts;
+  opts.durable_dir = dir;
+  // Adaptive mode: every merge also drives the durable store's
+  // checkpoint, so both lineages mint their own Fresh labels and their
+  // LabelIds diverge. The regression this pins: ops carrying service
+  // ids into the store were rejected (rename to a tag the store had
+  // not seen) or indexed its label table out of bounds (insert of a
+  // new tag) — the handoff must be the name-based encoded payload.
+  opts.update.growth_trigger = 0.01;
+  opts.update.min_checkpoint_ops = 1;
+
+  std::string final_xml;
+  {
+    auto svc = DocumentService::FromXml(kDoc, opts).take();
+    auto writer = svc->OpenWriter();
+    auto pos = svc->OpenReader().FindElement("entry", 1);
+    ASSERT_TRUE(pos.ok());
+    ASSERT_TRUE(
+        writer.InsertXmlBefore(pos.value(), "<audit><trail/></audit>").ok());
+    ASSERT_TRUE(writer.Rename(1, "weblog").ok());
+    ASSERT_TRUE(svc->Flush().ok());  // merge + durable checkpoint
+    // Keep writing previously-unseen tags after the lineages diverged.
+    ASSERT_TRUE(writer.Rename(1, "weblog2").ok());
+    auto pos2 = svc->OpenReader().FindElement("trail", 1);
+    ASSERT_TRUE(pos2.ok());
+    ASSERT_TRUE(writer.InsertXmlBefore(pos2.value(), "<fresh/>").ok());
+    ASSERT_TRUE(svc->Flush().ok());
+    final_xml = svc->OpenReader().ToXml().value();
+    EXPECT_NE(final_xml.find("<weblog2>"), std::string::npos);
+    EXPECT_NE(final_xml.find("<fresh/>"), std::string::npos);
+  }
+
+  auto reopened_or = DocumentService::Open(opts);
+  ASSERT_TRUE(reopened_or.ok()) << reopened_or.status().ToString();
+  auto reopened = reopened_or.take();
+  EXPECT_EQ(reopened->OpenReader().ToXml().value(), final_xml);
+  reopened.reset();
+  RemoveTree(dir);
+}
+
 TEST(DocumentServiceTest, OpenRequiresDurableDir) {
   EXPECT_FALSE(DocumentService::Open(ServiceOptions{}).ok());
   EXPECT_FALSE(DocumentService::FromSnapshot(nullptr).ok());

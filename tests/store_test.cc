@@ -593,6 +593,81 @@ TEST(DurableDocumentFallback, CorruptNewestSnapshotFallsBackAndHeals) {
 }
 
 // --------------------------------------------------------------------
+// Label-lineage hygiene: ids from another document's table must be
+// rejected cleanly (never indexed), and the encoded name-based entry
+// point must carry batches across diverged lineages.
+
+TEST(DurableDocumentApply, AlienLabelIdsAreRejectedNotIndexed) {
+  Scenario sc;
+  MakeScenario(Corpus::kExiWeblog, 0.01, 4, 2, 91, &sc);
+  std::string dir = NewDir("alien");
+  StatusOr<DurableDocument> created =
+      DurableDocument::Create(dir, sc.start.Clone(), StoreOpts());
+  ASSERT_TRUE(created.ok());
+  DurableDocument doc = created.take();
+  const std::string before = SerializeGrammar(doc.grammar());
+  // One past the table: exactly the id a caller that interned a new
+  // tag into its own lineage first would hand us.
+  const LabelId alien = doc.grammar().labels().size();
+
+  std::vector<UpdateOp> rename(1);
+  rename[0].kind = UpdateOp::Kind::kRename;
+  rename[0].preorder = 1;
+  rename[0].label = alien;
+  EXPECT_EQ(doc.ApplyBatch(rename).code(), StatusCode::kInvalidArgument);
+
+  std::vector<UpdateOp> insert(1);
+  insert[0].kind = UpdateOp::Kind::kInsert;
+  insert[0].preorder = 2;
+  insert[0].fragment.SetRoot(insert[0].fragment.NewNode(alien));
+  EXPECT_EQ(doc.ApplyBatch(insert).code(), StatusCode::kInvalidArgument);
+
+  // Clean rejection: nothing mutated, journaled, or poisoned.
+  EXPECT_FALSE(doc.poisoned());
+  EXPECT_EQ(SerializeGrammar(doc.grammar()), before);
+  ASSERT_TRUE(doc.ApplyBatch(sc.batches[0]).ok());
+  ASSERT_TRUE(doc.Close().ok());
+  RemoveTree(dir);
+}
+
+TEST(DurableDocumentApply, EncodedBatchCrossesLabelTableLineages) {
+  Scenario sc;
+  MakeScenario(Corpus::kExiWeblog, 0.01, 4, 2, 93, &sc);
+  std::string dir = NewDir("lineage");
+  DurableDocumentOptions opts = StoreOpts();
+  opts.update.growth_trigger = 0;
+  StatusOr<DurableDocument> created =
+      DurableDocument::Create(dir, sc.start.Clone(), opts);
+  ASSERT_TRUE(created.ok());
+  DurableDocument doc = created.take();
+
+  // A writer lineage that interned extra labels first: "fresh_tag" is
+  // absent from the store's table and every foreign id after the
+  // padding disagrees with the store's numbering — only the name-based
+  // payload can cross.
+  LabelTable foreign = doc.grammar().labels();
+  foreign.Intern("lineage_padding", 2);
+  std::vector<UpdateOp> rename(1);
+  rename[0].kind = UpdateOp::Kind::kRename;
+  rename[0].preorder = 1;
+  rename[0].label = foreign.Intern("fresh_tag", 2);
+
+  ASSERT_TRUE(doc.ApplyEncodedBatch(EncodeBatch(rename, foreign)).ok());
+  EXPECT_NE(doc.grammar().labels().Find("fresh_tag"), kNoLabel);
+  // Only names the ops actually carry travel across.
+  EXPECT_EQ(doc.grammar().labels().Find("lineage_padding"), kNoLabel);
+
+  const std::string live = SerializeGrammar(doc.grammar());
+  ASSERT_TRUE(doc.Close().ok());
+  StatusOr<DurableDocument> opened = DurableDocument::Open(dir, opts);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_EQ(opened.value().recovery_stats().batches_replayed, 1);
+  EXPECT_EQ(SerializeGrammar(opened.value().grammar()), live);
+  ASSERT_TRUE(opened.value().Close().ok());
+  RemoveTree(dir);
+}
+
+// --------------------------------------------------------------------
 // Poisoning: a durability failure taints the handle, not the disk.
 
 TEST(DurableDocumentPoison, IoFailurePoisonsHandleAndReopenRecovers) {
