@@ -89,6 +89,13 @@ class CompressedXmlTree {
     return snap_->FindElement(tag, k);
   }
 
+  // Path query (docs/QUERY.md), e.g. "count(//entry/ip)" or
+  // "/log/entry[3]" — evaluated on the grammar DAG with per-rule
+  // memoization, never decompressing.
+  StatusOr<QueryResult> RunQuery(std::string_view query) const {
+    return snap_->RunQuery(query);
+  }
+
   // --- updates -----------------------------------------------------------
   //
   // Each returns OK and advances the document by exactly one update,

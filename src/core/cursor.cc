@@ -1,5 +1,9 @@
 #include "src/core/cursor.h"
 
+#include <utility>
+
+#include "src/grammar/rule_summary.h"
+
 namespace slg {
 
 GrammarCursor::GrammarCursor(const Grammar* g)
@@ -21,31 +25,21 @@ void GrammarCursor::ToRoot() {
 }
 
 void GrammarCursor::ResolveDown() {
-  const RuleMeta& meta = *meta_;
-  for (;;) {
-    const Tree& t = RuleTree(cur_rule_);
-    LabelId l = t.label(cur_);
-    int pidx = meta.ParamIndex(l);
-    if (pidx > 0) {
-      // The node is the j-th parameter of the current rule: its
-      // derived content is the j-th argument of the instantiating
-      // call, one frame up.
-      SLG_CHECK_MSG(!stack_.empty(), "parameter at derivation top");
-      Frame f = stack_.back();
-      stack_.pop_back();
-      cur_rule_ = f.rule;
-      cur_ = RuleTree(cur_rule_).Child(f.call, pidx);
-      continue;
-    }
-    if (meta.IsNonterminal(l)) {
-      // Enter the callee at its root.
-      stack_.push_back(Frame{cur_rule_, cur_});
-      cur_rule_ = l;
-      cur_ = meta.RhsRoot(l);
-      continue;
-    }
-    return;  // terminal
-  }
+  // The boundary crossings live in the shared summary-layer helper
+  // (ResolveToTerminal): a parameter pops to the instantiating call's
+  // argument, a call pushes a frame and enters the callee at its root.
+  ResolveToTerminal(
+      *meta_, cur_rule_, cur_,
+      [&]() -> std::pair<LabelId, NodeId> {
+        SLG_CHECK_MSG(!stack_.empty(), "parameter at derivation top");
+        Frame f = stack_.back();
+        stack_.pop_back();
+        return {f.rule, f.call};
+      },
+      [&](LabelId) {
+        stack_.push_back(Frame{cur_rule_, cur_});
+        return true;
+      });
 }
 
 LabelId GrammarCursor::Label() const {

@@ -1,7 +1,6 @@
 #include "src/core/snapshot_nav.h"
 
 #include <algorithm>
-#include <limits>
 #include <utility>
 
 #include "src/common/check.h"
@@ -9,66 +8,20 @@
 
 namespace slg {
 
-namespace {
-
-// Sentinel for "no parameter below this node": any real parameter
-// index compares smaller.
-constexpr int32_t kNoParamBelow = std::numeric_limits<int32_t>::max();
-
-}  // namespace
+SnapshotNav::SnapshotNav(const Grammar* g, const RuleMeta* meta,
+                         const RuleSummary* summary)
+    : g_(g),
+      meta_(meta),
+      summary_(summary),
+      derived_size_(summary->DerivedSize()) {}
 
 SnapshotNav::SnapshotNav(const Grammar* g, const RuleMeta* meta)
-    : g_(g), meta_(meta) {
-  rules_.resize(static_cast<size_t>(meta_->num_labels()));
-  g_->ForEachRule([&](LabelId lhs, const Tree& t) {
-    RuleIndex& idx = rules_[static_cast<size_t>(lhs)];
-    std::vector<NodeId> order = t.Preorder();
-    NodeId max_id = 0;
-    for (NodeId v : order) max_id = std::max(max_id, v);
-    size_t n = static_cast<size_t>(max_id) + 1;
-    idx.static_size.assign(n, 0);
-    idx.param_lo.assign(n, kNoParamBelow);
-    idx.param_hi.assign(n, 0);
-    // Reverse preorder = children before parents: one bottom-up pass.
-    for (auto it = order.rbegin(); it != order.rend(); ++it) {
-      NodeId v = *it;
-      LabelId l = t.label(v);
-      // SegTotal is the node's own material: 1 for a terminal, 0 for a
-      // parameter, |val(l)| minus parameter substitutions for a call —
-      // whose children are exactly the arguments summed below.
-      int64_t s = meta_->SegTotal(l);
-      int32_t lo = kNoParamBelow;
-      int32_t hi = 0;
-      if (int pj = meta_->ParamIndex(l); pj > 0) lo = hi = pj;
-      for (NodeId c = t.first_child(v); c != kNilNode; c = t.next_sibling(c)) {
-        size_t ci = static_cast<size_t>(c);
-        s = SizeSatAdd(s, idx.static_size[ci]);
-        lo = std::min(lo, idx.param_lo[ci]);
-        hi = std::max(hi, idx.param_hi[ci]);
-      }
-      size_t vi = static_cast<size_t>(v);
-      idx.static_size[vi] = s;
-      idx.param_lo[vi] = lo;
-      idx.param_hi[vi] = hi;
-    }
-  });
-  const RuleIndex& start = IndexOf(g_->start());
-  NodeId root = meta_->RhsRoot(g_->start());
-  derived_size_ = start.static_size[static_cast<size_t>(root)];
-}
-
-int64_t SnapshotNav::DerivedIn(const Frame& f, NodeId v) const {
-  const RuleIndex& idx = IndexOf(f.rule);
-  size_t vi = static_cast<size_t>(v);
-  int64_t s = idx.static_size[vi];
-  int32_t lo = idx.param_lo[vi];
-  int32_t hi = idx.param_hi[vi];
-  if (lo <= hi) {
-    s = SizeSatAdd(s, f.size_prefix[static_cast<size_t>(hi)] -
-                          f.size_prefix[static_cast<size_t>(lo) - 1]);
-  }
-  return s;
-}
+    : g_(g),
+      meta_(meta),
+      owned_summary_(std::make_shared<const RuleSummary>(
+          RuleSummary::Build(*g, *meta))),
+      summary_(owned_summary_.get()),
+      derived_size_(summary_->DerivedSize()) {}
 
 StatusOr<LabelId> SnapshotNav::LabelAt(int64_t preorder) const {
   if (preorder < 1 || preorder > derived_size_) {
@@ -79,39 +32,42 @@ StatusOr<LabelId> SnapshotNav::LabelAt(int64_t preorder) const {
   int64_t k = preorder;
   std::vector<Frame> frames;
   frames.push_back(Frame{g_->start(), kNilNode, {}, {}});
-  NodeId v = meta_->RhsRoot(g_->start());
+  LabelId rule = g_->start();
+  NodeId v = meta_->RhsRoot(rule);
   for (;;) {
-    const Frame& f = frames.back();
-    const Tree& t = meta_->Rhs(f.rule);
-    LabelId l = t.label(v);
-    if (int pj = meta_->ParamIndex(l); pj > 0) {
-      // Parameter: the derived subtree is the call's pj-th argument —
-      // resume there, in the caller's context. k is unchanged.
-      NodeId call = f.call;
-      frames.pop_back();
-      v = meta_->Rhs(frames.back().rule).Child(call, pj);
-      continue;
-    }
-    if (meta_->IsNonterminal(l)) {
-      // Call: descend into the body. The body root derives the same
-      // subtree as the call node, so k is unchanged; precompute the
-      // argument-size prefix sums the body's parameter ranges need.
-      Frame nf;
-      nf.rule = l;
-      nf.call = v;
-      nf.size_prefix.resize(static_cast<size_t>(meta_->Rank(l)) + 1);
-      nf.size_prefix[0] = 0;
-      size_t j = 0;
-      for (NodeId c = t.first_child(v); c != kNilNode; c = t.next_sibling(c)) {
-        nf.size_prefix[j + 1] = SizeSatAdd(nf.size_prefix[j], DerivedIn(f, c));
-        ++j;
-      }
-      NodeId body = meta_->RhsRoot(l);
-      frames.push_back(std::move(nf));
-      v = body;
-      continue;
-    }
+    ResolveToTerminal(
+        *meta_, rule, v,
+        [&]() -> std::pair<LabelId, NodeId> {
+          // Parameter: the derived subtree is the call's argument —
+          // resume there, in the caller's context. k is unchanged.
+          NodeId call = frames.back().call;
+          frames.pop_back();
+          return {frames.back().rule, call};
+        },
+        [&](LabelId callee) {
+          // Call: precompute the argument-size prefix sums the body's
+          // parameter ranges need.
+          const Frame& f = frames.back();
+          const Tree& t = meta_->Rhs(rule);
+          Frame nf;
+          nf.rule = callee;
+          nf.call = v;
+          nf.size_prefix.resize(static_cast<size_t>(meta_->Rank(callee)) + 1);
+          nf.size_prefix[0] = 0;
+          size_t j = 0;
+          for (NodeId c = t.first_child(v); c != kNilNode;
+               c = t.next_sibling(c)) {
+            nf.size_prefix[j + 1] =
+                SizeSatAdd(nf.size_prefix[j], DerivedIn(f, c));
+            ++j;
+          }
+          frames.push_back(std::move(nf));
+          return true;
+        });
     // Terminal: this node holds preorder position 1 of its subtree.
+    const Frame& f = frames.back();
+    const Tree& t = meta_->Rhs(rule);
+    LabelId l = t.label(v);
     if (k == 1) return l;
     --k;
     NodeId next = kNilNode;
@@ -129,8 +85,9 @@ StatusOr<LabelId> SnapshotNav::LabelAt(int64_t preorder) const {
 }
 
 void SnapshotNav::BuildOccIndex(LabelId want, OccIndex* occ) const {
-  occ->val.assign(rules_.size(), -1);
-  occ->static_occ.resize(rules_.size());
+  size_t num_labels = static_cast<size_t>(summary_->num_labels());
+  occ->val.assign(num_labels, -1);
+  occ->static_occ.resize(num_labels);
   // Iterative post-order over the rule DAG: a rule is computed once
   // every callee's count is known. Straight-line grammars are acyclic,
   // so the worklist terminates; a rule re-pushed by several callers
@@ -177,23 +134,10 @@ void SnapshotNav::BuildOccIndex(LabelId want, OccIndex* occ) const {
   }
 }
 
-int64_t SnapshotNav::OccIn(const OccIndex& occ, const Frame& f,
-                           NodeId v) const {
-  const RuleIndex& idx = IndexOf(f.rule);
-  size_t vi = static_cast<size_t>(v);
-  int64_t o = occ.static_occ[static_cast<size_t>(f.rule)][vi];
-  int32_t lo = idx.param_lo[vi];
-  int32_t hi = idx.param_hi[vi];
-  if (lo <= hi) {
-    o = SizeSatAdd(o, f.occ_prefix[static_cast<size_t>(hi)] -
-                          f.occ_prefix[static_cast<size_t>(lo) - 1]);
-  }
-  return o;
-}
-
 StatusOr<int64_t> SnapshotNav::FindLabel(LabelId want, int64_t k) const {
   if (k < 1) return Status::InvalidArgument("k must be >= 1");
-  if (want == kNoLabel || static_cast<size_t>(want) >= rules_.size()) {
+  if (want == kNoLabel ||
+      static_cast<size_t>(want) >= static_cast<size_t>(summary_->num_labels())) {
     return Status::NotFound("tag never occurs");
   }
   OccIndex occ;
@@ -207,37 +151,62 @@ StatusOr<int64_t> SnapshotNav::FindLabel(LabelId want, int64_t k) const {
   int64_t pos = 0;
   std::vector<Frame> frames;
   frames.push_back(Frame{g_->start(), kNilNode, {}, {}});
-  NodeId v = meta_->RhsRoot(g_->start());
+  LabelId rule = g_->start();
+  NodeId v = meta_->RhsRoot(rule);
   for (;;) {
+    int64_t shortcut = -1;
+    ResolveToTerminal(
+        *meta_, rule, v,
+        [&]() -> std::pair<LabelId, NodeId> {
+          NodeId call = frames.back().call;
+          frames.pop_back();
+          return {frames.back().rule, call};
+        },
+        [&](LabelId callee) {
+          const Frame& f = frames.back();
+          const Tree& t = meta_->Rhs(rule);
+          Frame nf;
+          nf.rule = callee;
+          nf.call = v;
+          size_t rank = static_cast<size_t>(meta_->Rank(callee));
+          nf.size_prefix.resize(rank + 1);
+          nf.occ_prefix.resize(rank + 1);
+          nf.size_prefix[0] = 0;
+          nf.occ_prefix[0] = 0;
+          size_t j = 0;
+          for (NodeId c = t.first_child(v); c != kNilNode;
+               c = t.next_sibling(c)) {
+            nf.size_prefix[j + 1] =
+                SizeSatAdd(nf.size_prefix[j], DerivedIn(f, c));
+            nf.occ_prefix[j + 1] =
+                SizeSatAdd(nf.occ_prefix[j], OccIn(occ, f, c));
+            ++j;
+          }
+          // O(1) finish: the target is the first occurrence inside
+          // this call and the arguments carry none, so it is the
+          // callee's first material occurrence — whose derived offset
+          // is its static offset plus the sizes of the arguments
+          // preceding it (the summary's first-occurrence table).
+          if (k == 1 && nf.occ_prefix[rank] == 0) {
+            if (std::optional<RuleSummary::FirstOcc> fo =
+                    summary_->FirstOccurrence(callee, want)) {
+              shortcut = SizeSatAdd(
+                  pos,
+                  SizeSatAdd(
+                      SizeSatAdd(fo->offset,
+                                 nf.size_prefix[static_cast<size_t>(
+                                     fo->params_before)]),
+                      1));
+              return false;
+            }
+          }
+          frames.push_back(std::move(nf));
+          return true;
+        });
+    if (shortcut >= 0) return shortcut;
     const Frame& f = frames.back();
-    const Tree& t = meta_->Rhs(f.rule);
+    const Tree& t = meta_->Rhs(rule);
     LabelId l = t.label(v);
-    if (int pj = meta_->ParamIndex(l); pj > 0) {
-      NodeId call = f.call;
-      frames.pop_back();
-      v = meta_->Rhs(frames.back().rule).Child(call, pj);
-      continue;
-    }
-    if (meta_->IsNonterminal(l)) {
-      Frame nf;
-      nf.rule = l;
-      nf.call = v;
-      size_t rank = static_cast<size_t>(meta_->Rank(l));
-      nf.size_prefix.resize(rank + 1);
-      nf.occ_prefix.resize(rank + 1);
-      nf.size_prefix[0] = 0;
-      nf.occ_prefix[0] = 0;
-      size_t j = 0;
-      for (NodeId c = t.first_child(v); c != kNilNode; c = t.next_sibling(c)) {
-        nf.size_prefix[j + 1] = SizeSatAdd(nf.size_prefix[j], DerivedIn(f, c));
-        nf.occ_prefix[j + 1] = SizeSatAdd(nf.occ_prefix[j], OccIn(occ, f, c));
-        ++j;
-      }
-      NodeId body = meta_->RhsRoot(l);
-      frames.push_back(std::move(nf));
-      v = body;
-      continue;
-    }
     if (l == want) {
       if (k == 1) return pos + 1;
       --k;

@@ -10,30 +10,31 @@
 // *into* rule bodies, carrying a stack of call frames whose argument
 // sizes tell it which child subtree covers the requested position.
 //
-// The index built at construction stores, per rule body node v,
-//   static_size[v] — nodes of the tree v derives with every parameter
-//       substituted by the empty context (sum of SegTotal over the
-//       subtree), and
-//   the contiguous range of parameter indices occurring under v
-//       (parameters occur exactly once each, in preorder order — the
-//       TreeRePair invariant — so the indices under any subtree form
-//       an interval).
-// With per-call prefix sums over the actual argument sizes, the
-// derived size of any body node in context is then O(1):
+// The per-rule facts the descent needs — static sizes, parameter
+// intervals, first-occurrence offsets — come from the shared
+// RuleSummary layer (grammar/rule_summary.h), built once per snapshot
+// and shared with the cursor and the query engine; with per-call
+// prefix sums over the actual argument sizes, the derived size of any
+// body node in context is O(1):
 //   derived(v | args) = static_size[v] + sum(args[lo..hi]).
 //
 // LabelAt descends root-to-target in O(depth · rank); FindLabel
 // additionally computes per-rule occurrence counts of the wanted label
 // (one O(|G|) pass per query) and then descends the same way — both
-// sub-linear in the document, neither touching the grammar.
+// sub-linear in the document, neither touching the grammar. When the
+// remaining target is the first occurrence inside a call whose
+// arguments carry none, the summary's first-occurrence offset finishes
+// the descent in O(1) instead of walking the rest of the spine.
 //
 // All sizes saturate at kSizeCap (value.h); positions beyond the cap
 // are not addressable, matching every other size computation in the
 // library.
 //
-// A SnapshotNav borrows the grammar and a with-sizes RuleMeta and must
-// be discarded after any mutation — GrammarSnapshot (service/) bundles
-// the three with shared ownership. Queries are const and touch no
+// A SnapshotNav borrows the grammar, a with-sizes RuleMeta and a
+// RuleSummary built from them, and must be discarded after any
+// mutation — GrammarSnapshot (service/) bundles all of them with
+// shared ownership. The two-argument constructor builds (and owns) the
+// summary itself, for standalone use. Queries are const and touch no
 // mutable state, so any number of threads may query one instance
 // concurrently.
 
@@ -41,18 +42,25 @@
 #define SLG_CORE_SNAPSHOT_NAV_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/common/status.h"
 #include "src/grammar/grammar.h"
 #include "src/grammar/rule_meta.h"
+#include "src/grammar/rule_summary.h"
 
 namespace slg {
 
 class SnapshotNav {
  public:
-  // Borrows g and meta (a with-sizes snapshot of *g) for its lifetime.
-  // One bottom-up pass per rule body.
+  // Borrows g, meta and summary (with-sizes snapshots of *g) for its
+  // lifetime; does no per-construction work of its own.
+  SnapshotNav(const Grammar* g, const RuleMeta* meta,
+              const RuleSummary* summary);
+
+  // Convenience: builds and owns the RuleSummary (one bottom-up pass
+  // per rule body).
   SnapshotNav(const Grammar* g, const RuleMeta* meta);
 
   SnapshotNav(SnapshotNav&&) = default;
@@ -67,19 +75,11 @@ class SnapshotNav {
   StatusOr<LabelId> LabelAt(int64_t preorder) const;
 
   // 1-based binary preorder position of the k-th (1-based) node of
-  // val(S) labeled `want`; NotFound when fewer than k occur.
+  // val(S) labeled `want`. InvalidArgument when k < 1; NotFound when
+  // fewer than k occur.
   StatusOr<int64_t> FindLabel(LabelId want, int64_t k) const;
 
  private:
-  struct RuleIndex {
-    // All indexed by NodeId of the rule's rhs arena.
-    std::vector<int64_t> static_size;
-    // 1-based parameter-index interval under each node; lo > hi means
-    // no parameter below.
-    std::vector<int32_t> param_lo;
-    std::vector<int32_t> param_hi;
-  };
-
   // A call frame of the descent: the rule we are inside, the call node
   // in the *enclosing* rule's body that got us here, and prefix sums
   // over this rule's argument sizes (prefix[j] = derived sizes of
@@ -92,12 +92,10 @@ class SnapshotNav {
     std::vector<int64_t> occ_prefix;
   };
 
-  const RuleIndex& IndexOf(LabelId l) const {
-    return rules_[static_cast<size_t>(l)];
-  }
-
   // derived(v | frame's arguments) for a body node of frame.rule.
-  int64_t DerivedIn(const Frame& f, NodeId v) const;
+  int64_t DerivedIn(const Frame& f, NodeId v) const {
+    return summary_->DerivedIn(f.rule, v, f.size_prefix);
+  }
 
   // Per-rule occurrence counts of `want` (occ[l] = occurrences in
   // val(l), parameters contributing nothing) plus per-node static
@@ -109,11 +107,15 @@ class SnapshotNav {
     std::vector<std::vector<int64_t>> static_occ;   // by LabelId, by NodeId
   };
   void BuildOccIndex(LabelId want, OccIndex* occ) const;
-  int64_t OccIn(const OccIndex& occ, const Frame& f, NodeId v) const;
+  int64_t OccIn(const OccIndex& occ, const Frame& f, NodeId v) const {
+    return summary_->InContext(
+        f.rule, v, occ.static_occ[static_cast<size_t>(f.rule)], f.occ_prefix);
+  }
 
   const Grammar* g_;
   const RuleMeta* meta_;
-  std::vector<RuleIndex> rules_;  // by LabelId; empty for non-rules
+  std::shared_ptr<const RuleSummary> owned_summary_;  // two-arg ctor only
+  const RuleSummary* summary_;
   int64_t derived_size_ = 0;
 };
 

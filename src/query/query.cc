@@ -1,0 +1,193 @@
+#include "src/query/query.h"
+
+#include <cctype>
+#include <limits>
+#include <optional>
+
+namespace slg {
+
+namespace {
+
+// Hand-rolled recursive-descent scanner over the query text. Kept as
+// a tiny struct so the position threads through the helpers without a
+// global.
+struct Parser {
+  std::string_view s;
+  size_t i = 0;
+
+  void SkipWs() {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  }
+  bool Eat(char c) {
+    SkipWs();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+  bool Peek(char c) {
+    SkipWs();
+    return i < s.size() && s[i] == c;
+  }
+
+  static bool IsNameStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  }
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == ':' || c == '.' || c == '-';
+  }
+
+  // Identifier at the cursor, empty if none. Does not skip leading
+  // whitespace on its own so callers control token boundaries.
+  std::string_view Name() {
+    SkipWs();
+    size_t b = i;
+    if (i < s.size() && IsNameStart(s[i])) {
+      ++i;
+      while (i < s.size() && IsNameChar(s[i])) ++i;
+    }
+    return s.substr(b, i - b);
+  }
+
+  // Non-negative decimal integer; nullopt when absent or overflowing.
+  std::optional<int64_t> Integer() {
+    SkipWs();
+    size_t b = i;
+    int64_t v = 0;
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) {
+      int d = s[i] - '0';
+      if (v > (std::numeric_limits<int64_t>::max() - d) / 10) return {};
+      v = v * 10 + d;
+      ++i;
+    }
+    if (i == b) return {};
+    return v;
+  }
+
+  Status ParsePath(std::vector<QueryStep>* steps) {
+    while (Peek('/')) {
+      ++i;
+      QueryStep step;
+      if (i < s.size() && s[i] == '/') {
+        ++i;
+        step.axis = Axis::kDescendant;
+      }
+      if (Eat('*')) {
+        step.wildcard = true;
+      } else {
+        std::string_view n = Name();
+        if (n.empty()) {
+          return Status::InvalidArgument(
+              "query step needs a label name or '*'");
+        }
+        step.label.assign(n.begin(), n.end());
+      }
+      if (Eat('[')) {
+        std::optional<int64_t> k = Integer();
+        if (!k.has_value() || !Eat(']')) {
+          return Status::InvalidArgument(
+              "positional predicate must be '[k]' with a decimal k");
+        }
+        if (*k < 1) {
+          return Status::InvalidArgument("positional index must be >= 1");
+        }
+        if (step.axis == Axis::kDescendant) {
+          return Status::InvalidArgument(
+              "positional predicate requires the child axis");
+        }
+        step.positional = *k;
+      }
+      steps->push_back(std::move(step));
+    }
+    if (steps->empty()) {
+      return Status::InvalidArgument("query path must have at least one step");
+    }
+    return Status::Ok();
+  }
+};
+
+}  // namespace
+
+StatusOr<Query> Query::Parse(std::string_view text) {
+  Parser p{text};
+  Query q;
+  bool wrapped = false;
+  if (!p.Peek('/')) {
+    std::string_view kw = p.Name();
+    if (kw == "count") {
+      q.aggregate = Aggregate::kCount;
+    } else if (kw == "exists") {
+      q.aggregate = Aggregate::kExists;
+    } else if (kw == "first") {
+      q.aggregate = Aggregate::kFirst;
+    } else if (kw == "nth") {
+      q.aggregate = Aggregate::kNth;
+    } else {
+      return Status::InvalidArgument(
+          "query must be a /path or count()/exists()/first()/nth()");
+    }
+    if (!p.Eat('(')) {
+      return Status::InvalidArgument("expected '(' after aggregate name");
+    }
+    wrapped = true;
+  }
+  SLG_RETURN_IF_ERROR(p.ParsePath(&q.steps));
+  if (wrapped) {
+    if (q.aggregate == Aggregate::kNth) {
+      if (!p.Eat(',')) {
+        return Status::InvalidArgument("nth(path, k) needs a second argument");
+      }
+      std::optional<int64_t> k = p.Integer();
+      if (!k.has_value()) {
+        return Status::InvalidArgument("nth(path, k) needs a decimal k");
+      }
+      if (*k < 1) return Status::InvalidArgument("nth index must be >= 1");
+      q.k = *k;
+    }
+    if (!p.Eat(')')) {
+      return Status::InvalidArgument("expected ')' closing the aggregate");
+    }
+  }
+  p.SkipWs();
+  if (p.i != text.size()) {
+    return Status::InvalidArgument("trailing characters after query");
+  }
+  return q;
+}
+
+std::string Query::ToString() const {
+  std::string out;
+  switch (aggregate) {
+    case Aggregate::kFirst:
+      out = "first(";
+      break;
+    case Aggregate::kNth:
+      out = "nth(";
+      break;
+    case Aggregate::kCount:
+      out = "count(";
+      break;
+    case Aggregate::kExists:
+      out = "exists(";
+      break;
+  }
+  for (const QueryStep& s : steps) {
+    out += s.axis == Axis::kDescendant ? "//" : "/";
+    out += s.wildcard ? "*" : s.label;
+    if (s.positional > 0) {
+      out += '[';
+      out += std::to_string(s.positional);
+      out += ']';
+    }
+  }
+  if (aggregate == Aggregate::kNth) {
+    out += ", ";
+    out += std::to_string(k);
+  }
+  out += ')';
+  return out;
+}
+
+}  // namespace slg

@@ -1,0 +1,64 @@
+// The query language of the path-query engine (src/query/): a small
+// XPath-like fragment evaluated directly on the grammar DAG — no
+// decompression (engine.h).
+//
+//   query     := aggregate | path            (a bare path = first(path))
+//   aggregate := "count" "(" path ")"        how many nodes match
+//              | "exists" "(" path ")"       does any node match
+//              | "first" "(" path ")"        binary preorder position of
+//                                            the first match
+//              | "nth" "(" path "," k ")"    position of the k-th match
+//   path      := step+
+//   step      := ("/" | "//") (name | "*") ("[" k "]")?
+//
+// "/" is the child axis, "//" the descendant axis (a leading "//"
+// matches the document root too); "*" matches any element. "[k]"
+// selects the k-th step-matching child per anchor and is only
+// meaningful — and only allowed — on child-axis steps. Elements are
+// the non-⊥ nodes of the binary first-child/next-sibling encoding;
+// match positions are 1-based binary preorder positions (⊥ slots
+// included), the addressing every other read surface uses.
+//
+// Parse validates shape only; label names are resolved against the
+// grammar's label table at evaluation time (an unknown name simply
+// matches nothing).
+
+#ifndef SLG_QUERY_QUERY_H_
+#define SLG_QUERY_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace slg {
+
+enum class Axis { kChild, kDescendant };
+
+enum class Aggregate { kFirst, kNth, kCount, kExists };
+
+struct QueryStep {
+  Axis axis = Axis::kChild;
+  bool wildcard = false;
+  std::string label;       // empty iff wildcard
+  int64_t positional = 0;  // 0 = none; else k >= 1 (child axis only)
+};
+
+struct Query {
+  Aggregate aggregate = Aggregate::kFirst;
+  int64_t k = 1;  // kNth only
+  std::vector<QueryStep> steps;
+
+  // InvalidArgument on malformed text, a positional predicate on a
+  // descendant step, or k < 1.
+  static StatusOr<Query> Parse(std::string_view text);
+
+  // Normalized text form (re-parses to an equal query).
+  std::string ToString() const;
+};
+
+}  // namespace slg
+
+#endif  // SLG_QUERY_QUERY_H_

@@ -394,6 +394,13 @@ void DocumentService::MergeOnce(std::unique_lock<std::mutex>& lk) {
     (void)durable_->Checkpoint();
   }
 
+  // Snapshot construction builds every read index — the with-sizes
+  // RuleMeta and the shared RuleSummary (label filters,
+  // first-occurrence tables) — so it runs here, off the lock; only the
+  // splice below needs mu_.
+  std::shared_ptr<const GrammarSnapshot> base_snap =
+      GrammarSnapshot::Make(std::move(merged), v);
+
   lk.lock();
   ++merges_;
   merge_rescans_ += rescanned;
@@ -412,11 +419,9 @@ void DocumentService::MergeOnce(std::unique_lock<std::mutex>& lk) {
                  pending_.begin() + static_cast<std::ptrdiff_t>(k));
   auto ns = std::make_shared<ServiceState>();
   if (pending_.empty()) {
-    ns->base = GrammarSnapshot::Make(std::move(merged), v);
+    ns->base = std::move(base_snap);
     overlay_ops_ = 0;
   } else {
-    std::shared_ptr<const GrammarSnapshot> base_snap =
-        GrammarSnapshot::Make(std::move(merged), v);
     Grammar mat = base_snap->grammar().Clone();
     int64_t edges_total = 0;
     int64_t ops_total = 0;

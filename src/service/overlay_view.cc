@@ -28,6 +28,12 @@ StatusOr<int64_t> OverlayView::FindElement(std::string_view tag,
   return snapshot().FindElement(tag, k);
 }
 
+StatusOr<QueryResult> OverlayView::RunQuery(std::string_view query) const {
+  obs::TraceSpan span("service.read");
+  ReadsCounter().Increment();
+  return snapshot().RunQuery(query);
+}
+
 StatusOr<std::string> OverlayView::ToXml(bool pretty) const {
   obs::TraceSpan span("service.read");
   ReadsCounter().Increment();

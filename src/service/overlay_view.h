@@ -71,6 +71,7 @@ class OverlayView {
 
   StatusOr<std::string> LabelAt(int64_t preorder) const;
   StatusOr<int64_t> FindElement(std::string_view tag, int64_t k = 1) const;
+  StatusOr<QueryResult> RunQuery(std::string_view query) const;
   StatusOr<std::string> ToXml(bool pretty = false) const;
   GrammarCursor Cursor() const { return snapshot().Cursor(); }
 

@@ -16,10 +16,12 @@ GrammarSnapshot::GrammarSnapshot(Grammar g, int64_t version)
     : g_(std::move(g)),
       meta_(std::make_shared<const RuleMeta>(
           RuleMeta::Build(g_, /*with_sizes=*/true))),
-      nav_(&g_, meta_.get()),
+      summary_(std::make_shared<const RuleSummary>(
+          RuleSummary::Build(g_, *meta_))),
+      nav_(&g_, meta_.get(), summary_.get()),
       version_(version),
       edges_(ComputeStats(g_).edge_count),
-      element_count_(ValueElementCount(g_)) {}
+      element_count_(summary_->DerivedElementCount()) {}
 
 std::shared_ptr<const GrammarSnapshot> GrammarSnapshot::Make(Grammar g,
                                                              int64_t version) {
@@ -35,9 +37,20 @@ StatusOr<std::string> GrammarSnapshot::LabelAt(int64_t preorder) const {
 
 StatusOr<int64_t> GrammarSnapshot::FindElement(std::string_view tag,
                                                int64_t k) const {
+  // Argument validity precedes existence, matching every read
+  // surface's status contract (tests/status_contract_test.cc).
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
   LabelId want = g_.labels().Find(tag);
   if (want == kNoLabel) return Status::NotFound("tag never occurs");
   return nav_.FindLabel(want, k);
+}
+
+StatusOr<QueryResult> GrammarSnapshot::RunQuery(std::string_view query) const {
+  return QueryEngine(&g_, meta_.get(), summary_.get()).Run(query);
+}
+
+StatusOr<QueryResult> GrammarSnapshot::RunQuery(const Query& query) const {
+  return QueryEngine(&g_, meta_.get(), summary_.get()).Run(query);
 }
 
 StatusOr<std::string> GrammarSnapshot::ToXml(bool pretty) const {

@@ -35,6 +35,8 @@
 #include "src/core/snapshot_nav.h"
 #include "src/grammar/grammar.h"
 #include "src/grammar/rule_meta.h"
+#include "src/grammar/rule_summary.h"
+#include "src/query/engine.h"
 
 namespace slg {
 
@@ -54,6 +56,9 @@ class GrammarSnapshot {
 
   const Grammar& grammar() const { return g_; }
   const std::shared_ptr<const RuleMeta>& meta() const { return meta_; }
+  const std::shared_ptr<const RuleSummary>& summary() const {
+    return summary_;
+  }
   const SnapshotNav& nav() const { return nav_; }
 
   int64_t version() const { return version_; }
@@ -70,8 +75,16 @@ class GrammarSnapshot {
   StatusOr<std::string> LabelAt(int64_t preorder) const;
 
   // Binary preorder position of the k-th (1-based) node with the
-  // given tag, or NotFound. O(grammar + depth), never decompresses.
+  // given tag. InvalidArgument when k < 1; NotFound for an unknown
+  // tag or fewer than k occurrences. O(grammar + depth), never
+  // decompresses.
   StatusOr<int64_t> FindElement(std::string_view tag, int64_t k = 1) const;
+
+  // Path query (src/query/) evaluated on the grammar with per-rule
+  // memoization — no decompression. InvalidArgument on malformed
+  // text; NotFound when first()/nth() has too few matches.
+  StatusOr<QueryResult> RunQuery(std::string_view query) const;
+  StatusOr<QueryResult> RunQuery(const Query& query) const;
 
   // Serialized document (materializes the tree once).
   StatusOr<std::string> ToXml(bool pretty = false) const;
@@ -86,7 +99,8 @@ class GrammarSnapshot {
 
   Grammar g_;
   std::shared_ptr<const RuleMeta> meta_;  // with_sizes, built over g_
-  SnapshotNav nav_;                       // borrows g_ and *meta_
+  std::shared_ptr<const RuleSummary> summary_;  // built over g_ and *meta_
+  SnapshotNav nav_;  // borrows g_, *meta_ and *summary_
   int64_t version_ = 0;
   int64_t edges_ = 0;
   int64_t element_count_ = 0;

@@ -1,29 +1,15 @@
 #include "src/update/navigation.h"
 
-#include <algorithm>
-
-#include "src/grammar/value.h"
+#include "src/grammar/rule_summary.h"
 
 namespace slg {
 
 std::vector<int64_t> DerivedSubtreeSizes(const Tree& t, const RuleMeta& meta) {
-  std::vector<NodeId> order = t.Preorder();
-  NodeId max_id = 0;
-  for (NodeId v : order) max_id = std::max(max_id, v);
-  std::vector<int64_t> sizes(static_cast<size_t>(max_id) + 1, 0);
-  // Children before parents. SegTotal is 1 for terminals, 0 for
-  // parameters (which cannot occur in the start rule, where navigation
-  // happens) and the flattened segment total for nonterminals — all a
-  // single array load.
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    NodeId v = *it;
-    int64_t n = meta.SegTotal(t.label(v));
-    for (NodeId c = t.first_child(v); c != kNilNode; c = t.next_sibling(c)) {
-      n = SizeSatAdd(n, sizes[static_cast<size_t>(c)]);
-    }
-    sizes[static_cast<size_t>(v)] = n;
-  }
-  return sizes;
+  // One shared implementation with the snapshot summary layer
+  // (grammar/rule_summary.h): the write path sizes the mutable start
+  // rule per batch, the read path sizes every rule body once per
+  // published snapshot.
+  return ComputeStaticSizes(t, meta);
 }
 
 }  // namespace slg

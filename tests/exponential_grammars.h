@@ -23,6 +23,29 @@ inline Grammar DoublingGrammar(int levels) {
   return GrammarFromRules(rules).take();
 }
 
+// Rules with parameters in non-trivial positions — the same rule
+// instantiated with swapped arguments, so any per-rule computation
+// must flow actual-argument values through the parameter intervals.
+inline Grammar ParameterizedSiblingGrammar() {
+  return GrammarFromRules({
+             "S -> f(A(a,b),A(b,a))",
+             "A -> g($1,h($2,c))",
+         }).take();
+}
+
+// Exponential derived size from a logarithmic grammar: a 2^levels-deep
+// unary chain through shared parameterized rules, wrapped as a valid
+// top-level binary-encoding pair.
+inline Grammar ParameterizedChainGrammar(int levels = 8) {
+  std::vector<std::string> rules = {"S -> r(A1(e),~)"};
+  for (int i = 1; i < levels; ++i) {
+    rules.push_back("A" + std::to_string(i) + " -> A" + std::to_string(i + 1) +
+                    "(A" + std::to_string(i + 1) + "($1))");
+  }
+  rules.push_back("A" + std::to_string(levels) + " -> a($1)");
+  return GrammarFromRules(rules).take();
+}
+
 }  // namespace slg
 
 #endif  // SLG_TESTS_EXPONENTIAL_GRAMMARS_H_

@@ -1,0 +1,306 @@
+// Query engine: parse/plan validation, and differential evaluation —
+// every engine answer (count / exists / first / nth and the reported
+// positions) must agree with a decompress-then-scan oracle, on
+// compressed versions of all six corpora and on hand-built
+// parameterized / deep-chain grammars. The oracle implements the path
+// semantics directly on the materialized binary tree and shares no
+// code with the engine.
+
+#include "src/query/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/grammar_repair.h"
+#include "src/datasets/generators.h"
+#include "src/grammar/rule_meta.h"
+#include "src/grammar/rule_summary.h"
+#include "src/grammar/text_format.h"
+#include "src/grammar/value.h"
+#include "src/xml/binary_encoding.h"
+#include "tests/exponential_grammars.h"
+
+namespace slg {
+namespace {
+
+Grammar CompressedCorpus(Corpus c) {
+  XmlTree xml = GenerateCorpus(c, 0.01);
+  LabelTable labels;
+  Tree bin = EncodeBinary(xml, &labels);
+  return GrammarRePair(Grammar::ForTree(std::move(bin), labels), {}).grammar;
+}
+
+// ---------------------------------------------------------------------------
+// Oracle: path matching on the materialized binary tree.
+
+// The sibling chain serving as "children of a": the first child
+// followed by its next-sibling (second-child) links; the virtual
+// root's chain starts at the tree root. ⊥ slots ride along and are
+// rejected by the predicate.
+std::vector<NodeId> ChildChain(const Tree& t, NodeId a) {
+  std::vector<NodeId> out;
+  for (NodeId c = a == kNilNode ? t.root() : t.Child(a, 1); c != kNilNode;
+       c = t.Child(c, 2)) {
+    out.push_back(c);
+  }
+  return out;
+}
+
+// Proper descendants of a — the binary subtree hanging off a's first
+// child (the classic first-child/next-sibling fact), expanded through
+// first two children only, mirroring the query contract.
+std::vector<NodeId> Descendants(const Tree& t, NodeId a) {
+  std::vector<NodeId> out;
+  std::vector<NodeId> stack;
+  NodeId s = a == kNilNode ? t.root() : t.Child(a, 1);
+  if (s != kNilNode) stack.push_back(s);
+  while (!stack.empty()) {
+    NodeId v = stack.back();
+    stack.pop_back();
+    out.push_back(v);
+    if (NodeId c2 = t.Child(v, 2); c2 != kNilNode) stack.push_back(c2);
+    if (NodeId c1 = t.Child(v, 1); c1 != kNilNode) stack.push_back(c1);
+  }
+  return out;
+}
+
+// 1-based binary preorder positions (⊥ included) of the nodes
+// matching the path, ascending.
+std::vector<int64_t> OracleMatches(const Tree& t, const LabelTable& labels,
+                                   const Query& q) {
+  std::set<NodeId> anchors = {kNilNode};  // the virtual root
+  for (const QueryStep& step : q.steps) {
+    auto pred = [&](NodeId v) {
+      LabelId l = t.label(v);
+      if (l == kNullLabel) return false;
+      return step.wildcard || labels.Name(l) == step.label;
+    };
+    std::set<NodeId> next;
+    for (NodeId a : anchors) {
+      if (step.axis == Axis::kChild) {
+        int64_t c = 0;
+        for (NodeId v : ChildChain(t, a)) {
+          if (!pred(v)) continue;
+          ++c;
+          if (step.positional == 0) {
+            next.insert(v);
+          } else if (c == step.positional) {
+            next.insert(v);
+            break;
+          }
+        }
+      } else {
+        for (NodeId v : Descendants(t, a)) {
+          if (pred(v)) next.insert(v);
+        }
+      }
+    }
+    anchors = std::move(next);
+  }
+  NodeId max_id = 0;
+  t.VisitPreorder(t.root(), [&](NodeId v) { max_id = std::max(max_id, v); });
+  std::vector<int64_t> pos(static_cast<size_t>(max_id) + 1, 0);
+  int64_t p = 0;
+  t.VisitPreorder(t.root(), [&](NodeId v) { pos[static_cast<size_t>(v)] = ++p; });
+  std::vector<int64_t> out;
+  for (NodeId v : anchors) out.push_back(pos[static_cast<size_t>(v)]);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Differential harness.
+
+struct EngineFixture {
+  const Grammar& g;
+  RuleMeta meta;
+  RuleSummary summary;
+  Tree full;
+  QueryEngine engine;
+
+  explicit EngineFixture(const Grammar& grammar)
+      : g(grammar),
+        meta(RuleMeta::Build(g, /*with_sizes=*/true)),
+        summary(RuleSummary::Build(g, meta)),
+        full(Value(g).take()),
+        engine(&g, &meta, &summary) {}
+
+  // Every label name occurring in the document.
+  std::vector<std::string> MaterialNames() const {
+    std::set<std::string> names;
+    full.VisitPreorder(full.root(), [&](NodeId v) {
+      if (full.label(v) != kNullLabel) names.insert(g.labels().Name(full.label(v)));
+    });
+    return {names.begin(), names.end()};
+  }
+
+  void Check(const std::string& path) const {
+    SCOPED_TRACE("path: " + path);
+    StatusOr<Query> parsed = Query::Parse("count(" + path + ")");
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    std::vector<int64_t> expect = OracleMatches(full, g.labels(), parsed.value());
+    const int64_t n = static_cast<int64_t>(expect.size());
+
+    StatusOr<QueryResult> count = engine.Run(parsed.value());
+    ASSERT_TRUE(count.ok()) << count.status().ToString();
+    EXPECT_EQ(count.value().count, n);
+    EXPECT_LE(count.value().stats.rules_visited, g.RuleCount());
+
+    StatusOr<QueryResult> exists = engine.Run("exists(" + path + ")");
+    ASSERT_TRUE(exists.ok());
+    EXPECT_EQ(exists.value().exists, n > 0);
+
+    if (n == 0) {
+      StatusOr<QueryResult> first = engine.Run("first(" + path + ")");
+      EXPECT_EQ(first.status().code(), StatusCode::kNotFound);
+      return;
+    }
+    // First, a middle and the last match, plus one past the end.
+    for (int64_t k : {int64_t{1}, (n + 1) / 2, n}) {
+      StatusOr<QueryResult> nth =
+          engine.Run("nth(" + path + ", " + std::to_string(k) + ")");
+      ASSERT_TRUE(nth.ok()) << "k " << k << ": " << nth.status().ToString();
+      EXPECT_EQ(nth.value().position, expect[static_cast<size_t>(k - 1)])
+          << "k " << k;
+      EXPECT_LE(nth.value().stats.rules_visited, g.RuleCount());
+    }
+    StatusOr<QueryResult> first = engine.Run("first(" + path + ")");
+    ASSERT_TRUE(first.ok());
+    EXPECT_EQ(first.value().position, expect[0]);
+    StatusOr<QueryResult> past =
+        engine.Run("nth(" + path + ", " + std::to_string(n + 1) + ")");
+    EXPECT_EQ(past.status().code(), StatusCode::kNotFound);
+  }
+};
+
+std::string RandomPath(std::mt19937& rng,
+                       const std::vector<std::string>& names) {
+  std::uniform_int_distribution<int> len_d(1, 4);
+  std::uniform_int_distribution<int> pct(0, 99);
+  std::uniform_int_distribution<size_t> name_d(0, names.size() - 1);
+  std::uniform_int_distribution<int> k_d(1, 3);
+  int len = len_d(rng);
+  std::string path;
+  for (int i = 0; i < len; ++i) {
+    bool desc = pct(rng) < 40;
+    path += desc ? "//" : "/";
+    int r = pct(rng);
+    if (r < 15) {
+      path += "*";
+    } else if (r < 25) {
+      path += "no_such_label";
+    } else {
+      path += names[name_d(rng)];
+    }
+    if (!desc && pct(rng) < 25) {
+      path += "[" + std::to_string(k_d(rng)) + "]";
+    }
+  }
+  return path;
+}
+
+void DifferentialSweep(const Grammar& g, int rounds, uint32_t seed) {
+  EngineFixture fx(g);
+  std::vector<std::string> names = fx.MaterialNames();
+  ASSERT_FALSE(names.empty());
+  // Fixed shapes touching every feature.
+  fx.Check("/" + names.front());
+  fx.Check("//" + names.back());
+  fx.Check("//*");
+  fx.Check("/*[1]/*");
+  fx.Check("//" + names[names.size() / 2] + "/*");
+  std::mt19937 rng(seed);
+  for (int i = 0; i < rounds; ++i) fx.Check(RandomPath(rng, names));
+}
+
+class QueryCorpusTest : public ::testing::TestWithParam<Corpus> {};
+
+TEST_P(QueryCorpusTest, AgreesWithDecompressedScan) {
+  DifferentialSweep(CompressedCorpus(GetParam()), 40, 20160516);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, QueryCorpusTest,
+    ::testing::Values(Corpus::kExiWeblog, Corpus::kXMark,
+                      Corpus::kExiTelecomp, Corpus::kTreebank,
+                      Corpus::kMedline, Corpus::kNcbi),
+    [](const ::testing::TestParamInfo<Corpus>& info) {
+      std::string n = InfoFor(info.param).name;
+      for (char& c : n) {
+        if (c == '-') c = '_';
+      }
+      return n;
+    });
+
+TEST(QueryEngineTest, DoublingGrammar) {
+  DifferentialSweep(DoublingGrammar(6), 30, 7);
+}
+
+TEST(QueryEngineTest, ParameterizedSiblingGrammar) {
+  DifferentialSweep(ParameterizedSiblingGrammar(), 30, 11);
+}
+
+TEST(QueryEngineTest, ParameterizedChainGrammar) {
+  DifferentialSweep(ParameterizedChainGrammar(6), 30, 13);
+}
+
+TEST(QueryEngineTest, MemoizationBeatsDocumentSize) {
+  // The complete binary tree with 2^21-1 nodes compresses to ~22
+  // rules; a full count must visit each rule a constant number of
+  // times, not the two million document nodes.
+  Grammar g = DoublingGrammar(20);
+  RuleMeta meta = RuleMeta::Build(g, /*with_sizes=*/true);
+  RuleSummary sum = RuleSummary::Build(g, meta);
+  QueryEngine eng(&g, &meta, &sum);
+  StatusOr<QueryResult> leaves = eng.Run("count(//a)");
+  ASSERT_TRUE(leaves.ok());
+  EXPECT_EQ(leaves.value().count, int64_t{1} << 20);
+  EXPECT_LE(leaves.value().stats.rules_visited, g.RuleCount());
+  EXPECT_LE(leaves.value().stats.memo_entries, 4 * g.RuleCount());
+
+  // First leaf sits at the bottom of the leftmost spine.
+  StatusOr<QueryResult> first = eng.Run("first(//a)");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value().position, 21);
+
+  StatusOr<QueryResult> all = eng.Run("count(//*)");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all.value().count, (int64_t{1} << 21) - 1);
+}
+
+TEST(QueryParseTest, RoundTripAndErrors) {
+  for (const char* text :
+       {"/a/b", "//a", "/a//b[0-9]", "count(//a/b)", "exists(/x)",
+        "first(//y)", "nth(/a/b[2], 7)", "/log/entry[3]/ip"}) {
+    StatusOr<Query> q = Query::Parse(text);
+    if (!q.ok()) continue;  // the loop mixes in one invalid shape
+    StatusOr<Query> again = Query::Parse(q.value().ToString());
+    ASSERT_TRUE(again.ok()) << q.value().ToString();
+    EXPECT_EQ(again.value().ToString(), q.value().ToString());
+  }
+  for (const char* bad :
+       {"", "a/b", "count(/a", "nth(/a)", "nth(/a, 0)", "/a[0]", "//a[2]",
+        "/a]/", "count()", "first(/a) x", "/a[1 2]"}) {
+    StatusOr<Query> q = Query::Parse(bad);
+    EXPECT_FALSE(q.ok()) << bad;
+    if (!q.ok()) {
+      EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument) << bad;
+    }
+  }
+  // Positional widths sum into the 64-state budget.
+  StatusOr<Query> wide = Query::Parse("/a[60]/b[10]");
+  ASSERT_TRUE(wide.ok());
+  EXPECT_EQ(QueryPlan::Compile(wide.value()).status().code(),
+            StatusCode::kInvalidArgument);
+  StatusOr<Query> ok = Query::Parse("/a[30]/b[20]");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(QueryPlan::Compile(ok.value()).ok());
+}
+
+}  // namespace
+}  // namespace slg

@@ -13,6 +13,7 @@
 
 #include "src/core/grammar_repair.h"
 #include "src/datasets/generators.h"
+#include "tests/exponential_grammars.h"
 #include "src/grammar/rule_meta.h"
 #include "src/grammar/text_format.h"
 #include "src/grammar/value.h"
@@ -90,23 +91,13 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(SnapshotNavTest, ParameterizedRules) {
   // Rules with parameters in non-trivial positions: occurrences and
   // sizes must flow through the actual-argument prefix sums.
-  Grammar g = GrammarFromRules({
-                  "S -> f(A(a,b),A(b,a))",
-                  "A -> g($1,h($2,c))",
-              }).take();
-  CrossCheck(g);
+  CrossCheck(ParameterizedSiblingGrammar());
 }
 
 TEST(SnapshotNavTest, DeepSharedChain) {
   // Exponential derived size from a logarithmic grammar: navigation
   // must stay exact without materializing the 2^7-deep chain.
-  std::vector<std::string> rules = {"S -> r(A1(e),~)"};
-  for (int i = 1; i < 8; ++i) {
-    rules.push_back("A" + std::to_string(i) + " -> A" + std::to_string(i + 1) +
-                    "(A" + std::to_string(i + 1) + "($1))");
-  }
-  rules.push_back("A8 -> a($1)");
-  Grammar g = GrammarFromRules(rules).take();
+  Grammar g = ParameterizedChainGrammar(8);
   RuleMeta meta = RuleMeta::Build(g, /*with_sizes=*/true);
   SnapshotNav nav(&g, &meta);
   EXPECT_EQ(nav.DerivedSize(), ValueNodeCount(g));

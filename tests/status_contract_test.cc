@@ -1,0 +1,144 @@
+// Status-code contract across every read surface. One normalized
+// vocabulary, whoever answers the call — SnapshotNav, GrammarSnapshot,
+// the CompressedXmlTree facade, a DocumentService reader, or the query
+// engine:
+//   * argument invalid in itself (k < 1, malformed query text,
+//     over-complex plan)                       -> InvalidArgument
+//   * position outside [1, size]               -> OutOfRange
+//   * well-formed request, nothing there (tag never occurs, fewer
+//     than k occurrences / matches)            -> NotFound
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/api/compressed_xml_tree.h"
+#include "src/core/snapshot_nav.h"
+#include "src/service/document_service.h"
+#include "src/service/snapshot.h"
+
+namespace slg {
+namespace {
+
+class StatusContractTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StatusOr<CompressedXmlTree> doc = CompressedXmlTree::FromXml(
+        "<log><entry><ip/></entry><entry><ip/><ip/></entry></log>");
+    ASSERT_TRUE(doc.ok());
+    tree_ = std::make_unique<CompressedXmlTree>(doc.take());
+    snap_ = tree_->Snapshot();
+    StatusOr<std::unique_ptr<DocumentService>> svc =
+        DocumentService::FromSnapshot(snap_);
+    ASSERT_TRUE(svc.ok());
+    svc_ = svc.take();
+  }
+
+  // Asserts every surface returns the same code for the same request.
+  template <typename Fn>
+  void ExpectAll(StatusCode want, Fn&& run, const std::string& what) {
+    DocumentService::Reader reader = svc_->OpenReader();
+    EXPECT_EQ(run(*snap_).code(), want) << "snapshot: " << what;
+    EXPECT_EQ(run(*tree_).code(), want) << "facade: " << what;
+    EXPECT_EQ(run(reader).code(), want) << "reader: " << what;
+  }
+
+  std::unique_ptr<CompressedXmlTree> tree_;
+  std::shared_ptr<const GrammarSnapshot> snap_;
+  std::unique_ptr<DocumentService> svc_;
+};
+
+TEST_F(StatusContractTest, PositionOutsideDocumentIsOutOfRange) {
+  const int64_t n = snap_->node_count();
+  for (int64_t bad : {int64_t{0}, int64_t{-7}, n + 1}) {
+    ExpectAll(
+        StatusCode::kOutOfRange,
+        [bad](const auto& s) { return s.LabelAt(bad).status(); },
+        "LabelAt(" + std::to_string(bad) + ")");
+  }
+  EXPECT_EQ(snap_->nav().LabelAt(0).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(snap_->nav().LabelAt(n + 1).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(StatusContractTest, InvalidKPrecedesExistence) {
+  // k < 1 is InvalidArgument on every surface — even when the tag
+  // does not exist either (argument validity is checked first).
+  for (const char* tag : {"entry", "no_such_tag"}) {
+    ExpectAll(
+        StatusCode::kInvalidArgument,
+        [tag](const auto& s) { return s.FindElement(tag, 0).status(); },
+        std::string("FindElement(") + tag + ", 0)");
+    ExpectAll(
+        StatusCode::kInvalidArgument,
+        [tag](const auto& s) { return s.FindElement(tag, -2).status(); },
+        std::string("FindElement(") + tag + ", -2)");
+  }
+  EXPECT_EQ(snap_->nav().FindLabel(0, 0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(StatusContractTest, AbsentOrExhaustedIsNotFound) {
+  ExpectAll(
+      StatusCode::kNotFound,
+      [](const auto& s) { return s.FindElement("no_such_tag", 1).status(); },
+      "FindElement(no_such_tag)");
+  ExpectAll(
+      StatusCode::kNotFound,
+      [](const auto& s) { return s.FindElement("entry", 99).status(); },
+      "FindElement(entry, 99)");
+  EXPECT_EQ(snap_->nav().FindLabel(kNoLabel, 1).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(StatusContractTest, QuerySurfacesShareTheContract) {
+  // Malformed text / invalid indices -> InvalidArgument.
+  for (const char* bad : {"", "entry", "count(/a", "/a[0]", "//a[2]",
+                          "nth(/a, 0)", "/a[99999999999999999999]"}) {
+    ExpectAll(
+        StatusCode::kInvalidArgument,
+        [bad](const auto& s) { return s.RunQuery(bad).status(); },
+        std::string("RunQuery(") + bad + ")");
+  }
+  // Over-complex plan -> InvalidArgument.
+  ExpectAll(
+      StatusCode::kInvalidArgument,
+      [](const auto& s) { return s.RunQuery("/a[60]/b[10]").status(); },
+      "RunQuery(65 states)");
+  // Well-formed but unmatched first/nth -> NotFound; count/exists
+  // succeed with zero.
+  for (const char* q : {"first(/no_such_tag)", "nth(//entry/ip, 99)",
+                        "/log/entry[3]"}) {
+    ExpectAll(
+        StatusCode::kNotFound,
+        [q](const auto& s) { return s.RunQuery(q).status(); },
+        std::string("RunQuery(") + q + ")");
+  }
+  for (const char* q : {"count(/no_such_tag)", "exists(//nope)"}) {
+    ExpectAll(
+        StatusCode::kOk,
+        [q](const auto& s) { return s.RunQuery(q).status(); },
+        std::string("RunQuery(") + q + ")");
+  }
+  // And the agreeing happy path: three ip elements, the second one
+  // inside the second entry.
+  DocumentService::Reader reader = svc_->OpenReader();
+  StatusOr<QueryResult> via_snap = snap_->RunQuery("count(//ip)");
+  StatusOr<QueryResult> via_tree = tree_->RunQuery("count(//ip)");
+  StatusOr<QueryResult> via_reader = reader.RunQuery("count(//ip)");
+  ASSERT_TRUE(via_snap.ok());
+  ASSERT_TRUE(via_tree.ok());
+  ASSERT_TRUE(via_reader.ok());
+  EXPECT_EQ(via_snap.value().count, 3);
+  EXPECT_EQ(via_tree.value().count, 3);
+  EXPECT_EQ(via_reader.value().count, 3);
+  StatusOr<QueryResult> second = snap_->RunQuery("nth(//ip, 2)");
+  ASSERT_TRUE(second.ok());
+  StatusOr<int64_t> find = snap_->FindElement("ip", 2);
+  ASSERT_TRUE(find.ok());
+  EXPECT_EQ(second.value().position, find.value());
+}
+
+}  // namespace
+}  // namespace slg

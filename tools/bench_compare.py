@@ -48,11 +48,12 @@ import re
 import sys
 
 CONTEXT_KEYS = {"batches", "edges", "ops", "period", "readers", "renames",
-                "shards", "threads"}
+                "rules", "shards", "threads"}
 IGNORED_KEYS = {"hardware_threads"}  # varies by runner, by design
 
 EXACT_SUFFIXES = ("_rounds", "_rescanned", "_bytes", "_batches", "_nodes",
-                  "_peak", "_reused", "_hits", "_misses")
+                  "_peak", "_reused", "_hits", "_misses", "_visited",
+                  "_entries", "_matches")
 
 
 def is_timing(key):
